@@ -1,0 +1,161 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (Section 4)
+   and, in the `micro` section, measures the computational kernel behind
+   each of them with Bechamel (one Test.make per table/figure kernel).
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table2 fig7  # selected sections *)
+
+open Bechamel
+open Toolkit
+
+(* ---- micro-benchmarks: one kernel per table/figure ------------------------ *)
+
+let micro_fixture () =
+  (* one moderate design shared by the kernels, prepared once *)
+  let bench = Cpla_expt.Suite.find "adaptec1" in
+  let prep = Cpla_expt.Suite.prepare bench in
+  let released = Cpla_expt.Experiments.released_at prep ~ratio:0.005 in
+  let asg = prep.Cpla_expt.Suite.asg in
+  let infos = Hashtbl.create 32 in
+  Array.iter
+    (fun net -> Hashtbl.replace infos net (Cpla_timing.Critical.path_info asg net))
+    released;
+  let items =
+    Array.to_list released
+    |> List.concat_map (fun net ->
+           Array.to_list
+             (Array.mapi
+                (fun seg s ->
+                  { Cpla.Partition.net; seg; mid = Cpla_route.Segment.midpoint s })
+                (Cpla_route.Assignment.segments asg net)))
+  in
+  let graph = Cpla_route.Assignment.graph asg in
+  let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
+  let leaves = Cpla.Partition.build ~width ~height ~k:4 ~max_segments:10 items in
+  (* the most coupled leaf makes a representative solver workload *)
+  let best_leaf =
+    List.fold_left
+      (fun acc leaf ->
+        match acc with
+        | None -> Some leaf
+        | Some b ->
+            if List.length leaf.Cpla.Partition.items > List.length b.Cpla.Partition.items
+            then Some leaf
+            else acc)
+      None leaves
+  in
+  let leaf = Option.get best_leaf in
+  List.iter
+    (fun it ->
+      Cpla_route.Assignment.unassign asg ~net:it.Cpla.Partition.net ~seg:it.Cpla.Partition.seg)
+    leaf.Cpla.Partition.items;
+  let f = Cpla.Formulation.build asg ~infos ~items:leaf.Cpla.Partition.items in
+  (* re-assign so the state stays valid for the Elmore kernel *)
+  Array.iter
+    (fun (v : Cpla.Formulation.var) ->
+      Cpla_route.Assignment.set_layer asg ~net:v.Cpla.Formulation.net
+        ~seg:v.Cpla.Formulation.seg ~layer:v.Cpla.Formulation.cands.(0))
+    f.Cpla.Formulation.vars;
+  (asg, released, items, f, width, height)
+
+let micro_tests () =
+  let asg, released, items, f, width, height = micro_fixture () in
+  let fig1_elmore =
+    Test.make ~name:"fig1/elmore-pin-delays"
+      (Staged.stage (fun () -> Cpla_timing.Critical.pin_delays asg released))
+  in
+  let fig7_ilp =
+    Test.make ~name:"fig7/ilp-partition-solve"
+      (Staged.stage (fun () ->
+           let m = Cpla.Ilp_method.build_model ~alpha:2000.0 f in
+           Cpla_ilp.Solver.solve
+             ~options:
+               { Cpla_ilp.Solver.default_options with Cpla_ilp.Solver.time_limit_s = 5.0 }
+             m))
+  in
+  let fig7_sdp =
+    Test.make ~name:"fig7/sdp-partition-solve"
+      (Staged.stage (fun () ->
+           let problem, _ = Cpla.Sdp_method.build_problem f in
+           Cpla_sdp.Solver.solve ~options:Cpla.Config.default.Cpla.Config.sdp_options problem))
+  in
+  let fig8_partition =
+    Test.make ~name:"fig8/self-adaptive-partition"
+      (Staged.stage (fun () -> Cpla.Partition.build ~width ~height ~k:4 ~max_segments:10 items))
+  in
+  let fig9_select =
+    Test.make ~name:"fig9/critical-net-selection"
+      (Staged.stage (fun () -> Cpla_timing.Critical.select asg ~ratio:0.005))
+  in
+  let table2_path_info =
+    Test.make ~name:"table2/critical-path-info"
+      (Staged.stage (fun () ->
+           Array.map (fun net -> Cpla_timing.Critical.path_info asg net) released))
+  in
+  Test.make_grouped ~name:"kernels"
+    [ fig1_elmore; fig7_ilp; fig7_sdp; fig8_partition; fig9_select; table2_path_info ]
+
+let run_micro () =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "Micro-benchmarks (Bechamel) — kernel behind each table/figure\n";
+  Printf.printf "==================================================================\n%!";
+  let tests = micro_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns_per_run =
+        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | _ -> nan
+      in
+      rows := (name, ns_per_run) :: !rows)
+    results;
+  let t = Cpla_util.Table.create ~headers:[ "kernel"; "time/run" ] in
+  List.sort compare !rows
+  |> List.iter (fun (name, ns) ->
+         let cell =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         Cpla_util.Table.add_row t [ name; cell ]);
+  Cpla_util.Table.print t
+
+(* ---- entry ----------------------------------------------------------------- *)
+
+let sections =
+  [
+    ("fig1", Cpla_expt.Experiments.fig1);
+    ("fig3b", Cpla_expt.Experiments.fig3b);
+    ("fig7", Cpla_expt.Experiments.fig7);
+    ("fig8", Cpla_expt.Experiments.fig8);
+    ("fig9", Cpla_expt.Experiments.fig9);
+    ("table2", Cpla_expt.Experiments.table2);
+    ("extended", Cpla_expt.Experiments.extended);
+    ("steiner", Cpla_expt.Experiments.steiner);
+    ("ablations", Cpla_expt.Experiments.ablations);
+    ("micro", run_micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %s (available: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 2)
+    requested

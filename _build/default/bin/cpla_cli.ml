@@ -1,0 +1,299 @@
+(* cpla — command-line front end.
+
+   Subcommands:
+     synth     generate a synthetic benchmark and write it as ISPD'08 text
+     optimize  route + initial assignment + timing-driven layer assignment
+     density   route a design and print its congestion map
+     bench     regenerate a paper experiment (fig1/fig3b/fig7/fig8/fig9/table2)
+     list      list the built-in benchmark suite *)
+
+open Cmdliner
+open Cpla_route
+open Cpla_timing
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Load a design either from an ISPD'08 file or from the built-in suite. *)
+let load ~file ~bench_name =
+  match (file, bench_name) with
+  | Some path, _ -> (
+      match Ispd08.parse (read_file path) with
+      | Error msg -> Error (`Msg (Printf.sprintf "cannot parse %s: %s" path msg))
+      | Ok design -> Ok (Ispd08.to_graph design, design.Ispd08.nets))
+  | None, Some name -> (
+      match Cpla_expt.Suite.find name with
+      | bench -> Ok (Synth.generate bench.Cpla_expt.Suite.spec)
+      | exception Not_found ->
+          Error (`Msg (Printf.sprintf "unknown benchmark %s (try `cpla list`)" name)))
+  | None, None -> Error (`Msg "provide --file or --bench")
+
+let prepare graph nets =
+  let routed = Router.route_all ~graph nets in
+  let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+  Init_assign.run asg;
+  (asg, routed)
+
+(* ---- common options ---------------------------------------------------- *)
+
+let file_arg =
+  let doc = "ISPD'08 benchmark file ($(i,.gr) text format)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let bench_arg =
+  let doc = "Built-in synthetic benchmark name (see $(b,cpla list))." in
+  Arg.(value & opt (some string) None & info [ "b"; "bench" ] ~docv:"NAME" ~doc)
+
+let ratio_arg =
+  let doc = "Fraction of nets released as critical (0.005 = the paper's 0.5%)." in
+  Arg.(value & opt float 0.005 & info [ "r"; "ratio" ] ~docv:"RATIO" ~doc)
+
+(* ---- synth -------------------------------------------------------------- *)
+
+let synth_cmd =
+  let out_arg =
+    let doc = "Output path for the generated ISPD'08 file." in
+    Arg.(value & opt string "design.gr" & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+  in
+  let run bench_name out =
+    match Cpla_expt.Suite.find bench_name with
+    | exception Not_found ->
+        Error (`Msg (Printf.sprintf "unknown benchmark %s" bench_name))
+    | bench ->
+        let spec = bench.Cpla_expt.Suite.spec in
+        let graph, nets = Synth.generate spec in
+        let nl = Cpla_grid.Graph.num_layers graph in
+        let header =
+          {
+            Ispd08.grid_x = Cpla_grid.Graph.width graph;
+            grid_y = Cpla_grid.Graph.height graph;
+            num_layers = nl;
+            vertical_capacity =
+              Array.init nl (fun l ->
+                  match Cpla_grid.Tech.layer_dir (Cpla_grid.Graph.tech graph) l with
+                  | Cpla_grid.Tech.Vertical -> spec.Synth.capacity
+                  | Cpla_grid.Tech.Horizontal -> 0);
+            horizontal_capacity =
+              Array.init nl (fun l ->
+                  match Cpla_grid.Tech.layer_dir (Cpla_grid.Graph.tech graph) l with
+                  | Cpla_grid.Tech.Horizontal -> spec.Synth.capacity
+                  | Cpla_grid.Tech.Vertical -> 0);
+            min_width = Array.make nl 1;
+            min_spacing = Array.make nl 1;
+            via_spacing = Array.make nl 1;
+            lower_left_x = 0;
+            lower_left_y = 0;
+            tile_width = 10;
+            tile_height = 10;
+          }
+        in
+        write_file out (Ispd08.write { Ispd08.header; nets; adjustments = [] });
+        Printf.printf "wrote %s (%d nets, %dx%dx%d)\n" out (Array.length nets)
+          header.Ispd08.grid_x header.Ispd08.grid_y nl;
+        Ok ()
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc:"benchmark name")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Generate a synthetic benchmark as an ISPD'08 file")
+    Term.(term_result (const run $ name_arg $ out_arg))
+
+(* ---- optimize ------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let method_arg =
+    let doc = "Optimisation engine: $(b,sdp), $(b,ilp), $(b,tila) or $(b,greedy)." in
+    Arg.(
+      value
+      & opt
+          (enum [ ("sdp", `Sdp); ("ilp", `Ilp); ("tila", `Tila); ("greedy", `Greedy) ])
+          `Sdp
+      & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+  in
+  let dump_arg =
+    let doc = "Write the optimised routing in the contest output format." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"PATH" ~doc)
+  in
+  let steiner_arg =
+    let doc = "Refine routing topologies with iterated-1-Steiner points." in
+    Arg.(value & flag & info [ "steiner" ] ~doc)
+  in
+  let run file bench_name ratio method_ dump steiner =
+    Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
+        let routed = Router.route_all ~steiner ~graph nets in
+        let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+        Init_assign.run asg;
+        Printf.printf "routed %d nets (2-D overflow %d)\n" (Array.length nets)
+          routed.Router.overflow_2d;
+        let released = Critical.select asg ~ratio in
+        let avg0, max0 = Critical.avg_max_tcp asg released in
+        Printf.printf "released %d nets: Avg(Tcp)=%.1f Max(Tcp)=%.1f\n"
+          (Array.length released) avg0 max0;
+        let cpu_s =
+          match method_ with
+          | `Tila ->
+              let _, s =
+                Cpla_util.Timer.time (fun () -> Cpla_tila.Tila.optimize asg ~released)
+              in
+              s
+          | `Greedy ->
+              let _, s =
+                Cpla_util.Timer.time (fun () ->
+                    Cpla_tila.Delay_greedy.optimize asg ~released)
+              in
+              s
+          | (`Sdp | `Ilp) as m ->
+              let config =
+                {
+                  Cpla.Config.default with
+                  Cpla.Config.method_ =
+                    (match m with `Sdp -> Cpla.Config.Sdp | `Ilp -> Cpla.Config.Ilp);
+                  critical_ratio = ratio;
+                }
+              in
+              let _, s =
+                Cpla_util.Timer.time (fun () ->
+                    Cpla.Driver.optimize_released ~config asg ~released)
+              in
+              s
+        in
+        let m = Cpla.Metrics.measure asg ~released ~cpu_s in
+        Format.printf "%a@." Cpla.Metrics.pp m;
+        (match dump with
+        | None -> ()
+        | Some path ->
+            write_file path (Solution.write asg);
+            Printf.printf "routing dumped to %s\n" path);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Timing-driven incremental layer assignment")
+    Term.(
+      term_result
+        (const run $ file_arg $ bench_arg $ ratio_arg $ method_arg $ dump_arg $ steiner_arg))
+
+(* ---- density -------------------------------------------------------------- *)
+
+let density_cmd =
+  let run file bench_name =
+    Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
+        let _asg, _ = prepare graph nets in
+        print_string (Cpla_grid.Graph.density_map graph);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "density" ~doc:"Print the routing congestion map of a design")
+    Term.(term_result (const run $ file_arg $ bench_arg))
+
+(* ---- bench ---------------------------------------------------------------- *)
+
+let bench_cmd =
+  let section_arg =
+    Arg.(
+      required
+      & pos 0
+          (some (enum
+                   [
+                     ("fig1", `Fig1);
+                     ("fig3b", `Fig3b);
+                     ("fig7", `Fig7);
+                     ("fig8", `Fig8);
+                     ("fig9", `Fig9);
+                     ("table2", `Table2);
+                   ]))
+          None
+      & info [] ~docv:"SECTION" ~doc:"experiment to regenerate")
+  in
+  let run section =
+    (match section with
+    | `Fig1 -> Cpla_expt.Experiments.fig1 ()
+    | `Fig3b -> Cpla_expt.Experiments.fig3b ()
+    | `Fig7 -> Cpla_expt.Experiments.fig7 ()
+    | `Fig8 -> Cpla_expt.Experiments.fig8 ()
+    | `Fig9 -> Cpla_expt.Experiments.fig9 ()
+    | `Table2 -> Cpla_expt.Experiments.table2 ());
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate a paper experiment")
+    Term.(term_result (const run $ section_arg))
+
+(* ---- verify ---------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run file bench_name =
+    Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
+        let asg, _ = prepare graph nets in
+        let released = Critical.select asg ~ratio:0.005 in
+        ignore (Cpla.Driver.optimize_released asg ~released);
+        let r = Verify.check asg in
+        print_endline (Verify.summary r);
+        List.iteri
+          (fun i v -> if i < 20 then Format.printf "  %a@." Verify.pp_violation v)
+          r.Verify.violations;
+        if List.length r.Verify.violations > 20 then
+          Printf.printf "  ... and %d more\n" (List.length r.Verify.violations - 20);
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Route, optimise and audit a design (evaluator role)")
+    Term.(term_result (const run $ file_arg $ bench_arg))
+
+(* ---- slack ---------------------------------------------------------------- *)
+
+let slack_cmd =
+  let factor_arg =
+    let doc = "Budget factor over each net's zero-load lower-bound delay." in
+    Arg.(value & opt float 3.5 & info [ "budget-factor" ] ~docv:"F" ~doc)
+  in
+  let run file bench_name factor =
+    Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
+        let asg, _ = prepare graph nets in
+        let budget = Slack.Scaled factor in
+        let r = Slack.analyze asg budget in
+        Printf.printf "before: violations=%d WNS=%.1f TNS=%.1f\n" r.Slack.violations
+          r.Slack.wns r.Slack.tns;
+        let released = Slack.select_violating asg budget ~max_nets:100 in
+        if Array.length released > 0 then begin
+          ignore (Cpla.Driver.optimize_released asg ~released);
+          let r = Slack.analyze asg budget in
+          Printf.printf "after:  violations=%d WNS=%.1f TNS=%.1f\n" r.Slack.violations
+            r.Slack.wns r.Slack.tns
+        end;
+        Ok ())
+  in
+  Cmd.v
+    (Cmd.info "slack" ~doc:"Slack analysis and slack-driven optimisation")
+    Term.(term_result (const run $ file_arg $ bench_arg $ factor_arg))
+
+(* ---- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        let s = b.Cpla_expt.Suite.spec in
+        Printf.printf "%-10s %3dx%-3d %d layers %6d nets%s\n" b.Cpla_expt.Suite.name
+          s.Synth.width s.Synth.height s.Synth.num_layers s.Synth.num_nets
+          (if b.Cpla_expt.Suite.small then "  (small-case set)" else ""))
+      Cpla_expt.Suite.all;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark suite")
+    Term.(term_result (const run $ const ()))
+
+let () =
+  let doc = "incremental layer assignment for critical path timing (DAC'16)" in
+  let info = Cmd.info "cpla" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ synth_cmd; optimize_cmd; density_cmd; slack_cmd; verify_cmd; bench_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/congestion_map.ml: Array Assignment Cpla Cpla_expt Cpla_grid Cpla_route Cpla_timing Critical List Printf Segment

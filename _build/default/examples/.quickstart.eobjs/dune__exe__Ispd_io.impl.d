@@ -1,0 +1,1 @@
+examples/ispd_io.ml: Array Assignment Cpla Cpla_route Cpla_timing Critical Init_assign Ispd08 List Printf Router String Sys

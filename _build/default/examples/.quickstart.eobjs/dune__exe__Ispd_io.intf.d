@@ -1,0 +1,1 @@
+examples/ispd_io.mli:

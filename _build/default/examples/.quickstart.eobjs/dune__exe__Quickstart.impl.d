@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Assignment Cpla Cpla_grid Cpla_route Cpla_timing Critical Elmore Graph Init_assign Net Printf Stree Tech

@@ -1,0 +1,1 @@
+examples/slack_report.ml: Array Assignment Cpla Cpla_route Cpla_timing Float Init_assign Printf Router Slack Synth

@@ -1,0 +1,1 @@
+examples/slack_report.mli:

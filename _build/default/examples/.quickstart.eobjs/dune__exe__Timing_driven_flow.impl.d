@@ -1,0 +1,1 @@
+examples/timing_driven_flow.ml: Array Assignment Cpla Cpla_route Cpla_tila Cpla_timing Cpla_util Critical Init_assign Printf Router Synth Table Timer

@@ -1,0 +1,44 @@
+(* Routing-density visualisation (the Fig. 3b scenario): route a design and
+   render the per-tile congestion so the non-uniform density that motivates
+   self-adaptive partitioning is visible, then show how the adaptive
+   quadtree reacts to it.
+
+   Run with:  dune exec examples/congestion_map.exe *)
+
+open Cpla_route
+open Cpla_timing
+
+let () =
+  let prep = Cpla_expt.Suite.prepare (Cpla_expt.Suite.find "adaptec1") in
+  let asg = prep.Cpla_expt.Suite.asg in
+  let graph = Assignment.graph asg in
+  Printf.printf "routing density of %s (%dx%d, %d layers):\n\n"
+    prep.Cpla_expt.Suite.bench.Cpla_expt.Suite.name (Cpla_grid.Graph.width graph)
+    (Cpla_grid.Graph.height graph)
+    (Cpla_grid.Graph.num_layers graph);
+  print_string (Cpla_grid.Graph.density_map graph);
+  Printf.printf "\n('.'=idle, '0'-'9' = 0-90%% utilisation, '#' = saturated)\n\n";
+
+  (* partition the critical segments and show how leaf sizes adapt *)
+  let released = Critical.select asg ~ratio:0.005 in
+  let items =
+    Array.to_list released
+    |> List.concat_map (fun net ->
+           Array.to_list
+             (Array.mapi
+                (fun seg s -> { Cpla.Partition.net; seg; mid = Segment.midpoint s })
+                (Assignment.segments asg net)))
+  in
+  List.iter
+    (fun nmax ->
+      let leaves =
+        Cpla.Partition.build
+          ~width:(Cpla_grid.Graph.width graph)
+          ~height:(Cpla_grid.Graph.height graph)
+          ~k:4 ~max_segments:nmax items
+      in
+      let n, depth, mean = Cpla.Partition.stats leaves in
+      Printf.printf
+        "max %2d segments/partition -> %3d leaves, quadtree depth %d, %.1f segments/leaf\n"
+        nmax n depth mean)
+    [ 5; 10; 20; 40; 80 ]

@@ -1,0 +1,69 @@
+(* ISPD'08 format round trip: parse a benchmark fragment, build the grid,
+   route it, run CPLA, and write the design back out in the same format.
+   Users with the real ISPD'08 files can point this at them.
+
+   Run with:  dune exec examples/ispd_io.exe [file.gr] *)
+
+open Cpla_route
+open Cpla_timing
+
+let embedded =
+  "grid 16 16 4\n\
+   vertical capacity 0 8 0 8\n\
+   horizontal capacity 8 0 8 0\n\
+   minimum width 1 1 1 1\n\
+   minimum spacing 1 1 1 1\n\
+   via spacing 1 1 1 1\n\
+   0 0 10 10\n\
+   num net 4\n\
+   clk 0 3 1\n\
+   15 15 1\n\
+   125 15 1\n\
+   75 145 1\n\
+   data0 1 2 1\n\
+   25 25 1\n\
+   145 105 1\n\
+   data1 2 2 1\n\
+   35 125 1\n\
+   115 35 1\n\
+   short 3 2 1\n\
+   55 55 1\n\
+   75 55 1\n\
+   0\n"
+
+let () =
+  let content =
+    if Array.length Sys.argv > 1 then begin
+      let ic = open_in Sys.argv.(1) in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    end
+    else embedded
+  in
+  match Ispd08.parse content with
+  | Error msg ->
+      Printf.eprintf "parse error: %s\n" msg;
+      exit 1
+  | Ok design ->
+      Printf.printf "parsed %d nets on a %dx%dx%d grid\n"
+        (Array.length design.Ispd08.nets)
+        design.Ispd08.header.Ispd08.grid_x design.Ispd08.header.Ispd08.grid_y
+        design.Ispd08.header.Ispd08.num_layers;
+      let graph = Ispd08.to_graph design in
+      let routed = Router.route_all ~graph design.Ispd08.nets in
+      let asg =
+        Assignment.create ~graph ~nets:design.Ispd08.nets ~trees:routed.Router.trees
+      in
+      Init_assign.run asg;
+      let released = Critical.select asg ~ratio:0.5 in
+      let avg0, max0 = Critical.avg_max_tcp asg released in
+      let report = Cpla.Driver.optimize_released asg ~released in
+      Printf.printf "CPLA: Avg(Tcp) %.1f -> %.1f, Max(Tcp) %.1f -> %.1f\n" avg0
+        report.Cpla.Driver.avg_tcp max0 report.Cpla.Driver.max_tcp;
+      let out = Ispd08.write design in
+      Printf.printf "\nround-tripped benchmark file (%d bytes):\n%s"
+        (String.length out)
+        (String.concat "\n" (List.filteri (fun i _ -> i < 10) (String.split_on_char '\n' out)));
+      Printf.printf "...\n"

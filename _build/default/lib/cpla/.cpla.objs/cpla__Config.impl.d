@@ -1,0 +1,1 @@
+lib/cpla/config.ml: Cpla_ilp Cpla_sdp

@@ -1,0 +1,1 @@
+lib/cpla/config.mli: Cpla_ilp Cpla_sdp

@@ -1,0 +1,1 @@
+lib/cpla/driver.ml: Array Assignment Config Cpla_grid Cpla_route Cpla_timing Cpla_util Critical Float Formulation Hashtbl Ilp_method List Partition Post_map Sdp_method Segment

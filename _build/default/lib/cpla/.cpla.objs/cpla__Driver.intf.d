@@ -1,0 +1,1 @@
+lib/cpla/driver.mli: Config Cpla_route

@@ -1,0 +1,1 @@
+lib/cpla/formulation.ml: Array Assignment Cpla_grid Cpla_route Cpla_timing Critical Elmore Float Graph Hashtbl List Option Partition Segment Stree Tech

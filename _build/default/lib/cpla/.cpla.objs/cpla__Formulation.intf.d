@@ -1,0 +1,1 @@
+lib/cpla/formulation.mli: Cpla_grid Cpla_route Cpla_timing Hashtbl Partition

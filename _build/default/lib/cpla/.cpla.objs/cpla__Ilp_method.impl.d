@@ -1,0 +1,1 @@
+lib/cpla/ilp_method.ml: Array Cpla_ilp Cpla_numeric Formulation List Simplex

@@ -1,0 +1,1 @@
+lib/cpla/ilp_method.mli: Cpla_ilp Formulation

@@ -1,0 +1,1 @@
+lib/cpla/metrics.ml: Assignment Cpla_grid Cpla_route Cpla_timing Critical Format

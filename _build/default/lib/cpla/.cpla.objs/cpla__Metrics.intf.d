@@ -1,0 +1,1 @@
+lib/cpla/metrics.mli: Cpla_route Format

@@ -1,0 +1,1 @@
+lib/cpla/partition.mli:

@@ -1,0 +1,1 @@
+lib/cpla/post_map.ml: Array Assignment Cpla_grid Cpla_route Formulation Graph List Tech

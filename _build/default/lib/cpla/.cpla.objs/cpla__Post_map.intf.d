@@ -1,0 +1,1 @@
+lib/cpla/post_map.mli: Cpla_route Formulation

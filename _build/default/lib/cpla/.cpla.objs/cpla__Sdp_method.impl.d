@@ -1,0 +1,1 @@
+lib/cpla/sdp_method.ml: Array Cpla_sdp Float Formulation List Problem Solver

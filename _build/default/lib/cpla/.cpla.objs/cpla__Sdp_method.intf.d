@@ -1,0 +1,1 @@
+lib/cpla/sdp_method.mli: Cpla_sdp Formulation

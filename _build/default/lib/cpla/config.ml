@@ -1,0 +1,39 @@
+type method_ = Sdp | Ilp
+
+type t = {
+  critical_ratio : float;
+  k_div : int;
+  max_segments_per_partition : int;
+  method_ : method_;
+  alpha : float;
+  max_outer_iters : int;
+  local_refinement : bool;
+  boundary_coupling : bool;
+  workers : int;
+  ilp_options : Cpla_ilp.Solver.options;
+  sdp_options : Cpla_sdp.Solver.options;
+}
+
+let default =
+  {
+    critical_ratio = 0.005;
+    k_div = 4;
+    max_segments_per_partition = 10;
+    method_ = Sdp;
+    alpha = 2000.0;
+    max_outer_iters = 5;
+    local_refinement = true;
+    boundary_coupling = true;
+    workers = 1;
+    ilp_options = { Cpla_ilp.Solver.default_options with Cpla_ilp.Solver.time_limit_s = 10.0 };
+    (* tuned: post-mapping plus the local refinement only need a reliable
+       *ranking* from the relaxation, which survives a smaller rank and
+       looser budgets at ~4x the speed of the solver defaults *)
+    sdp_options =
+      {
+        Cpla_sdp.Solver.default_options with
+        Cpla_sdp.Solver.max_outer = 8;
+        inner_iters = 100;
+        rank = 6;
+      };
+  }

@@ -1,0 +1,248 @@
+open Cpla_route
+open Cpla_timing
+
+type report = {
+  released : int array;
+  iterations : int;
+  partitions_solved : int;
+  avg_tcp : float;
+  max_tcp : float;
+}
+
+let snapshot asg released =
+  Array.map
+    (fun net ->
+      (net, Array.mapi (fun seg _ -> Assignment.layer asg ~net ~seg) (Assignment.segments asg net)))
+    released
+
+let restore asg snap =
+  Array.iter
+    (fun (net, layers) ->
+      Array.iteri (fun seg layer -> if layer >= 0 then Assignment.set_layer asg ~net ~seg ~layer) layers)
+    snap
+
+let score asg released =
+  let avg, mx = Critical.avg_max_tcp asg released in
+  (* the paper optimises each net's critical path; the sum of path delays
+     (= avg up to scale) with a max tiebreaker captures both columns *)
+  avg +. (0.05 *. mx)
+
+(* Greedy single-variable descent on the partition's own objective
+   (ts + pairwise tv), respecting live edge capacity.  Cleans up the
+   rounding slack the fractional→integral mapping leaves behind. *)
+let local_refine asg (f : Formulation.t) =
+  let graph = Assignment.graph asg in
+  let nvars = Array.length f.Formulation.vars in
+  let cand_index = Array.map (fun (_ : Formulation.var) -> -1) f.Formulation.vars in
+  Array.iteri
+    (fun vi (v : Formulation.var) ->
+      let current = Assignment.layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg in
+      Array.iteri (fun ci l -> if l = current then cand_index.(vi) <- ci) v.Formulation.cands)
+    f.Formulation.vars;
+  let pairs_of = Array.make nvars [] in
+  Array.iteri
+    (fun pi (p : Formulation.pair) ->
+      pairs_of.(p.Formulation.a) <- (pi, true) :: pairs_of.(p.Formulation.a);
+      pairs_of.(p.Formulation.b) <- (pi, false) :: pairs_of.(p.Formulation.b))
+    f.Formulation.pairs;
+  let var_cost vi ci =
+    let v = f.Formulation.vars.(vi) in
+    v.Formulation.ts.(ci)
+    +. List.fold_left
+         (fun acc (pi, is_a) ->
+           let p = f.Formulation.pairs.(pi) in
+           let other = if is_a then p.Formulation.b else p.Formulation.a in
+           let oc = cand_index.(other) in
+           if oc < 0 then acc
+           else if is_a then acc +. p.Formulation.tv.(ci).(oc)
+           else acc +. p.Formulation.tv.(oc).(ci))
+         0.0 pairs_of.(vi)
+  in
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds < 4 do
+    changed := false;
+    Array.iteri
+      (fun vi (v : Formulation.var) ->
+        if cand_index.(vi) >= 0 then begin
+          let here = var_cost vi cand_index.(vi) in
+          let best = ref cand_index.(vi) and best_cost = ref here in
+          Array.iteri
+            (fun ci l ->
+              if ci <> cand_index.(vi) then begin
+                let room =
+                  Array.for_all (fun e -> Cpla_grid.Graph.free graph e ~layer:l >= 1) v.Formulation.edges
+                in
+                if room then begin
+                  let c = var_cost vi ci in
+                  if c < !best_cost -. 1e-9 then begin
+                    best := ci;
+                    best_cost := c
+                  end
+                end
+              end)
+            v.Formulation.cands;
+          if !best <> cand_index.(vi) then begin
+            cand_index.(vi) <- !best;
+            Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg
+              ~layer:v.Formulation.cands.(!best);
+            changed := true
+          end
+        end)
+      f.Formulation.vars;
+    incr rounds
+  done
+
+let solve_leaf config asg infos (leaf : Partition.leaf) =
+  (* Refresh the frozen coefficients of the nets touching this partition so
+     later partitions see the effect of earlier ones within the same sweep
+     (Section 3.2: "newly updated assignment results of neighboring
+     partitions benefit each current partition"). *)
+  List.sort_uniq compare (List.map (fun it -> it.Partition.net) leaf.Partition.items)
+  |> List.iter (fun net -> Hashtbl.replace infos net (Critical.path_info asg net));
+  (* release this partition's segments, rebuild their coefficients, solve *)
+  List.iter
+    (fun { Partition.net; seg; _ } -> Assignment.unassign asg ~net ~seg)
+    leaf.Partition.items;
+  let f =
+    Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg ~infos
+      ~items:leaf.Partition.items
+  in
+  (* Uncoupled partitions (no shared capacity rows, no intra-partition via
+     pairs) decompose exactly: each segment independently takes its cheapest
+     layer.  This covers the many sparse leaves quickly for both methods. *)
+  if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
+    Array.iter
+      (fun (v : Formulation.var) ->
+        let best = ref 0 in
+        Array.iteri (fun ci ts -> if ts < v.Formulation.ts.(!best) then best := ci) v.Formulation.ts;
+        Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg
+          ~layer:v.Formulation.cands.(!best))
+      f.Formulation.vars
+  else
+  match config.Config.method_ with
+  | Config.Sdp ->
+      let x = Sdp_method.solve ~options:config.Config.sdp_options f in
+      Post_map.run asg ~vars:f.Formulation.vars ~x;
+      if config.Config.local_refinement then local_refine asg f
+  | Config.Ilp -> (
+      match
+        Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha f
+      with
+      | Some layers ->
+          Array.iteri
+            (fun vi layer ->
+              let v = f.Formulation.vars.(vi) in
+              Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer)
+            layers
+      | None ->
+          (* budget exhausted with no incumbent: fall back to the mapping
+             with uniform fractional values (capacity-driven greedy) *)
+          Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
+
+(* Parallel sweep (the paper's OpenMP scheme): freeze coefficients once,
+   release every partition's segments, build all subproblems against the
+   others-only capacity view, solve them concurrently on a domain pool
+   (solvers are pure given their formulation), then commit partition by
+   partition in deterministic order. *)
+let solve_leaves_parallel config asg infos leaves =
+  List.iter
+    (fun (leaf : Partition.leaf) ->
+      List.iter
+        (fun { Partition.net; seg; _ } -> Assignment.unassign asg ~net ~seg)
+        leaf.Partition.items)
+    leaves;
+  let formulations =
+    Array.of_list
+      (List.map
+         (fun leaf ->
+           Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg ~infos
+             ~items:leaf.Partition.items)
+         leaves)
+  in
+  let solve (f : Formulation.t) =
+    if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
+      (* uncoupled: exact per-segment argmin, same fast path as sequential *)
+      `Layers
+        (Some
+           (Array.map
+              (fun (v : Formulation.var) ->
+                let best = ref 0 in
+                Array.iteri
+                  (fun ci ts -> if ts < v.Formulation.ts.(!best) then best := ci)
+                  v.Formulation.ts;
+                v.Formulation.cands.(!best))
+              f.Formulation.vars))
+    else
+      match config.Config.method_ with
+      | Config.Sdp ->
+          let x = Sdp_method.solve ~options:config.Config.sdp_options f in
+          `Fractional x
+      | Config.Ilp ->
+          `Layers
+            (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha f)
+  in
+  let solutions = Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve formulations in
+  Array.iteri
+    (fun i f ->
+      match solutions.(i) with
+      | `Fractional x ->
+          Post_map.run asg ~vars:f.Formulation.vars ~x;
+          if config.Config.local_refinement then local_refine asg f
+      | `Layers (Some layers) ->
+          Array.iteri
+            (fun vi layer ->
+              let v = f.Formulation.vars.(vi) in
+              Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer)
+            layers
+      | `Layers None -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
+    formulations
+
+let optimize_released ?(config = Config.default) asg ~released =
+  if not (Assignment.fully_assigned asg) then
+    invalid_arg "Driver.optimize: initial assignment incomplete";
+  let graph = Assignment.graph asg in
+  let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
+  let iterations = ref 0 and partitions = ref 0 in
+  let best_score = ref (score asg released) in
+  let stop = ref (Array.length released = 0) in
+  while (not !stop) && !iterations < config.Config.max_outer_iters do
+    let snap = snapshot asg released in
+    (* freeze coefficients at the current assignment *)
+    let infos = Hashtbl.create 64 in
+    Array.iter (fun net -> Hashtbl.replace infos net (Critical.path_info asg net)) released;
+    let items =
+      Array.to_list released
+      |> List.concat_map (fun net ->
+             Array.to_list
+               (Array.mapi
+                  (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
+                  (Assignment.segments asg net)))
+    in
+    let leaves =
+      Partition.build ~width ~height ~k:config.Config.k_div
+        ~max_segments:config.Config.max_segments_per_partition items
+    in
+    if config.Config.workers > 1 then begin
+      solve_leaves_parallel config asg infos leaves;
+      partitions := !partitions + List.length leaves
+    end
+    else
+      List.iter
+        (fun leaf ->
+          solve_leaf config asg infos leaf;
+          incr partitions)
+        leaves;
+    incr iterations;
+    let s = score asg released in
+    if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
+    else begin
+      if s > !best_score then restore asg snap;
+      stop := true
+    end
+  done;
+  let avg_tcp, max_tcp = Critical.avg_max_tcp asg released in
+  { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }
+
+let optimize ?(config = Config.default) asg =
+  let released = Critical.select asg ~ratio:config.Config.critical_ratio in
+  optimize_released ~config asg ~released

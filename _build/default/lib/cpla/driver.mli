@@ -1,0 +1,25 @@
+(** The CPLA outer loop (Problem 1).
+
+    Each iteration freezes downstream capacitances and worst paths at the
+    current assignment, partitions the released segments (Section 3.2),
+    solves every partition with the configured method (ILP or SDP+mapping)
+    against live capacity state, and re-evaluates.  Iterations repeat until
+    the released nets' timing stops improving (with a revert of the last
+    iteration if it hurt), or the iteration cap is hit. *)
+
+type report = {
+  released : int array;      (** net ids that were optimised *)
+  iterations : int;          (** outer iterations performed *)
+  partitions_solved : int;   (** total leaves across iterations *)
+  avg_tcp : float;           (** Avg(Tcp) over released nets, final *)
+  max_tcp : float;           (** Max(Tcp) over released nets, final *)
+}
+
+val optimize : ?config:Config.t -> Cpla_route.Assignment.t -> report
+(** Requires a fully assigned state (run {!Cpla_route.Init_assign} first).
+    @raise Invalid_argument otherwise. *)
+
+val optimize_released :
+  ?config:Config.t -> Cpla_route.Assignment.t -> released:int array -> report
+(** Same, but with an externally chosen release set (used by the benchmark
+    harness to give TILA and CPLA identical released nets). *)

@@ -1,0 +1,284 @@
+open Cpla_grid
+open Cpla_route
+open Cpla_timing
+
+type var = {
+  net : int;
+  seg : int;
+  dir : Tech.dir;
+  cands : int array;
+  ts : float array;
+  edges : Graph.edge2d array;
+}
+
+type pair = {
+  a : int;
+  b : int;
+  tile : int * int;
+  tv : float array array;
+  lambda : float array array;
+}
+
+type cap_row = {
+  edge : Graph.edge2d;
+  layer : int;
+  limit : int;
+  members : (int * int) list;
+}
+
+type via_row = {
+  tile : int * int;
+  crossing : int;
+  limit : int;
+  members : (int * int * int) list;
+}
+
+type t = {
+  vars : var array;
+  pairs : pair array;
+  cap_rows : cap_row array;
+  via_rows : via_row array;
+}
+
+let var_count t = Array.length t.vars
+
+let candidate_total t = Array.fold_left (fun acc v -> acc + Array.length v.cands) 0 t.vars
+
+let build ?(boundary_coupling = true) asg ~infos ~items =
+  let tech = Assignment.tech asg in
+  let graph = Assignment.graph asg in
+  let info_of net =
+    match Hashtbl.find_opt infos net with
+    | Some i -> i
+    | None -> invalid_arg "Formulation.build: missing path_info for a released net"
+  in
+  let released = Hashtbl.create 64 in
+  List.iter (fun it -> Hashtbl.replace released (it.Partition.net, it.Partition.seg) ()) items;
+  (* Boundary coupling: a released segment is tree-adjacent to segments that
+     stay fixed during this partition's solve (other partitions, already
+     re-solved or not yet released) and to pins.  Their via delay depends
+     linearly on this segment's layer, so it folds into ts. *)
+  let children_cache = Hashtbl.create 16 in
+  let children_of net tree =
+    match Hashtbl.find_opt children_cache net with
+    | Some k -> k
+    | None ->
+        let k = Stree.children tree in
+        Hashtbl.replace children_cache net k;
+        k
+  in
+  let boundary_via net seg l =
+    match Assignment.tree asg net with
+    | None -> 0.0
+    | Some tree ->
+        let info = info_of net in
+        let node_to_seg = Assignment.node_to_seg asg net in
+        let segs = Assignment.segments asg net in
+        let cd_of s =
+          if s >= 0 && s < Array.length info.Critical.detail.Elmore.seg_cd then
+            info.Critical.detail.Elmore.seg_cd.(s)
+          else 0.0
+        in
+        let child_node = segs.(seg).Segment.node in
+        let parent_node = tree.Stree.parent.(child_node) in
+        let acc = ref 0.0 in
+        let couple node other_seg =
+          if other_seg >= 0 && other_seg <> seg && not (Hashtbl.mem released (net, other_seg))
+          then begin
+            let lo = Assignment.layer asg ~net ~seg:other_seg in
+            if lo >= 0 then begin
+              let cd_min = Float.min (cd_of seg) (cd_of other_seg) in
+              acc := !acc +. Elmore.via_tv ~tech ~lo:(min l lo) ~hi:(max l lo) ~cd_min;
+              ignore node
+            end
+          end
+        in
+        let couple_node node =
+          (* fixed tree-adjacent segments: the node's own parent edge and
+             every child edge *)
+          couple node node_to_seg.(node);
+          Array.iter (fun c -> couple node node_to_seg.(c)) (children_of net tree).(node);
+          (* pin vias at this node *)
+          List.iter
+            (fun pl ->
+              acc :=
+                !acc
+                +. Elmore.via_tv ~tech ~lo:(min l pl) ~hi:(max l pl)
+                     ~cd_min:tech.Tech.sink_c)
+            (Assignment.pin_layers_at asg ~net ~node)
+        in
+        couple_node child_node;
+        if parent_node >= 0 then couple_node parent_node;
+        !acc
+  in
+  (* ---- variables -------------------------------------------------------- *)
+  let vars =
+    List.map
+      (fun { Partition.net; seg; _ } ->
+        if Assignment.layer asg ~net ~seg >= 0 then
+          invalid_arg "Formulation.build: released segment still assigned";
+        let info = info_of net in
+        let s = (Assignment.segments asg net).(seg) in
+        let cands = Array.of_list (Tech.layers_of_dir tech s.Segment.dir) in
+        (* Eqn (4a): every segment of a critical net carries its Eqn (2)
+           delay ts(i,j) with frozen downstream capacitance — branch
+           segments included, since they load the critical path.  Segments
+           on the worst path additionally carry the frozen upstream-path
+           resistance against their capacitance (the Elmore cross term the
+           sum-of-ts objective would otherwise miss), which is what makes
+           the objective per-path rather than per-segment. *)
+        let ts =
+          Array.map
+            (fun l ->
+              let own =
+                Elmore.seg_ts ~tech ~len:s.Segment.len ~layer:l
+                  ~cd:info.Critical.detail.Elmore.seg_cd.(seg)
+              in
+              let upstream_load =
+                info.Critical.branch_attach_r.(seg)
+                *. Tech.unit_c tech l
+                *. float_of_int s.Segment.len
+              in
+              own +. upstream_load
+              +. (if boundary_coupling then boundary_via net seg l else 0.0))
+            cands
+        in
+        { net; seg; dir = s.Segment.dir; cands; ts; edges = s.Segment.edges })
+      items
+    |> Array.of_list
+  in
+  let var_index = Hashtbl.create 64 in
+  Array.iteri (fun vi v -> Hashtbl.replace var_index (v.net, v.seg) vi) vars;
+  (* ---- capacity rows ----------------------------------------------------- *)
+  (* Group candidate coverage by (edge, layer); only edge-layers that could
+     be over-subscribed by the released segments need a joint row. *)
+  let coverage = Hashtbl.create 256 in
+  Array.iteri
+    (fun vi v ->
+      Array.iteri
+        (fun ci l ->
+          Array.iter
+            (fun (e : Graph.edge2d) ->
+              let key = (e.Graph.dir = Tech.Horizontal, e.Graph.x, e.Graph.y, l) in
+              let prev = Option.value ~default:[] (Hashtbl.find_opt coverage key) in
+              Hashtbl.replace coverage key ((vi, ci, e) :: prev))
+            v.edges)
+        v.cands)
+    vars;
+  let cap_rows = ref [] in
+  Hashtbl.iter
+    (fun (_, _, _, layer) members ->
+      match members with
+      | [] -> ()
+      | (_, _, e) :: _ ->
+          let limit = max 0 (Graph.free graph e ~layer) in
+          let distinct_vars =
+            List.sort_uniq compare (List.map (fun (vi, _, _) -> vi) members)
+          in
+          if List.length distinct_vars > limit then
+            cap_rows :=
+              { edge = e; layer; limit; members = List.map (fun (vi, ci, _) -> (vi, ci)) members }
+              :: !cap_rows)
+    coverage;
+  (* ---- via pairs ---------------------------------------------------------- *)
+  let pairs = ref [] in
+  let nets = List.sort_uniq compare (List.map (fun it -> it.Partition.net) items) in
+  List.iter
+    (fun net ->
+      match Assignment.tree asg net with
+      | None -> ()
+      | Some tree ->
+          let node_to_seg = Assignment.node_to_seg asg net in
+          let info = info_of net in
+          for v = 0 to Stree.num_nodes tree - 1 do
+            let child_seg = node_to_seg.(v) in
+            let parent = tree.Stree.parent.(v) in
+            if child_seg >= 0 && parent >= 0 then begin
+              let parent_seg = node_to_seg.(parent) in
+              if parent_seg >= 0 then begin
+                match
+                  ( Hashtbl.find_opt var_index (net, child_seg),
+                    Hashtbl.find_opt var_index (net, parent_seg) )
+                with
+                | Some a, Some b ->
+                    let cd_a = info.Critical.detail.Elmore.seg_cd.(child_seg) in
+                    let cd_b = info.Critical.detail.Elmore.seg_cd.(parent_seg) in
+                    let cd_min = Float.min cd_a cd_b in
+                    let tile = Stree.node tree parent in
+                    let ca = vars.(a).cands and cb = vars.(b).cands in
+                    let tv =
+                      Array.map
+                        (fun la ->
+                          Array.map
+                            (fun lb ->
+                              Elmore.via_tv ~tech ~lo:(min la lb) ~hi:(max la lb) ~cd_min)
+                            cb)
+                        ca
+                    in
+                    (* λ of Section 3.3: existing via pressure on the
+                       boundaries the span would cross, scaled to be
+                       commensurate with the via delay *)
+                    let x, y = tile in
+                    let lambda =
+                      Array.map
+                        (fun la ->
+                          Array.map
+                            (fun lb ->
+                              let lo = min la lb and hi = max la lb in
+                              let acc = ref 0.0 in
+                              for c = lo to hi - 1 do
+                                let cap = Graph.via_capacity graph ~x ~y ~crossing:c in
+                                let u = Graph.via_usage graph ~x ~y ~crossing:c in
+                                let ratio =
+                                  if cap <= 0 then 2.0
+                                  else float_of_int u /. float_of_int cap
+                                in
+                                acc := !acc +. (ratio *. (1.0 +. tech.Tech.via_r.(c)))
+                              done;
+                              !acc *. Float.max 1.0 cd_min)
+                            cb)
+                        ca
+                    in
+                    pairs := { a; b; tile; tv; lambda } :: !pairs
+                | _ -> ()
+              end
+            end
+          done)
+    nets;
+  let pairs = Array.of_list (List.rev !pairs) in
+  (* ---- via capacity rows (for the ILP) ------------------------------------ *)
+  let via_rows = ref [] in
+  let by_tile = Hashtbl.create 32 in
+  Array.iteri
+    (fun pi (p : pair) ->
+      Hashtbl.replace by_tile p.tile
+        (pi :: Option.value ~default:[] (Hashtbl.find_opt by_tile p.tile)))
+    pairs;
+  Hashtbl.iter
+    (fun (x, y) pair_ids ->
+      for crossing = 0 to Graph.num_layers graph - 2 do
+        let members = ref [] in
+        List.iter
+          (fun pi ->
+            let p = pairs.(pi) in
+            Array.iteri
+              (fun ca la ->
+                Array.iteri
+                  (fun cb lb ->
+                    if min la lb <= crossing && crossing < max la lb then
+                      members := (pi, ca, cb) :: !members)
+                  vars.(p.b).cands)
+              vars.(p.a).cands)
+          pair_ids;
+        if !members <> [] then begin
+          let cap = Graph.via_capacity graph ~x ~y ~crossing in
+          let used = Graph.via_usage graph ~x ~y ~crossing in
+          let limit = max 0 (cap - used) in
+          (* at most one (ca,cb) per pair is active, so a row can only bind
+             when more pairs meet here than the remaining capacity *)
+          if List.length pair_ids > limit then
+            via_rows := { tile = (x, y); crossing; limit; members = !members } :: !via_rows
+        end
+      done)
+    by_tile;
+  { vars; pairs; cap_rows = Array.of_list !cap_rows; via_rows = Array.of_list !via_rows }

@@ -1,0 +1,76 @@
+(** The per-partition optimisation problem shared by the ILP and SDP
+    methods.
+
+    Built against a state where the partition's released segments have been
+    *unassigned*, so the grid's free capacities reflect everything else
+    (non-released nets and other partitions) — the incremental tightening of
+    constraint (4c)/(4d) described in Section 3.1.
+
+    Coefficients are frozen at the assignment current when the enclosing
+    outer iteration started:
+
+    - a segment on its net's worst path gets ts(i,j) of Eqn (2) with its
+      frozen downstream capacitance;
+    - a branch segment gets [R_upstream · C_e(j) · len] — its capacitance
+      weighted by the frozen resistance of the shared root→branch-point
+      prefix, which is that segment's exact contribution to the worst-sink
+      Elmore delay;
+    - a tree-adjacent pair of released segments gets the via table
+      tv(i,j,p,q) of Eqn (3), plus (for the SDP method) the via-capacity
+      penalty λ of Section 3.3 (existing via usage over capacity). *)
+
+type var = {
+  net : int;
+  seg : int;
+  dir : Cpla_grid.Tech.dir;
+  cands : int array;    (** candidate layers *)
+  ts : float array;     (** frozen timing cost per candidate *)
+  edges : Cpla_grid.Graph.edge2d array;  (** grid edges the segment covers *)
+}
+
+type pair = {
+  a : int;  (** var index *)
+  b : int;
+  tile : int * int;           (** shared tree-node tile carrying the via stack *)
+  tv : float array array;     (** tv.(ca).(cb): via delay, Eqn (3) *)
+  lambda : float array array; (** via-capacity penalty for the SDP objective *)
+}
+
+type cap_row = {
+  edge : Cpla_grid.Graph.edge2d;
+  layer : int;
+  limit : int;  (** free capacity left for released segments *)
+  members : (int * int) list;  (** (var, candidate) covering this edge-layer *)
+}
+
+type via_row = {
+  tile : int * int;
+  crossing : int;
+  limit : int;  (** via capacity minus existing usage at this boundary *)
+  members : (int * int * int) list;
+      (** (pair, ca, cb) whose chosen span would cross this boundary *)
+}
+
+type t = {
+  vars : var array;
+  pairs : pair array;
+  cap_rows : cap_row array;
+  via_rows : via_row array;
+}
+
+val build :
+  ?boundary_coupling:bool ->
+  Cpla_route.Assignment.t ->
+  infos:(int, Cpla_timing.Critical.path_info) Hashtbl.t ->
+  items:Partition.item list ->
+  t
+(** Requires every item's segment to be currently unassigned and [infos] to
+    hold a [path_info] for every net appearing in [items].
+    [boundary_coupling] (default true) folds the via delay to tree-adjacent
+    segments *outside* the partition into ts; disabling it reproduces a
+    naive partitioned objective for ablation. *)
+
+val var_count : t -> int
+
+val candidate_total : t -> int
+(** Σ over vars of their candidate count — the x-dimension of the models. *)

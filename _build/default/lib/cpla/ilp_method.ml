@@ -1,0 +1,132 @@
+open Cpla_numeric
+
+(* Column layout: x columns per (var, cand) in var order, then y columns per
+   (pair, ca, cb), then V_o. *)
+type layout = {
+  x_base : int array;  (* x_base.(vi) + ci *)
+  y_base : int array;  (* y_base.(pi) + (ca * |cands_b|) + cb *)
+  vo : int;
+  total : int;
+}
+
+let layout (f : Formulation.t) =
+  let x_base = Array.make (Array.length f.Formulation.vars) 0 in
+  let next = ref 0 in
+  Array.iteri
+    (fun vi v ->
+      x_base.(vi) <- !next;
+      next := !next + Array.length v.Formulation.cands)
+    f.Formulation.vars;
+  let y_base = Array.make (Array.length f.Formulation.pairs) 0 in
+  Array.iteri
+    (fun pi (p : Formulation.pair) ->
+      y_base.(pi) <- !next;
+      let na = Array.length f.Formulation.vars.(p.Formulation.a).Formulation.cands in
+      let nb = Array.length f.Formulation.vars.(p.Formulation.b).Formulation.cands in
+      next := !next + (na * nb))
+    f.Formulation.pairs;
+  let vo = !next in
+  { x_base; y_base; vo; total = !next + 1 }
+
+let y_col lay (f : Formulation.t) pi ca cb =
+  let p = f.Formulation.pairs.(pi) in
+  let nb = Array.length f.Formulation.vars.(p.Formulation.b).Formulation.cands in
+  lay.y_base.(pi) + (ca * nb) + cb
+
+let build_model ~alpha (f : Formulation.t) =
+  let lay = layout f in
+  let n = lay.total in
+  let objective = Array.make n 0.0 in
+  Array.iteri
+    (fun vi (v : Formulation.var) ->
+      Array.iteri (fun ci ts -> objective.(lay.x_base.(vi) + ci) <- ts) v.Formulation.ts)
+    f.Formulation.vars;
+  Array.iteri
+    (fun pi (p : Formulation.pair) ->
+      Array.iteri
+        (fun ca row ->
+          Array.iteri (fun cb tv -> objective.(y_col lay f pi ca cb) <- tv) row)
+        p.Formulation.tv)
+    f.Formulation.pairs;
+  objective.(lay.vo) <- alpha;
+  let rows = ref [] in
+  let add coeffs rel b = rows := (coeffs, rel, b) :: !rows in
+  (* (4b): one layer per segment *)
+  Array.iteri
+    (fun vi (v : Formulation.var) ->
+      let row = Array.make n 0.0 in
+      Array.iteri (fun ci _ -> row.(lay.x_base.(vi) + ci) <- 1.0) v.Formulation.cands;
+      add row Simplex.Eq 1.0)
+    f.Formulation.vars;
+  (* (4c): edge capacity *)
+  Array.iter
+    (fun (r : Formulation.cap_row) ->
+      let row = Array.make n 0.0 in
+      List.iter (fun (vi, ci) -> row.(lay.x_base.(vi) + ci) <- 1.0) r.Formulation.members;
+      add row Simplex.Le (float_of_int r.Formulation.limit))
+    f.Formulation.cap_rows;
+  (* (4d) relaxed with V_o: Σ y − V_o ≤ limit *)
+  Array.iter
+    (fun (r : Formulation.via_row) ->
+      let row = Array.make n 0.0 in
+      List.iter
+        (fun (pi, ca, cb) -> row.(y_col lay f pi ca cb) <- 1.0)
+        r.Formulation.members;
+      row.(lay.vo) <- -1.0;
+      add row Simplex.Le (float_of_int r.Formulation.limit))
+    f.Formulation.via_rows;
+  (* (4e)–(4g): y = x_a · x_b linking *)
+  Array.iteri
+    (fun pi (p : Formulation.pair) ->
+      let na = Array.length f.Formulation.vars.(p.Formulation.a).Formulation.cands in
+      let nb = Array.length f.Formulation.vars.(p.Formulation.b).Formulation.cands in
+      for ca = 0 to na - 1 do
+        for cb = 0 to nb - 1 do
+          let y = y_col lay f pi ca cb in
+          let xa = lay.x_base.(p.Formulation.a) + ca in
+          let xb = lay.x_base.(p.Formulation.b) + cb in
+          let r1 = Array.make n 0.0 in
+          r1.(y) <- 1.0;
+          r1.(xa) <- -1.0;
+          add r1 Simplex.Le 0.0;
+          let r2 = Array.make n 0.0 in
+          r2.(y) <- 1.0;
+          r2.(xb) <- -1.0;
+          add r2 Simplex.Le 0.0;
+          let r3 = Array.make n 0.0 in
+          r3.(xa) <- 1.0;
+          r3.(xb) <- 1.0;
+          r3.(y) <- -1.0;
+          add r3 Simplex.Le 1.0
+        done
+      done)
+    f.Formulation.pairs;
+  let binary = Array.make n true in
+  binary.(lay.vo) <- false;
+  Cpla_ilp.Model.create ~objective ~rows:(List.rev !rows) ~binary
+
+let solve ~options ~alpha (f : Formulation.t) =
+  if Array.length f.Formulation.vars = 0 then Some [||]
+  else begin
+    let model = build_model ~alpha f in
+    match Cpla_ilp.Solver.solve ~options model with
+    | None -> None
+    | Some outcome ->
+        let lay = layout f in
+        let choice =
+          Array.mapi
+            (fun vi (v : Formulation.var) ->
+              let best = ref 0 and best_x = ref neg_infinity in
+              Array.iteri
+                (fun ci _ ->
+                  let xv = outcome.Cpla_ilp.Solver.x.(lay.x_base.(vi) + ci) in
+                  if xv > !best_x then begin
+                    best_x := xv;
+                    best := ci
+                  end)
+                v.Formulation.cands;
+              v.Formulation.cands.(!best))
+            f.Formulation.vars
+        in
+        Some choice
+  end

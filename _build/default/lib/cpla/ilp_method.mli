@@ -1,0 +1,18 @@
+(** ILP method (Section 3.1): build formula (4) for one partition and solve
+    it exactly with branch-and-bound.
+
+    Variables: x_ij per (segment, candidate layer), y_ijpq per connected
+    pair and layer combination (linked by (4e)–(4g)), and the continuous
+    via-overflow variable V_o weighted by α in the objective.  Constraints
+    (4b) assignment, (4c) edge capacity, (4d) via capacity relaxed by V_o. *)
+
+val solve :
+  options:Cpla_ilp.Solver.options ->
+  alpha:float ->
+  Formulation.t ->
+  int array option
+(** Chosen layer per var, or [None] when the solver found nothing within
+    budget (caller keeps the previous assignment). *)
+
+val build_model : alpha:float -> Formulation.t -> Cpla_ilp.Model.t
+(** The exact 0/1 model (exposed for tests). *)

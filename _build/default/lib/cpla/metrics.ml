@@ -1,0 +1,28 @@
+open Cpla_route
+open Cpla_timing
+
+type t = {
+  avg_tcp : float;
+  max_tcp : float;
+  via_overflow : int;
+  via_count : int;
+  edge_overflow : int;
+  cpu_s : float;
+}
+
+let measure asg ~released ~cpu_s =
+  let avg_tcp, max_tcp = Critical.avg_max_tcp asg released in
+  let graph = Assignment.graph asg in
+  {
+    avg_tcp;
+    max_tcp;
+    via_overflow = Cpla_grid.Graph.via_overflow graph;
+    via_count = Cpla_grid.Graph.total_via_usage graph;
+    edge_overflow = Cpla_grid.Graph.edge_overflow graph;
+    cpu_s;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "avg(Tcp)=%.2f max(Tcp)=%.2f OV#=%d via#=%d edge_ov=%d cpu=%.2fs" t.avg_tcp t.max_tcp
+    t.via_overflow t.via_count t.edge_overflow t.cpu_s

@@ -1,0 +1,14 @@
+(** The measurement columns of Table 2. *)
+
+type t = {
+  avg_tcp : float;   (** average critical-path delay over released nets *)
+  max_tcp : float;   (** maximum critical-path delay over released nets *)
+  via_overflow : int;   (** OV#: total via-capacity overflow of the design *)
+  via_count : int;      (** via#: total stacked-via crossings of the design *)
+  edge_overflow : int;  (** wire-capacity overflow (0 for legal assignments) *)
+  cpu_s : float;        (** measured optimisation time, filled by the caller *)
+}
+
+val measure : Cpla_route.Assignment.t -> released:int array -> cpu_s:float -> t
+
+val pp : Format.formatter -> t -> unit

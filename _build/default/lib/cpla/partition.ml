@@ -1,0 +1,92 @@
+type item = {
+  net : int;
+  seg : int;
+  mid : int * int;
+}
+
+type leaf = {
+  x0 : int;
+  y0 : int;
+  x1 : int;
+  y1 : int;
+  depth : int;
+  items : item list;
+}
+
+let build ~width ~height ~k ~max_segments items =
+  if k <= 0 then invalid_arg "Partition.build: k must be positive";
+  if max_segments <= 0 then invalid_arg "Partition.build: max_segments must be positive";
+  let cell_w = max 1 ((width + k - 1) / k) in
+  let cell_h = max 1 ((height + k - 1) / k) in
+  (* Quadtree subdivision of one cell. *)
+  let rec subdivide x0 y0 x1 y1 depth cell_items acc =
+    let count = List.length cell_items in
+    if count = 0 then acc
+    else if count <= max_segments || (x1 <= x0 && y1 <= y0) then
+      { x0; y0; x1; y1; depth; items = cell_items } :: acc
+    else begin
+      let mx = (x0 + x1) / 2 and my = (y0 + y1) / 2 in
+      let quadrant { mid = x, y; _ } =
+        (if x > mx then 1 else 0) lor if y > my then 2 else 0
+      in
+      let buckets = [| []; []; []; [] |] in
+      List.iter (fun it -> buckets.(quadrant it) <- it :: buckets.(quadrant it)) cell_items;
+      (* If every item landed in one quadrant and the cell cannot shrink in
+         that quadrant's direction, stop to avoid a deadlock. *)
+      let bounds = function
+        | 0 -> (x0, y0, mx, my)
+        | 1 -> (min (mx + 1) x1, y0, x1, my)
+        | 2 -> (x0, min (my + 1) y1, mx, y1)
+        | _ -> (min (mx + 1) x1, min (my + 1) y1, x1, y1)
+      in
+      let progress =
+        Array.exists (fun b -> b <> [] ) buckets
+        && not
+             (Array.exists (fun b -> List.length b = count) buckets
+             && x1 - x0 <= 1 && y1 - y0 <= 1)
+      in
+      if not progress then { x0; y0; x1; y1; depth; items = cell_items } :: acc
+      else begin
+        let acc = ref acc in
+        for q = 0 to 3 do
+          let qx0, qy0, qx1, qy1 = bounds q in
+          if buckets.(q) <> [] then begin
+            if qx1 < qx0 || qy1 < qy0 then
+              (* degenerate quadrant: emit as its own leaf *)
+              acc := { x0 = qx0; y0 = qy0; x1 = max qx0 qx1; y1 = max qy0 qy1;
+                       depth = depth + 1; items = List.rev buckets.(q) } :: !acc
+            else acc := subdivide qx0 qy0 qx1 qy1 (depth + 1) (List.rev buckets.(q)) !acc
+          end
+        done;
+        !acc
+      end
+    end
+  in
+  (* Distribute items into the K×K cells. *)
+  let cells = Hashtbl.create (k * k) in
+  List.iter
+    (fun it ->
+      let x, y = it.mid in
+      let cx = min (k - 1) (x / cell_w) and cy = min (k - 1) (y / cell_h) in
+      let key = (cx, cy) in
+      Hashtbl.replace cells key (it :: Option.value ~default:[] (Hashtbl.find_opt cells key)))
+    items;
+  let leaves = ref [] in
+  for cy = k - 1 downto 0 do
+    for cx = k - 1 downto 0 do
+      match Hashtbl.find_opt cells (cx, cy) with
+      | None -> ()
+      | Some cell_items ->
+          let x0 = cx * cell_w and y0 = cy * cell_h in
+          let x1 = min (width - 1) (((cx + 1) * cell_w) - 1) in
+          let y1 = min (height - 1) (((cy + 1) * cell_h) - 1) in
+          leaves := subdivide x0 y0 x1 y1 0 (List.rev cell_items) !leaves
+    done
+  done;
+  !leaves
+
+let stats leaves =
+  let n = List.length leaves in
+  let max_depth = List.fold_left (fun a l -> max a l.depth) 0 leaves in
+  let total_items = List.fold_left (fun a l -> a + List.length l.items) 0 leaves in
+  (n, max_depth, if n = 0 then 0.0 else float_of_int total_items /. float_of_int n)

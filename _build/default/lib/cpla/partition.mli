@@ -1,0 +1,31 @@
+(** Self-adaptive quadruple partitioning (Section 3.2).
+
+    The grid is first cut into K×K uniform cells; every cell holding more
+    than [max_segments] critical segments is recursively quartered
+    (quadtree) until the bound holds or the cell shrinks to a single tile
+    (the paper's deadlock guard).  Each critical segment belongs to exactly
+    one leaf — the one containing its midpoint tile. *)
+
+type item = {
+  net : int;
+  seg : int;
+  mid : int * int;  (** midpoint tile of the segment *)
+}
+
+type leaf = {
+  x0 : int;
+  y0 : int;
+  x1 : int;  (** inclusive *)
+  y1 : int;  (** inclusive *)
+  depth : int;   (** quadtree depth below the uniform K×K cut (0 = no split) *)
+  items : item list;
+}
+
+val build :
+  width:int -> height:int -> k:int -> max_segments:int -> item list -> leaf list
+(** Leaves with at least one item, in deterministic (row-major, then
+    quadrant) order.
+    @raise Invalid_argument when [k <= 0] or [max_segments <= 0]. *)
+
+val stats : leaf list -> int * int * float
+(** (number of leaves, max depth, mean items per leaf). *)

@@ -1,0 +1,57 @@
+open Cpla_grid
+open Cpla_route
+
+let min_free asg (v : Formulation.var) layer =
+  let graph = Assignment.graph asg in
+  Array.fold_left (fun acc e -> min acc (Graph.free graph e ~layer)) max_int v.Formulation.edges
+
+let fallback_layer asg (v : Formulation.var) =
+  let best = ref v.Formulation.cands.(0) and best_free = ref min_int in
+  Array.iter
+    (fun l ->
+      let f = min_free asg v l in
+      if f > !best_free || (f = !best_free && l > !best) then begin
+        best := l;
+        best_free := f
+      end)
+    v.Formulation.cands;
+  !best
+
+let run asg ~vars ~x =
+  let tech = Assignment.tech asg in
+  let nl = Tech.num_layers tech in
+  let assigned = Array.make (Array.length vars) false in
+  (* Alg. 1 line 3: highest layer first.  Layers of the wrong direction are
+     skipped per variable via the candidate list. *)
+  for layer = nl - 1 downto 0 do
+    (* candidates of this layer, ranked by fractional value (line 5) *)
+    let ranked = ref [] in
+    Array.iteri
+      (fun vi (v : Formulation.var) ->
+        if not assigned.(vi) then
+          Array.iteri
+            (fun ci l -> if l = layer then ranked := (x vi ci, vi) :: !ranked)
+            v.Formulation.cands)
+      vars;
+    let ranked = List.sort (fun (a, _) (b, _) -> compare b a) !ranked in
+    List.iter
+      (fun (_, vi) ->
+        if not assigned.(vi) then begin
+          let v = vars.(vi) in
+          if min_free asg v layer >= 1 then begin
+            Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer;
+            assigned.(vi) <- true
+          end
+        end)
+      ranked
+  done;
+  (* Fallback for segments squeezed out everywhere (edge overflow accepted,
+     as the ILP's V_o also permits). *)
+  Array.iteri
+    (fun vi (v : Formulation.var) ->
+      if not assigned.(vi) then begin
+        let layer = fallback_layer asg v in
+        Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer;
+        assigned.(vi) <- true
+      end)
+    vars

@@ -1,0 +1,23 @@
+(** Post-mapping algorithm (Alg. 1 of Section 3.4).
+
+    Turns the SDP's fractional x values into an integral, capacity-feasible
+    layer assignment: layers are visited from the highest down (high layers
+    have the lowest resistance, so they are the contended resource); on each
+    layer the still-unassigned segments are ranked by their fractional
+    value and greedily committed while every grid edge they cover retains
+    free capacity.  Anything still unassigned afterwards falls back to the
+    least-overflowing layer, mirroring the V_o relief of the ILP. *)
+
+val run :
+  Cpla_route.Assignment.t ->
+  vars:Formulation.var array ->
+  x:(int -> int -> float) ->
+  unit
+(** [run asg ~vars ~x] commits every var to a layer via
+    [Assignment.set_layer].  [x vi ci] is the fractional value of var [vi]'s
+    candidate [ci].  Requires all vars currently unassigned. *)
+
+val fallback_layer : Cpla_route.Assignment.t -> Formulation.var -> int
+(** The layer a var receives when no candidate has capacity: maximises the
+    minimum free capacity over its edges (ties to the higher layer).
+    Exposed for tests. *)

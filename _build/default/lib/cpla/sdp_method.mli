@@ -1,0 +1,20 @@
+(** SDP method (Section 3.3): relax one partition's problem into the
+    semidefinite program of Eqns (5)–(7) and solve it.
+
+    The moment matrix X carries x_ij on its diagonal and y_ijpq off the
+    diagonal; the objective matrix T carries ts(i,j) on the diagonal and
+    tv(i,j,p,q) + λ (the via-capacity penalty) off the diagonal.
+    Assignment constraints (4b) stay exact; edge-capacity inequalities (4c)
+    become equalities through PSD slack diagonal entries; via capacity (4d)
+    lives in the objective as λ, exactly as the paper describes. *)
+
+val build_problem : Formulation.t -> Cpla_sdp.Problem.t * (int -> int -> int)
+(** [(problem, index)] where [index vi ci] is the matrix row/column of var
+    [vi]'s candidate [ci].  Slack entries occupy the trailing rows. *)
+
+val solve :
+  options:Cpla_sdp.Solver.options ->
+  Formulation.t ->
+  (int -> int -> float)
+(** Solve the relaxation and return the fractional value accessor
+    [x vi ci ∈ [0,1]] that feeds {!Post_map.run}. *)

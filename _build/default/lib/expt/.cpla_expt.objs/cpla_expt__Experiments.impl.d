@@ -1,0 +1,1 @@
+lib/expt/experiments.ml: Array Cpla Cpla_grid Cpla_route Cpla_sdp Cpla_tila Cpla_timing Cpla_util Critical Float Hashtbl Histogram List Option Printf Stats Suite Table Timer

@@ -1,0 +1,1 @@
+lib/expt/suite.ml: Assignment Cpla_route Init_assign List Router Synth

@@ -1,0 +1,1 @@
+lib/expt/suite.mli: Cpla_route

@@ -1,0 +1,68 @@
+open Cpla_route
+
+type bench = {
+  name : string;
+  spec : Synth.spec;
+  small : bool;
+}
+
+(* Relative sizes follow the real ISPD'08 suite (adaptec1 smallest, newblue7
+   largest; bigblue3/4 and newblue5/6/7 are the 8-layer designs).  Density
+   factor ~1.4 nets per tile at capacity 8 and 6 layers lands utilisation
+   around 50%, which is where the initial routing is legal but high layers
+   are genuinely contended. *)
+let mk name ~w ~layers ~nets ~seed ~small ~pins ~hotspots =
+  {
+    name;
+    small;
+    spec =
+      {
+        Synth.name;
+        width = w;
+        height = w;
+        num_layers = layers;
+        num_nets = nets;
+        capacity = 8;
+        seed;
+        mean_extra_pins = pins;
+        local_fraction = 0.75;
+        hotspots;
+        blockage_fraction = 0.04;
+      };
+  }
+
+let all =
+  [
+    mk "adaptec1" ~w:48 ~layers:6 ~nets:3200 ~seed:101 ~small:true ~pins:2.2 ~hotspots:3;
+    mk "adaptec2" ~w:52 ~layers:6 ~nets:3800 ~seed:102 ~small:true ~pins:2.2 ~hotspots:3;
+    mk "adaptec3" ~w:64 ~layers:6 ~nets:5700 ~seed:103 ~small:false ~pins:2.2 ~hotspots:4;
+    mk "adaptec4" ~w:64 ~layers:6 ~nets:5900 ~seed:104 ~small:false ~pins:2.2 ~hotspots:4;
+    mk "adaptec5" ~w:68 ~layers:6 ~nets:6900 ~seed:105 ~small:false ~pins:2.2 ~hotspots:4;
+    mk "bigblue1" ~w:52 ~layers:6 ~nets:3900 ~seed:106 ~small:true ~pins:2.8 ~hotspots:3;
+    mk "bigblue2" ~w:60 ~layers:6 ~nets:5200 ~seed:107 ~small:false ~pins:2.8 ~hotspots:4;
+    mk "bigblue3" ~w:72 ~layers:8 ~nets:9600 ~seed:108 ~small:false ~pins:2.8 ~hotspots:5;
+    mk "bigblue4" ~w:80 ~layers:8 ~nets:11800 ~seed:109 ~small:false ~pins:2.8 ~hotspots:5;
+    mk "newblue1" ~w:50 ~layers:6 ~nets:3500 ~seed:110 ~small:true ~pins:2.5 ~hotspots:5;
+    mk "newblue2" ~w:56 ~layers:6 ~nets:4400 ~seed:111 ~small:true ~pins:2.5 ~hotspots:5;
+    mk "newblue4" ~w:60 ~layers:6 ~nets:5100 ~seed:112 ~small:true ~pins:2.5 ~hotspots:5;
+    mk "newblue5" ~w:76 ~layers:8 ~nets:10700 ~seed:113 ~small:false ~pins:2.5 ~hotspots:6;
+    mk "newblue6" ~w:76 ~layers:8 ~nets:10800 ~seed:114 ~small:false ~pins:2.5 ~hotspots:6;
+    mk "newblue7" ~w:84 ~layers:8 ~nets:13000 ~seed:115 ~small:false ~pins:2.5 ~hotspots:6;
+  ]
+
+let small_cases = List.filter (fun b -> b.small) all
+
+let find name = List.find (fun b -> b.name = name) all
+
+type prepared = {
+  bench : bench;
+  asg : Assignment.t;
+  route_overflow : int;
+}
+
+let prepare bench =
+  let graph, nets = Synth.generate bench.spec in
+  let routed = Router.route_all ~graph nets in
+  let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+  Init_assign.run asg;
+  { bench; asg; route_overflow = routed.Router.overflow_2d }

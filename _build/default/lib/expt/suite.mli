@@ -1,0 +1,35 @@
+(** The benchmark suite of the experiments.
+
+    Fifteen synthetic designs named and relatively sized after the ISPD'08
+    global-routing benchmarks the paper evaluates on (Table 2's rows), scaled
+    down ~64× in net count and ~6× in grid dimension so that the entire
+    harness runs in minutes.  Seeds are fixed: a benchmark is a pure function
+    of its name. *)
+
+type bench = {
+  name : string;
+  spec : Cpla_route.Synth.spec;
+  small : bool;
+      (** member of the paper's small-case set (Fig. 7 compares ILP there) *)
+}
+
+val all : bench list
+(** The 15 Table-2 rows in paper order. *)
+
+val small_cases : bench list
+(** adaptec1, adaptec2, bigblue1, newblue1, newblue2, newblue4 — the six
+    designs of Fig. 7. *)
+
+val find : string -> bench
+(** @raise Not_found for unknown names. *)
+
+type prepared = {
+  bench : bench;
+  asg : Cpla_route.Assignment.t;
+  route_overflow : int;
+}
+
+val prepare : bench -> prepared
+(** Generate, globally route and initially layer-assign the design.
+    Deterministic; each call builds a fresh state (so TILA and SDP can be
+    compared from identical initial assignments). *)

@@ -1,0 +1,1 @@
+lib/grid/graph.ml: Array Buffer Char Float List Tech

@@ -1,0 +1,90 @@
+type dir = Horizontal | Vertical
+
+type layer = {
+  index : int;
+  dir : dir;
+  unit_r : float;
+  unit_c : float;
+}
+
+type t = {
+  layers : layer array;
+  via_r : float array;
+  driver_r : float;
+  sink_c : float;
+  wire_width : float;
+  wire_space : float;
+  via_width : float;
+  via_space : float;
+  tile_width : float;
+  nv : int;
+}
+
+(* Resistance halves every layer pair going up the stack; capacitance grows
+   mildly because high layers are wider.  The exact values are industrial
+   flavour only: what matters for the algorithms is the monotone R trend and
+   the non-trivial R*C trade-off it induces. *)
+let rc_of_index num_layers i =
+  let tier = i / 2 in
+  let top_tier = (num_layers - 1) / 2 in
+  let r = 8.0 /. (2.0 ** float_of_int tier) in
+  let c = 0.8 +. (0.15 *. float_of_int (min tier top_tier)) in
+  (r, c)
+
+let default ?(num_layers = 8) () =
+  if num_layers < 2 then invalid_arg "Tech.default: at least two layers required";
+  let layers =
+    Array.init num_layers (fun i ->
+        let r, c = rc_of_index num_layers i in
+        { index = i; dir = (if i mod 2 = 0 then Horizontal else Vertical); unit_r = r; unit_c = c })
+  in
+  {
+    layers;
+    via_r = Array.make (num_layers - 1) 1.0;
+    driver_r = 4.0;
+    sink_c = 1.0;
+    wire_width = 1.0;
+    wire_space = 1.0;
+    via_width = 1.2;
+    via_space = 1.2;
+    tile_width = 20.0;
+    nv = 2;
+  }
+
+let num_layers t = Array.length t.layers
+
+let check_layer t l name =
+  if l < 0 || l >= num_layers t then invalid_arg ("Tech." ^ name ^ ": layer out of range")
+
+let layer_dir t l =
+  check_layer t l "layer_dir";
+  t.layers.(l).dir
+
+let unit_r t l =
+  check_layer t l "unit_r";
+  t.layers.(l).unit_r
+
+let unit_c t l =
+  check_layer t l "unit_c";
+  t.layers.(l).unit_c
+
+let via_r_span t ~lo ~hi =
+  if lo > hi then invalid_arg "Tech.via_r_span: lo > hi";
+  check_layer t lo "via_r_span";
+  check_layer t hi "via_r_span";
+  let acc = ref 0.0 in
+  for l = lo to hi - 1 do
+    acc := !acc +. t.via_r.(l)
+  done;
+  !acc
+
+let layers_of_dir t dir =
+  Array.to_list t.layers
+  |> List.filter (fun layer -> layer.dir = dir)
+  |> List.map (fun layer -> layer.index)
+
+let via_per_boundary t ~cap_e0 ~cap_e1 =
+  let pitch = t.wire_width +. t.wire_space in
+  let via_pitch = t.via_width +. t.via_space in
+  let cap = pitch *. t.tile_width *. float_of_int (cap_e0 + cap_e1) /. (via_pitch *. via_pitch) in
+  int_of_float (Float.floor cap)

@@ -1,0 +1,54 @@
+(** Technology description: the metal layer stack with per-layer RC, via
+    resistances, and the geometry constants of Eqn (1) of the paper.
+
+    The default stack follows the paper's qualitative structure (Section 1):
+    low metal layers are thin with high resistance, high layers are wide with
+    low resistance (and slightly higher capacitance, being wider), which is
+    what makes high layers attractive for timing-critical segments. *)
+
+type dir = Horizontal | Vertical
+
+type layer = {
+  index : int;    (** 0-based; metal 1 is index 0 *)
+  dir : dir;      (** preferred (and only) routing direction *)
+  unit_r : float; (** resistance per grid-edge length *)
+  unit_c : float; (** capacitance per grid-edge length *)
+}
+
+type t = {
+  layers : layer array;
+  via_r : float array;  (** [via_r.(l)] is the via resistance between layers [l] and [l+1] *)
+  driver_r : float;     (** source driver resistance, closes the Elmore model *)
+  sink_c : float;       (** sink pin load capacitance *)
+  wire_width : float;   (** [ww] in Eqn (1) *)
+  wire_space : float;   (** [ws] in Eqn (1) *)
+  via_width : float;    (** [vw] in Eqn (1) *)
+  via_space : float;    (** [vs] in Eqn (1) *)
+  tile_width : float;   (** [Tile_w] in Eqn (1) *)
+  nv : int;             (** vias per routing track within one tile, Eqn (4d) *)
+}
+
+val default : ?num_layers:int -> unit -> t
+(** An industrial-flavour stack.  [num_layers] defaults to 8 and must be at
+    least 2; directions alternate starting with [Horizontal] on metal 1. *)
+
+val num_layers : t -> int
+
+val layer_dir : t -> int -> dir
+(** Direction of layer [l].  @raise Invalid_argument if out of range. *)
+
+val unit_r : t -> int -> float
+
+val unit_c : t -> int -> float
+
+val via_r_span : t -> lo:int -> hi:int -> float
+(** Total via resistance of a stacked via from layer [lo] up to layer [hi]
+    (sum of [via_r] over crossings); 0 when [lo = hi].
+    @raise Invalid_argument when [lo > hi] or out of range. *)
+
+val layers_of_dir : t -> dir -> int list
+(** Indices of the layers routable in the given direction, ascending. *)
+
+val via_per_boundary : t -> cap_e0:int -> cap_e1:int -> int
+(** Eqn (1): via capacity through one tile at one layer boundary, given the
+    available routing capacities of the two incident edges on that layer. *)

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Array Cpla_numeric Float List Simplex

@@ -1,0 +1,1 @@
+lib/ilp/solver.ml: Array Cpla_numeric Cpla_util Float List Model Simplex Stack

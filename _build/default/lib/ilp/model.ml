@@ -1,0 +1,52 @@
+open Cpla_numeric
+
+type t = {
+  objective : float array;
+  rows : (float array * Simplex.relation * float) array;
+  binary : bool array;
+}
+
+let create ~objective ~rows ~binary =
+  let n = Array.length objective in
+  if Array.length binary <> n then invalid_arg "Model.create: binary flags length mismatch";
+  List.iter
+    (fun (coeffs, _, _) ->
+      if Array.length coeffs <> n then invalid_arg "Model.create: ragged row")
+    rows;
+  { objective; rows = Array.of_list rows; binary }
+
+let num_vars t = Array.length t.objective
+
+let relaxation t =
+  let n = num_vars t in
+  let bound_rows =
+    Array.to_list t.binary
+    |> List.mapi (fun i b -> (i, b))
+    |> List.filter_map (fun (i, b) ->
+           if b then begin
+             let row = Array.make n 0.0 in
+             row.(i) <- 1.0;
+             Some (row, Simplex.Le, 1.0)
+           end
+           else None)
+  in
+  { Simplex.objective = t.objective; rows = Array.append t.rows (Array.of_list bound_rows) }
+
+let value t x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i c -> acc := !acc +. (c *. x.(i))) t.objective;
+  !acc
+
+let integral ?(tol = 1e-6) t x =
+  let ok = ref true in
+  Array.iteri
+    (fun i b ->
+      if b then begin
+        let v = x.(i) in
+        if Float.abs (v -. Float.round v) > tol then ok := false
+      end)
+    t.binary;
+  !ok
+
+let check ?(tol = 1e-6) t x =
+  integral ~tol t x && Simplex.feasible ~tol (relaxation t) x

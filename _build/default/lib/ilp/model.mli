@@ -1,0 +1,34 @@
+(** Mixed 0/1 integer linear program container.
+
+    minimise cᵀx  subject to  a_k x (≤|≥|=) b_k,  x ≥ 0,
+    x_i ∈ {0,1} for every i with [binary.(i)].
+
+    Continuous variables (such as the via-overflow variable V_o of the
+    relaxed constraint (4d)) are allowed alongside the binaries. *)
+
+type t = {
+  objective : float array;
+  rows : (float array * Cpla_numeric.Simplex.relation * float) array;
+  binary : bool array;  (** same length as [objective] *)
+}
+
+val create :
+  objective:float array ->
+  rows:(float array * Cpla_numeric.Simplex.relation * float) list ->
+  binary:bool array ->
+  t
+(** @raise Invalid_argument on length mismatches. *)
+
+val num_vars : t -> int
+
+val relaxation : t -> Cpla_numeric.Simplex.problem
+(** LP relaxation: drops integrality and adds [x_i ≤ 1] rows for binaries. *)
+
+val value : t -> float array -> float
+(** Objective value of a point. *)
+
+val integral : ?tol:float -> t -> float array -> bool
+(** Whether every binary variable is within [tol] (default 1e-6) of 0 or 1. *)
+
+val check : ?tol:float -> t -> float array -> bool
+(** Feasibility including integrality. *)

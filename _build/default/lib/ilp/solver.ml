@@ -1,0 +1,113 @@
+open Cpla_numeric
+
+type options = {
+  max_nodes : int;
+  time_limit_s : float;
+  gap_tol : float;
+}
+
+let default_options = { max_nodes = 5000; time_limit_s = 30.0; gap_tol = 1e-6 }
+
+type outcome = {
+  x : float array;
+  objective : float;
+  proven_optimal : bool;
+  nodes_explored : int;
+}
+
+(* A node is a set of fixed binaries. *)
+type node = (int * float) list
+
+let fixing_rows n (fixes : node) =
+  List.map
+    (fun (i, v) ->
+      let row = Array.make n 0.0 in
+      row.(i) <- 1.0;
+      (row, Simplex.Eq, v))
+    fixes
+
+let most_fractional model x fixes =
+  let fixed = List.map fst fixes in
+  let best = ref (-1) and best_frac = ref 0.0 in
+  Array.iteri
+    (fun i b ->
+      if b && not (List.mem i fixed) then begin
+        let f = Float.abs (x.(i) -. Float.round x.(i)) in
+        if f > !best_frac +. 1e-9 then begin
+          best_frac := f;
+          best := i
+        end
+      end)
+    model.Model.binary;
+  if !best_frac > 1e-6 then Some !best else None
+
+(* Round every binary to the nearest integer and keep continuous values;
+   feasible roundings give quick incumbents. *)
+let rounded model x =
+  Array.mapi
+    (fun i v -> if model.Model.binary.(i) then Float.round v else Float.max 0.0 v)
+    x
+
+let solve ?(options = default_options) model =
+  let n = Model.num_vars model in
+  let base = Model.relaxation model in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  let start = Cpla_util.Timer.start () in
+  let proven = ref true in
+  let budget_left () =
+    !nodes < options.max_nodes && Cpla_util.Timer.elapsed_s start < options.time_limit_s
+  in
+  let offer x =
+    if Model.check model x then begin
+      let obj = Model.value model x in
+      if obj < !incumbent_obj then begin
+        incumbent_obj := obj;
+        incumbent := Some (Array.copy x)
+      end
+    end
+  in
+  let stack = Stack.create () in
+  Stack.push [] stack;
+  while not (Stack.is_empty stack) do
+    if not (budget_left ()) then begin
+      proven := false;
+      Stack.clear stack
+    end
+    else begin
+      let fixes = Stack.pop stack in
+      incr nodes;
+      let problem =
+        { base with Simplex.rows = Array.append base.Simplex.rows (Array.of_list (fixing_rows n fixes)) }
+      in
+      match Simplex.solve problem with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded ->
+          (* A bounded 0/1 model cannot be unbounded unless continuous
+             variables are; treat as a dead branch. *)
+          ()
+      | Simplex.Iteration_limit -> proven := false
+      | Simplex.Optimal sol ->
+          if sol.Simplex.objective >= !incumbent_obj -. options.gap_tol then ()
+          else begin
+            offer (rounded model sol.Simplex.x);
+            match most_fractional model sol.Simplex.x fixes with
+            | None ->
+                (* integral on all binaries *)
+                offer sol.Simplex.x
+            | Some i ->
+                let v = sol.Simplex.x.(i) in
+                let first = Float.round v in
+                let second = 1.0 -. first in
+                (* push the less promising branch first so DFS explores the
+                   rounding-preferred side next *)
+                Stack.push ((i, second) :: fixes) stack;
+                Stack.push ((i, first) :: fixes) stack
+          end
+    end
+  done;
+  match !incumbent with
+  | None -> None
+  | Some x ->
+      Some { x; objective = !incumbent_obj; proven_optimal = !proven; nodes_explored = !nodes }

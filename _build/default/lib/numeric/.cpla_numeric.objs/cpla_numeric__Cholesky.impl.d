@@ -1,0 +1,1 @@
+lib/numeric/cholesky.ml: Array Float Mat

@@ -1,0 +1,1 @@
+lib/numeric/cholesky.mli: Mat Vec

@@ -1,0 +1,1 @@
+lib/numeric/lbfgs.ml: Array List Vec

@@ -1,0 +1,55 @@
+exception Not_positive_definite of int
+
+let factor a =
+  if a.Mat.rows <> a.Mat.cols then invalid_arg "Cholesky.factor: square matrix required";
+  let n = a.Mat.rows in
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let s = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      s := !s -. (Mat.get l j k *. Mat.get l j k)
+    done;
+    if !s <= 1e-14 then raise (Not_positive_definite j);
+    let diag = sqrt !s in
+    Mat.set l j j diag;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      Mat.set l i j (!s /. diag)
+    done
+  done;
+  l
+
+let solve a b =
+  let n = a.Mat.rows in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let l = factor a in
+  (* forward substitution: l y = b *)
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  (* back substitution: lᵀ x = y *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (Mat.get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get l i i
+  done;
+  x
+
+let is_psd ?(shift = 1e-9) a =
+  let n = a.Mat.rows in
+  let scale = Float.max 1.0 (Mat.frobenius a) in
+  let shifted = Mat.init n n (fun i j -> Mat.get a i j +. if i = j then shift *. scale else 0.0) in
+  match factor shifted with
+  | (_ : Mat.t) -> true
+  | exception Not_positive_definite _ -> false

@@ -1,0 +1,21 @@
+(** Cholesky factorisation and positive-definite solves.
+
+    Used by the SDP solver tests to certify positive semidefiniteness of
+    recovered moment matrices, and by the least-squares refinement steps. *)
+
+exception Not_positive_definite of int
+(** Raised with the offending pivot index when the input is not (numerically)
+    positive definite. *)
+
+val factor : Mat.t -> Mat.t
+(** [factor a] returns the lower-triangular [l] with [l lᵀ = a].  The input
+    must be symmetric; only the lower triangle is read.
+    @raise Not_positive_definite if a pivot falls below a small tolerance. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve a b] solves [a x = b] for symmetric positive-definite [a] via
+    [factor]. *)
+
+val is_psd : ?shift:float -> Mat.t -> bool
+(** [is_psd a] tests positive semidefiniteness by attempting a factorisation
+    of [a + shift·I] (default shift [1e-9] to absorb round-off). *)

@@ -1,0 +1,77 @@
+let off_diagonal_norm a =
+  let n = a.Mat.rows in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      acc := !acc +. (2.0 *. Mat.get a i j *. Mat.get a i j)
+    done
+  done;
+  sqrt !acc
+
+(* One Jacobi rotation zeroing a.(p).(q), accumulating the rotation in v. *)
+let rotate a v p q =
+  let apq = Mat.get a p q in
+  if Float.abs apq > 0.0 then begin
+    let app = Mat.get a p p and aqq = Mat.get a q q in
+    let theta = (aqq -. app) /. (2.0 *. apq) in
+    let t =
+      let sign = if theta >= 0.0 then 1.0 else -1.0 in
+      sign /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+    in
+    let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+    let s = t *. c in
+    let n = a.Mat.rows in
+    for k = 0 to n - 1 do
+      let akp = Mat.get a k p and akq = Mat.get a k q in
+      Mat.set a k p ((c *. akp) -. (s *. akq));
+      Mat.set a k q ((s *. akp) +. (c *. akq))
+    done;
+    for k = 0 to n - 1 do
+      let apk = Mat.get a p k and aqk = Mat.get a q k in
+      Mat.set a p k ((c *. apk) -. (s *. aqk));
+      Mat.set a q k ((s *. apk) +. (c *. aqk))
+    done;
+    for k = 0 to n - 1 do
+      let vkp = Mat.get v k p and vkq = Mat.get v k q in
+      Mat.set v k p ((c *. vkp) -. (s *. vkq));
+      Mat.set v k q ((s *. vkp) +. (c *. vkq))
+    done
+  end
+
+let decompose ?(max_sweeps = 64) ?(tol = 1e-11) a0 =
+  if a0.Mat.rows <> a0.Mat.cols then invalid_arg "Eigen.decompose: square matrix required";
+  let n = a0.Mat.rows in
+  let a = Mat.copy a0 in
+  Mat.symmetrize a;
+  let v = Mat.identity n in
+  let scale = Float.max 1.0 (Mat.frobenius a) in
+  let sweep = ref 0 in
+  while !sweep < max_sweeps && off_diagonal_norm a > tol *. scale do
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        rotate a v p q
+      done
+    done;
+    incr sweep
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (Mat.get a i i) (Mat.get a j j)) order;
+  let w = Array.map (fun i -> Mat.get a i i) order in
+  let vs = Mat.init n n (fun i j -> Mat.get v i order.(j)) in
+  (w, vs)
+
+let min_eigenvalue a =
+  let w, _ = decompose a in
+  if Array.length w = 0 then 0.0 else w.(0)
+
+let project_psd a =
+  let n = a.Mat.rows in
+  let w, v = decompose a in
+  let clipped = Array.map (fun x -> Float.max x 0.0) w in
+  (* v diag(clipped) vᵀ *)
+  Mat.init n n (fun i j ->
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Mat.get v i k *. clipped.(k) *. Mat.get v j k)
+      done;
+      !acc)

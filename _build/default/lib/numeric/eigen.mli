@@ -1,0 +1,18 @@
+(** Symmetric eigendecomposition by the cyclic Jacobi method.
+
+    The SDP solver's optimality check and the PSD projection used in tests
+    need full spectra of moderate-size symmetric matrices; Jacobi is robust
+    and simple at these sizes (n ≲ 500). *)
+
+val decompose : ?max_sweeps:int -> ?tol:float -> Mat.t -> Vec.t * Mat.t
+(** [decompose a] returns [(eigenvalues, v)] with columns of [v] the
+    corresponding orthonormal eigenvectors, so that [a = v diag(w) vᵀ].
+    Eigenvalues are sorted ascending.  The input must be symmetric (only
+    checked loosely); it is not modified. *)
+
+val min_eigenvalue : Mat.t -> float
+(** Smallest eigenvalue of a symmetric matrix. *)
+
+val project_psd : Mat.t -> Mat.t
+(** Nearest (Frobenius) positive-semidefinite matrix: negative eigenvalues
+    clipped to zero. *)

@@ -1,0 +1,26 @@
+(** Limited-memory BFGS minimisation.
+
+    The inner solver of the Burer–Monteiro SDP engine: minimises a smooth
+    unconstrained objective given a value-and-gradient oracle.  Two-loop
+    recursion with Armijo backtracking; deterministic, allocation-light. *)
+
+type result = {
+  x : Vec.t;          (** minimiser found *)
+  f : float;          (** objective at [x] *)
+  grad_norm : float;  (** infinity norm of the gradient at [x] *)
+  iterations : int;   (** outer iterations performed *)
+  converged : bool;   (** gradient tolerance reached before iteration cap *)
+}
+
+val minimize :
+  ?memory:int ->
+  ?max_iter:int ->
+  ?grad_tol:float ->
+  f:(Vec.t -> float * Vec.t) ->
+  Vec.t ->
+  result
+(** [minimize ~f x0] minimises [f] starting at [x0].  [f x] must return the
+    objective value and a freshly allocated gradient.  [memory] is the number
+    of curvature pairs retained (default 8); [grad_tol] is the stopping
+    threshold on the gradient infinity norm (default 1e-6); [max_iter]
+    defaults to 500.  [x0] is not modified. *)

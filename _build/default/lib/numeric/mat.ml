@@ -1,0 +1,101 @@
+type t = { rows : int; cols : int; data : float array array }
+
+let create rows cols = { rows; cols; data = Array.make_matrix rows cols 0.0 }
+
+let init rows cols f =
+  { rows; cols; data = Array.init rows (fun i -> Array.init cols (fun j -> f i j)) }
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let copy a = { a with data = Array.map Array.copy a.data }
+
+let get a i j = a.data.(i).(j)
+
+let set a i j v = a.data.(i).(j) <- v
+
+let transpose a = init a.cols a.rows (fun i j -> a.data.(j).(i))
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    let ai = a.data.(i) and ci = c.data.(i) in
+    for k = 0 to a.cols - 1 do
+      let aik = ai.(k) in
+      if aik <> 0.0 then begin
+        let bk = b.data.(k) in
+        for j = 0 to b.cols - 1 do
+          ci.(j) <- ci.(j) +. (aik *. bk.(j))
+        done
+      end
+    done
+  done;
+  c
+
+let mul_vec a x =
+  if a.cols <> Array.length x then invalid_arg "Mat.mul_vec: dimension mismatch";
+  Array.init a.rows (fun i -> Vec.dot a.data.(i) x)
+
+let mul_tvec a x =
+  if a.rows <> Array.length x then invalid_arg "Mat.mul_tvec: dimension mismatch";
+  let y = Array.make a.cols 0.0 in
+  for i = 0 to a.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then begin
+      let ai = a.data.(i) in
+      for j = 0 to a.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. ai.(j))
+      done
+    end
+  done;
+  y
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: dimension mismatch";
+  init a.rows a.cols (fun i j -> a.data.(i).(j) +. b.data.(i).(j))
+
+let scale alpha a =
+  for i = 0 to a.rows - 1 do
+    Vec.scale alpha a.data.(i)
+  done
+
+let frobenius a =
+  let acc = ref 0.0 in
+  for i = 0 to a.rows - 1 do
+    for j = 0 to a.cols - 1 do
+      acc := !acc +. (a.data.(i).(j) *. a.data.(i).(j))
+    done
+  done;
+  sqrt !acc
+
+let symmetrize a =
+  if a.rows <> a.cols then invalid_arg "Mat.symmetrize: square matrix required";
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      let v = 0.5 *. (a.data.(i).(j) +. a.data.(j).(i)) in
+      a.data.(i).(j) <- v;
+      a.data.(j).(i) <- v
+    done
+  done
+
+let is_symmetric ?(tol = 1e-9) a =
+  a.rows = a.cols
+  &&
+  let ok = ref true in
+  for i = 0 to a.rows - 1 do
+    for j = i + 1 to a.cols - 1 do
+      if Float.abs (a.data.(i).(j) -. a.data.(j).(i)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let pp fmt a =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to a.rows - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to a.cols - 1 do
+      Format.fprintf fmt "%10.4f " a.data.(i).(j)
+    done;
+    Format.fprintf fmt "@]@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,46 @@
+(** Dense row-major matrices.
+
+    Sized for the partitioned subproblems of the layer-assignment solvers
+    (hundreds of rows/columns), so a simple [float array array] layout is
+    both fast enough and easy to audit. *)
+
+type t = { rows : int; cols : int; data : float array array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val identity : int -> t
+
+val copy : t -> t
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product.  Raises [Invalid_argument] on dimension mismatch. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec a x] is [a x]. *)
+
+val mul_tvec : t -> Vec.t -> Vec.t
+(** [mul_tvec a x] is [aᵀ x] without materialising the transpose. *)
+
+val add : t -> t -> t
+
+val scale : float -> t -> unit
+(** In place. *)
+
+val frobenius : t -> float
+(** Frobenius norm. *)
+
+val symmetrize : t -> unit
+(** [a <- (a + aᵀ)/2] in place; requires a square matrix. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val pp : Format.formatter -> t -> unit

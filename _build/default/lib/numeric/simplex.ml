@@ -1,0 +1,245 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  objective : float array;
+  rows : (float array * relation * float) array;
+}
+
+type solution = { x : float array; objective : float; iterations : int }
+
+type status = Optimal of solution | Infeasible | Unbounded | Iteration_limit
+
+let eps = 1e-9
+
+(* The tableau keeps B⁻¹A in [t] (m rows, [ncols] columns) with the rhs in
+   [rhs]; [basis.(i)] is the column basic in row i.  Columns are laid out as
+   structural variables, then slack/surplus, then artificials. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  t : float array array;
+  rhs : float array;
+  basis : int array;
+  artificial_from : int; (* columns >= this are artificial *)
+}
+
+let build (problem : problem) =
+  let n = Array.length problem.objective in
+  Array.iter
+    (fun (coeffs, _, _) ->
+      if Array.length coeffs <> n then invalid_arg "Simplex.solve: ragged row")
+    problem.rows;
+  let m = Array.length problem.rows in
+  (* Normalise to non-negative rhs. *)
+  let rows =
+    Array.map
+      (fun (coeffs, rel, b) ->
+        if b < 0.0 then
+          ( Array.map (fun v -> -.v) coeffs,
+            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (Array.copy coeffs, rel, b))
+      problem.rows
+  in
+  let n_slack = Array.fold_left (fun a (_, rel, _) -> match rel with Eq -> a | Le | Ge -> a + 1) 0 rows in
+  let n_art = Array.fold_left (fun a (_, rel, _) -> match rel with Le -> a | Ge | Eq -> a + 1) 0 rows in
+  let ncols = n + n_slack + n_art in
+  let t = Array.make_matrix m ncols 0.0 in
+  let rhs = Array.make m 0.0 in
+  let basis = Array.make m (-1) in
+  let slack = ref n and art = ref (n + n_slack) in
+  Array.iteri
+    (fun i (coeffs, rel, b) ->
+      Array.blit coeffs 0 t.(i) 0 n;
+      rhs.(i) <- b;
+      (match rel with
+      | Le ->
+          t.(i).(!slack) <- 1.0;
+          basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          t.(i).(!slack) <- -1.0;
+          incr slack;
+          t.(i).(!art) <- 1.0;
+          basis.(i) <- !art;
+          incr art
+      | Eq ->
+          t.(i).(!art) <- 1.0;
+          basis.(i) <- !art;
+          incr art))
+    rows;
+  { m; ncols; t; rhs; basis; artificial_from = n + n_slack }
+
+let pivot tab ~row ~col =
+  let p = tab.t.(row).(col) in
+  let trow = tab.t.(row) in
+  let inv = 1.0 /. p in
+  for j = 0 to tab.ncols - 1 do
+    trow.(j) <- trow.(j) *. inv
+  done;
+  tab.rhs.(row) <- tab.rhs.(row) *. inv;
+  for i = 0 to tab.m - 1 do
+    if i <> row then begin
+      let factor = tab.t.(i).(col) in
+      if Float.abs factor > 0.0 then begin
+        let ti = tab.t.(i) in
+        for j = 0 to tab.ncols - 1 do
+          ti.(j) <- ti.(j) -. (factor *. trow.(j))
+        done;
+        tab.rhs.(i) <- tab.rhs.(i) -. (factor *. tab.rhs.(row))
+      end
+    end
+  done;
+  tab.basis.(row) <- col
+
+(* Reduced costs for cost vector [c] (length ncols) under the current basis:
+   c̄_j = c_j − Σ_i c_{B(i)} · t_{ij}. *)
+let reduced_costs tab c =
+  let cb = Array.map (fun b -> c.(b)) tab.basis in
+  let rc = Array.copy c in
+  for i = 0 to tab.m - 1 do
+    let cbi = cb.(i) in
+    if Float.abs cbi > 0.0 then begin
+      let ti = tab.t.(i) in
+      for j = 0 to tab.ncols - 1 do
+        rc.(j) <- rc.(j) -. (cbi *. ti.(j))
+      done
+    end
+  done;
+  rc
+
+let objective_value tab c =
+  let acc = ref 0.0 in
+  for i = 0 to tab.m - 1 do
+    acc := !acc +. (c.(tab.basis.(i)) *. tab.rhs.(i))
+  done;
+  !acc
+
+(* Run simplex iterations on cost vector [c]; [blocked.(j)] columns may not
+   enter the basis.  Returns [`Optimal], [`Unbounded] or [`Limit]. *)
+let iterate tab c blocked pivots max_pivots =
+  let degenerate_run = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !pivots >= max_pivots then result := Some `Limit
+    else begin
+      let rc = reduced_costs tab c in
+      (* Entering column: Dantzig (most negative) normally, Bland (first
+         negative) once degeneracy persists, to guarantee termination. *)
+      let enter = ref (-1) in
+      if !degenerate_run > 2 * tab.m then begin
+        (try
+           for j = 0 to tab.ncols - 1 do
+             if (not blocked.(j)) && rc.(j) < -.eps then begin
+               enter := j;
+               raise Exit
+             end
+           done
+         with Exit -> ())
+      end
+      else begin
+        let best = ref (-.eps) in
+        for j = 0 to tab.ncols - 1 do
+          if (not blocked.(j)) && rc.(j) < !best then begin
+            best := rc.(j);
+            enter := j
+          end
+        done
+      end;
+      if !enter < 0 then result := Some `Optimal
+      else begin
+        let col = !enter in
+        let leave = ref (-1) and best_ratio = ref infinity in
+        for i = 0 to tab.m - 1 do
+          let a = tab.t.(i).(col) in
+          if a > eps then begin
+            let ratio = tab.rhs.(i) /. a in
+            if
+              ratio < !best_ratio -. eps
+              || (ratio < !best_ratio +. eps && (!leave < 0 || tab.basis.(i) < tab.basis.(!leave)))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then result := Some `Unbounded
+        else begin
+          if !best_ratio < eps then incr degenerate_run else degenerate_run := 0;
+          pivot tab ~row:!leave ~col;
+          incr pivots
+        end
+      end
+    end
+  done;
+  match !result with Some r -> r | None -> assert false
+
+let extract tab n =
+  let x = Array.make n 0.0 in
+  for i = 0 to tab.m - 1 do
+    if tab.basis.(i) < n then x.(tab.basis.(i)) <- tab.rhs.(i)
+  done;
+  x
+
+let solve ?(max_pivots = 20000) (problem : problem) =
+  let n = Array.length problem.objective in
+  let tab = build problem in
+  let pivots = ref 0 in
+  let blocked = Array.make tab.ncols false in
+  (* Phase 1: minimise the sum of artificials. *)
+  let phase1_cost = Array.make tab.ncols 0.0 in
+  for j = tab.artificial_from to tab.ncols - 1 do
+    phase1_cost.(j) <- 1.0
+  done;
+  let has_artificials = tab.artificial_from < tab.ncols in
+  let phase1 =
+    if has_artificials then iterate tab phase1_cost blocked pivots max_pivots else `Optimal
+  in
+  match phase1 with
+  | `Limit -> Iteration_limit
+  | `Unbounded -> Infeasible (* phase-1 objective is bounded below by 0 *)
+  | `Optimal ->
+      if has_artificials && objective_value tab phase1_cost > 1e-6 then Infeasible
+      else begin
+        (* Drive any artificial still basic (at zero) out of the basis. *)
+        for i = 0 to tab.m - 1 do
+          if tab.basis.(i) >= tab.artificial_from then begin
+            let found = ref (-1) in
+            (try
+               for j = 0 to tab.artificial_from - 1 do
+                 if Float.abs tab.t.(i).(j) > eps then begin
+                   found := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !found >= 0 then pivot tab ~row:i ~col:!found
+            (* else: redundant row; the artificial stays basic at zero and is
+               blocked from moving, which is harmless. *)
+          end
+        done;
+        for j = tab.artificial_from to tab.ncols - 1 do
+          blocked.(j) <- true
+        done;
+        let phase2_cost = Array.make tab.ncols 0.0 in
+        Array.blit problem.objective 0 phase2_cost 0 n;
+        match iterate tab phase2_cost blocked pivots max_pivots with
+        | `Limit -> Iteration_limit
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+            let x = extract tab n in
+            Optimal { x; objective = objective_value tab phase2_cost; iterations = !pivots }
+      end
+
+let feasible ?(tol = 1e-6) (problem : problem) x =
+  Array.length x = Array.length problem.objective
+  && Array.for_all (fun v -> v >= -.tol) x
+  && Array.for_all
+       (fun (coeffs, rel, b) ->
+         let lhs = ref 0.0 in
+         Array.iteri (fun i c -> lhs := !lhs +. (c *. x.(i))) coeffs;
+         match rel with
+         | Le -> !lhs <= b +. tol
+         | Ge -> !lhs >= b -. tol
+         | Eq -> Float.abs (!lhs -. b) <= tol)
+       problem.rows

@@ -1,0 +1,41 @@
+(** Dense two-phase primal simplex.
+
+    Linear-programming substrate for the branch-and-bound ILP solver that
+    replaces GUROBI in this reproduction.  Solves
+
+      minimise cᵀx  subject to  a_k x (≤ | ≥ | =) b_k,  x ≥ 0.
+
+    Dense tableau implementation with Bland's anti-cycling rule engaged
+    after a run of degenerate pivots; sized for the partitioned
+    layer-assignment subproblems (hundreds of rows and columns). *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  objective : float array;  (** cost vector [c]; length fixes the variable count *)
+  rows : (float array * relation * float) array;
+      (** each row is [(coefficients, relation, rhs)]; coefficient arrays must
+          match the objective length *)
+}
+
+type solution = {
+  x : float array;     (** primal optimum *)
+  objective : float;   (** cᵀx at the optimum *)
+  iterations : int;    (** total pivots over both phases *)
+}
+
+type status =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve : ?max_pivots:int -> problem -> status
+(** Solve the LP.  [max_pivots] (default 20000) bounds total pivots across
+    both phases; hitting it yields [Iteration_limit].
+    @raise Invalid_argument on ragged coefficient rows. *)
+
+val feasible : ?tol:float -> problem -> float array -> bool
+(** [feasible p x] checks [x] against every row of [p] and non-negativity,
+    within [tol] (default 1e-6).  Used by tests and by branch-and-bound to
+    validate incumbents. *)

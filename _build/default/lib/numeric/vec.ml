@@ -1,0 +1,45 @@
+type t = float array
+
+let create n = Array.make n 0.0
+
+let init = Array.init
+
+let copy = Array.copy
+
+let check_len a b name =
+  if Array.length a <> Array.length b then invalid_arg ("Vec." ^ name ^ ": length mismatch")
+
+let dot x y =
+  check_len x y "dot";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun a v -> Float.max a (Float.abs v)) 0.0 x
+
+let axpy ~alpha x y =
+  check_len x y "axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale alpha x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let add x y =
+  check_len x y "add";
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_len x y "sub";
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let map2 f x y =
+  check_len x y "map2";
+  Array.init (Array.length x) (fun i -> f x.(i) y.(i))

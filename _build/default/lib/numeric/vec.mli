@@ -1,0 +1,37 @@
+(** Dense float vectors.
+
+    Thin wrappers over [float array] providing the handful of BLAS-1 style
+    operations the solvers need; all operations are bounds-checked through
+    the array primitives and allocate only where documented. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector of the given length. *)
+
+val init : int -> (int -> float) -> t
+
+val copy : t -> t
+
+val dot : t -> t -> float
+(** Inner product.  Raises [Invalid_argument] on length mismatch. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+(** Maximum absolute entry; 0 on the empty vector. *)
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] sets [y <- alpha*x + y] in place. *)
+
+val scale : float -> t -> unit
+(** In-place scalar multiply. *)
+
+val add : t -> t -> t
+(** Fresh [x + y]. *)
+
+val sub : t -> t -> t
+(** Fresh [x - y]. *)
+
+val map2 : (float -> float -> float) -> t -> t -> t

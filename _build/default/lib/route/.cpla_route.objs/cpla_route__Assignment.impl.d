@@ -1,0 +1,1 @@
+lib/route/assignment.ml: Array Cpla_grid Graph Hashtbl List Net Option Printf Segment Stree Tech

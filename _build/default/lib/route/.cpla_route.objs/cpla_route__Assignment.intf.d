@@ -1,0 +1,1 @@
+lib/route/assignment.mli: Cpla_grid Net Segment Stree

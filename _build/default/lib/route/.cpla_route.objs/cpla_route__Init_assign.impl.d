@@ -1,0 +1,1 @@
+lib/route/init_assign.ml: Array Assignment Cpla_grid Graph Net Segment Tech Tree_dp

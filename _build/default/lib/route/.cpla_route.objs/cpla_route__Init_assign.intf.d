@@ -1,0 +1,1 @@
+lib/route/init_assign.mli: Assignment

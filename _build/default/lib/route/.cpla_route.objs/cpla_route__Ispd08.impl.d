@@ -1,0 +1,1 @@
+lib/route/ispd08.ml: Array Buffer Cpla_grid Graph List Net Printf String Tech

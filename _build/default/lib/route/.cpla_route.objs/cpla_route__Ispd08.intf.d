@@ -1,0 +1,1 @@
+lib/route/ispd08.mli: Cpla_grid Net

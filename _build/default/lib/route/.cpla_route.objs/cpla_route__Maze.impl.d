@@ -1,0 +1,1 @@
+lib/route/maze.ml: Array Cpla_grid Cpla_util Graph List Tech

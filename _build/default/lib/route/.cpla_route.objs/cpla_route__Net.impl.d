@@ -1,0 +1,1 @@
+lib/route/net.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Cpla_grid Graph Hashtbl List Maze Net Steiner Stree Tech

@@ -1,0 +1,1 @@
+lib/route/router.mli: Cpla_grid Net Stree

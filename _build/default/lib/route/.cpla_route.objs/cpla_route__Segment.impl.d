@@ -1,0 +1,1 @@
+lib/route/segment.ml: Array Cpla_grid Graph List Stree Tech

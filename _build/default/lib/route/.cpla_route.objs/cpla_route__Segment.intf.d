@@ -1,0 +1,1 @@
+lib/route/segment.mli: Cpla_grid Stree

@@ -1,0 +1,1 @@
+lib/route/solution.ml: Array Assignment Buffer Hashtbl List Net Printf Scanf Segment Stree String

@@ -1,0 +1,1 @@
+lib/route/steiner.ml: Array Hashtbl List Option

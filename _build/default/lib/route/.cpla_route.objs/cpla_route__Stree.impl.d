@@ -1,0 +1,1 @@
+lib/route/stree.ml: Array Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/route/synth.ml: Array Cpla_grid Cpla_util Float Graph List Net Printf Rng Tech

@@ -1,0 +1,1 @@
+lib/route/synth.mli: Cpla_grid Net

@@ -1,0 +1,1 @@
+lib/route/tree_dp.ml: Array List Stack Stree

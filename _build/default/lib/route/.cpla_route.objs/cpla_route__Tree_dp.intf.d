@@ -1,0 +1,1 @@
+lib/route/tree_dp.mli: Stree

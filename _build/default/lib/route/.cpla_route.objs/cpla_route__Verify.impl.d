@@ -1,0 +1,1 @@
+lib/route/verify.ml: Array Assignment Cpla_grid Format Graph List Net Printf Segment Stree Tech

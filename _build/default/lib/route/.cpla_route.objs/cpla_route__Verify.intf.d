@@ -1,0 +1,1 @@
+lib/route/verify.mli: Assignment Cpla_grid Format Net

@@ -1,0 +1,45 @@
+open Cpla_grid
+
+(* [free] is the remaining capacity *after* the candidate wire is added. *)
+let congestion_penalty ~free =
+  if free < 0 then 1000.0 +. (100.0 *. float_of_int (-free))
+  else if free = 0 then 8.0
+  else if free = 1 then 2.0
+  else 0.0
+
+let assign_net asg net_idx =
+  match Assignment.tree asg net_idx with
+  | None -> ()
+  | Some tree ->
+      let graph = Assignment.graph asg in
+      let tech = Assignment.tech asg in
+      Assignment.unassign_net asg net_idx;
+      let segs = Assignment.segments asg net_idx in
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let candidates seg = Tech.layers_of_dir tech segs.(seg).Segment.dir in
+      let seg_cost seg l =
+        Array.fold_left
+          (fun acc e -> acc +. congestion_penalty ~free:(Graph.free graph e ~layer:l - 1))
+          0.0 segs.(seg).Segment.edges
+      in
+      (* Via cost: one unit per layer crossed — pure via-count minimisation,
+         independent of the node (congestion on vias is handled by CPLA). *)
+      let via_cost ~node:_ a b = float_of_int (abs (a - b)) in
+      let pins_at node = Assignment.pin_layers_at asg ~net:net_idx ~node in
+      let chosen = Tree_dp.solve ~tree ~node_to_seg ~pins_at ~candidates ~seg_cost ~via_cost in
+      Array.iteri (fun seg layer -> Assignment.set_layer asg ~net:net_idx ~seg ~layer) chosen
+
+let run ?(order = `Hpwl_ascending) asg =
+  let n = Assignment.num_nets asg in
+  let keyed = Array.init n (fun i -> (Net.hpwl (Assignment.net asg i), i)) in
+  Array.sort compare keyed;
+  (match order with
+  | `Hpwl_ascending -> ()
+  | `Hpwl_descending ->
+      let len = Array.length keyed in
+      for i = 0 to (len / 2) - 1 do
+        let tmp = keyed.(i) in
+        keyed.(i) <- keyed.(len - 1 - i);
+        keyed.(len - 1 - i) <- tmp
+      done);
+  Array.iter (fun (_, i) -> assign_net asg i) keyed

@@ -1,0 +1,18 @@
+(** Initial (timing-oblivious) layer assignment.
+
+    Net-by-net dynamic programming in the style of the congestion-constrained
+    via-minimisation works the paper cites ([5], [6]): each net's segments
+    are assigned to minimise via count plus a congestion penalty that rises
+    steeply as edge-layer capacity fills, so the result is (near-)legal and
+    leaves headroom on high layers.  This produces the "initial routing and
+    layer assignment" input of Problem 1 (CPLA). *)
+
+val run : ?order:[ `Hpwl_ascending | `Hpwl_descending ] -> Assignment.t -> unit
+(** Assign every segment of every net.  Existing assignments are released
+    first.  Default order is [`Hpwl_ascending] (small nets first, mirroring
+    the router). *)
+
+val congestion_penalty : free:int -> float
+(** The per-edge penalty schedule (exposed for tests): 0 when plenty of
+    capacity remains, rising steeply near saturation, very large once the
+    edge would overflow. *)

@@ -1,0 +1,62 @@
+type point = int * int
+
+open Cpla_grid
+
+let route ~width ~height ~cost ~sources ~targets =
+  if sources = [] || targets = [] then None
+  else begin
+    let idx (x, y) = (y * width) + x in
+    let dist = Array.make (width * height) infinity in
+    let prev = Array.make (width * height) (-1) in
+    let target_set = Array.make (width * height) false in
+    List.iter (fun p -> target_set.(idx p) <- true) targets;
+    let heap = Cpla_util.Heap.create () in
+    List.iter
+      (fun p ->
+        dist.(idx p) <- 0.0;
+        Cpla_util.Heap.push heap 0.0 p)
+      sources;
+    let found = ref None in
+    let continue = ref true in
+    while !continue do
+      match Cpla_util.Heap.pop_min heap with
+      | None -> continue := false
+      | Some (d, ((x, y) as p)) ->
+          if d <= dist.(idx p) then begin
+            if target_set.(idx p) then begin
+              found := Some p;
+              continue := false
+            end
+            else begin
+              let try_move nx ny edge =
+                if nx >= 0 && nx < width && ny >= 0 && ny < height then begin
+                  let c = cost edge in
+                  if c < infinity then begin
+                    let nd = d +. c in
+                    let ni = idx (nx, ny) in
+                    if nd < dist.(ni) then begin
+                      dist.(ni) <- nd;
+                      prev.(ni) <- idx p;
+                      Cpla_util.Heap.push heap nd (nx, ny)
+                    end
+                  end
+                end
+              in
+              try_move (x + 1) y { Graph.dir = Tech.Horizontal; x; y };
+              try_move (x - 1) y { Graph.dir = Tech.Horizontal; x = x - 1; y };
+              try_move x (y + 1) { Graph.dir = Tech.Vertical; x; y };
+              try_move x (y - 1) { Graph.dir = Tech.Vertical; x; y = y - 1 }
+            end
+          end
+    done;
+    match !found with
+    | None -> None
+    | Some goal ->
+        let rec walk acc i =
+          if i < 0 then acc
+          else walk ((i mod width, i / width) :: acc) prev.(i)
+        in
+        (* walk stops at a source because its prev is -1 *)
+        let path = walk [] (idx goal) in
+        Some path
+  end

@@ -1,0 +1,21 @@
+(** Dijkstra maze routing on the 2-D projection of the grid.
+
+    Fallback path search of the global router for connections whose pattern
+    (L/Z) candidates are all congested.  The cost of crossing a 2-D edge is
+    supplied by the caller, which lets the router encode congestion
+    penalties without this module knowing about capacities. *)
+
+type point = int * int
+
+val route :
+  width:int ->
+  height:int ->
+  cost:(Cpla_grid.Graph.edge2d -> float) ->
+  sources:point list ->
+  targets:point list ->
+  point list option
+(** Cheapest tile path from any source to any target; [None] when the inputs
+    are empty or disconnected (cost [infinity] blocks an edge).  The returned
+    path starts at a source and ends at a target, listing every tile visited
+    (consecutive tiles are grid neighbours).  A degenerate source=target
+    query returns the single-point path. *)

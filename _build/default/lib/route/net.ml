@@ -1,0 +1,39 @@
+type pin = {
+  px : int;
+  py : int;
+  pl : int;
+}
+
+type t = {
+  id : int;
+  name : string;
+  pins : pin array;
+}
+
+let create ~id ~name ~pins =
+  if Array.length pins < 2 then invalid_arg "Net.create: a net needs at least two pins";
+  { id; name; pins }
+
+let source t = t.pins.(0)
+
+let sinks t = Array.sub t.pins 1 (Array.length t.pins - 1)
+
+let num_pins t = Array.length t.pins
+
+let hpwl t =
+  let xs = Array.map (fun p -> p.px) t.pins in
+  let ys = Array.map (fun p -> p.py) t.pins in
+  let span a = Array.fold_left max min_int a - Array.fold_left min max_int a in
+  span xs + span ys
+
+let dedup_pins pins =
+  let seen = Hashtbl.create 16 in
+  Array.to_list pins
+  |> List.filter (fun p ->
+         let key = (p.px, p.py) in
+         if Hashtbl.mem seen key then false
+         else begin
+           Hashtbl.add seen key ();
+           true
+         end)
+  |> Array.of_list

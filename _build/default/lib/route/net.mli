@@ -1,0 +1,35 @@
+(** Nets and pins.
+
+    Pin coordinates are tile indices on the global-routing grid; [pl] is the
+    metal layer the pin sits on (0 = metal 1, where standard-cell pins live
+    in the ISPD'08 benchmarks).  The first pin of a net is its source
+    (driver); the rest are sinks. *)
+
+type pin = {
+  px : int;
+  py : int;
+  pl : int;
+}
+
+type t = {
+  id : int;       (** dense index in the design's net array *)
+  name : string;
+  pins : pin array;  (** [pins.(0)] is the source; length ≥ 2 *)
+}
+
+val create : id:int -> name:string -> pins:pin array -> t
+(** @raise Invalid_argument when fewer than two pins are given. *)
+
+val source : t -> pin
+
+val sinks : t -> pin array
+
+val num_pins : t -> int
+
+val hpwl : t -> int
+(** Half-perimeter wirelength of the pin bounding box, the classic net-size
+    estimate used to order nets for routing. *)
+
+val dedup_pins : pin array -> pin array
+(** Remove pins sharing a tile (keeping the first), preserving order.  Nets
+    whose pins collapse to a single tile should be dropped by the caller. *)

@@ -1,0 +1,294 @@
+open Cpla_grid
+
+type point = int * int
+
+type result = {
+  trees : Stree.t option array;
+  overflow_2d : int;
+  maze_routes : int;
+}
+
+(* ---- 2-D demand bookkeeping ------------------------------------------- *)
+
+type demand = {
+  graph : Graph.t;
+  h : int array; (* horizontal unit-edge demand, indexed y*(w-1)+x *)
+  v : int array; (* vertical unit-edge demand, indexed y*w+x *)
+}
+
+let make_demand graph =
+  let w = Graph.width graph and h = Graph.height graph in
+  { graph; h = Array.make ((w - 1) * h) 0; v = Array.make (w * (h - 1)) 0 }
+
+let demand_get d (e : Graph.edge2d) =
+  match e.dir with
+  | Tech.Horizontal -> d.h.((e.y * (Graph.width d.graph - 1)) + e.x)
+  | Tech.Vertical -> d.v.((e.y * Graph.width d.graph) + e.x)
+
+let demand_add d (e : Graph.edge2d) delta =
+  match e.dir with
+  | Tech.Horizontal ->
+      let i = (e.y * (Graph.width d.graph - 1)) + e.x in
+      d.h.(i) <- d.h.(i) + delta
+  | Tech.Vertical ->
+      let i = (e.y * Graph.width d.graph) + e.x in
+      d.v.(i) <- d.v.(i) + delta
+
+(* Congestion cost of crossing one 2-D edge given current demand: unit wire
+   cost plus a steeply rising penalty as demand approaches capacity, and a
+   large linear term once overflowed so the maze router detours. *)
+let edge_cost graph demand (e : Graph.edge2d) =
+  let cap = Graph.capacity_2d graph e in
+  let u = demand e in
+  if cap <= 0 then 1.0 +. 200.0
+  else begin
+    let r = float_of_int (u + 1) /. float_of_int cap in
+    if r <= 1.0 then 1.0 +. (4.0 *. (r ** 5.0))
+    else 1.0 +. 30.0 +. (20.0 *. (r -. 1.0) *. float_of_int cap)
+  end
+
+(* ---- path utilities ---------------------------------------------------- *)
+
+let unit_edges_of_path path =
+  let rec go acc = function
+    | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+        let e =
+          if y0 = y1 then { Graph.dir = Tech.Horizontal; x = min x0 x1; y = y0 }
+          else { Graph.dir = Tech.Vertical; x = x0; y = min y0 y1 }
+        in
+        go (e :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] path
+
+(* Straight-line tile walk between two points sharing a coordinate. *)
+let straight (x0, y0) (x1, y1) =
+  if x0 = x1 then begin
+    let step = if y1 >= y0 then 1 else -1 in
+    List.init (abs (y1 - y0) + 1) (fun i -> (x0, y0 + (i * step)))
+  end
+  else begin
+    let step = if x1 >= x0 then 1 else -1 in
+    List.init (abs (x1 - x0) + 1) (fun i -> (x0 + (i * step), y0))
+  end
+
+let join_paths a b =
+  (* concatenate tile paths where a ends at b's head *)
+  match b with [] -> a | _ :: tl -> a @ tl
+
+(* Candidate pattern paths from [a] to [b]: two Ls and three Zs. *)
+let pattern_paths (ax, ay) (bx, by) =
+  if ax = bx || ay = by then [ straight (ax, ay) (bx, by) ]
+  else begin
+    let l1 = join_paths (straight (ax, ay) (bx, ay)) (straight (bx, ay) (bx, by)) in
+    let l2 = join_paths (straight (ax, ay) (ax, by)) (straight (ax, by) (bx, by)) in
+    let zs =
+      List.concat_map
+        (fun frac ->
+          let mx = ax + ((bx - ax) * frac / 4) in
+          let my = ay + ((by - ay) * frac / 4) in
+          let zx =
+            if mx = ax || mx = bx then []
+            else
+              [ join_paths
+                  (join_paths (straight (ax, ay) (mx, ay)) (straight (mx, ay) (mx, by)))
+                  (straight (mx, by) (bx, by)) ]
+          in
+          let zy =
+            if my = ay || my = by then []
+            else
+              [ join_paths
+                  (join_paths (straight (ax, ay) (ax, my)) (straight (ax, my) (bx, my)))
+                  (straight (bx, my) (bx, by)) ]
+          in
+          zx @ zy)
+        [ 2; 1; 3 ]
+    in
+    l1 :: l2 :: zs
+  end
+
+let path_cost cost path =
+  List.fold_left (fun acc e -> acc +. cost e) 0.0 (unit_edges_of_path path)
+
+(* ---- per-net routing --------------------------------------------------- *)
+
+let canonical_edge (e : Graph.edge2d) = (e.dir = Tech.Horizontal, e.x, e.y)
+
+(* Connect all pin tiles of [net] into a set of unit edges using pattern
+   routing with a maze fallback.  [cost] scores a unit edge.  Returns the
+   unit-edge list (empty when all pins share a tile) and the maze-call
+   count. *)
+let build_topology ?(steiner = false) ~width ~height ~cost net =
+  let pins = Net.dedup_pins net.Net.pins in
+  let pts = Array.map (fun p -> (p.Net.px, p.Net.py)) pins in
+  (* optional topology refinement: Hanan-grid Steiner points join the pin
+     set as extra connection targets (they survive tree compression only
+     where they actually carry a junction) *)
+  let pts =
+    if steiner && Array.length pts >= 3 then
+      Array.append pts (Array.of_list (Steiner.refine (Array.to_list pts)))
+    else pts
+  in
+  if Array.length pts <= 1 then ([], 0)
+  else begin
+    let covered = Hashtbl.create 64 in
+    let edges = Hashtbl.create 64 in
+    let mazes = ref 0 in
+    let cover_path path =
+      List.iter (fun p -> Hashtbl.replace covered p ()) path;
+      List.iter
+        (fun e ->
+          let key = canonical_edge e in
+          if not (Hashtbl.mem edges key) then Hashtbl.replace edges key e)
+        (unit_edges_of_path path)
+    in
+    Hashtbl.replace covered pts.(0) ();
+    let remaining = ref (Array.to_list (Array.sub pts 1 (Array.length pts - 1))) in
+    (* Pattern path cost also rejects paths that would touch the tree before
+       their end (they are truncated at the first touch instead). *)
+    let truncate_at_tree path =
+      let rec go acc = function
+        | [] -> List.rev acc
+        | p :: rest ->
+            if Hashtbl.mem covered p then List.rev (p :: acc) else go (p :: acc) rest
+      in
+      go [] path
+    in
+    while !remaining <> [] do
+      (* nearest unconnected pin to the covered set (Manhattan) *)
+      let dist_to_tree (x, y) =
+        Hashtbl.fold (fun (cx, cy) () acc -> min acc (abs (cx - x) + abs (cy - y))) covered max_int
+      in
+      let next =
+        List.fold_left
+          (fun best p ->
+            match best with
+            | None -> Some (p, dist_to_tree p)
+            | Some (_, bd) ->
+                let d = dist_to_tree p in
+                if d < bd then Some (p, d) else best)
+          None !remaining
+      in
+      let pin, _ =
+        match next with Some v -> v | None -> assert false
+      in
+      remaining := List.filter (fun p -> p <> pin) !remaining;
+      if not (Hashtbl.mem covered pin) then begin
+        (* closest covered tile as the pattern target *)
+        let target =
+          Hashtbl.fold
+            (fun p () best ->
+              let d (x, y) (x', y') = abs (x - x') + abs (y - y') in
+              match best with
+              | None -> Some p
+              | Some q -> if d p pin < d q pin then Some p else best)
+            covered None
+        in
+        let target = match target with Some t -> t | None -> assert false in
+        let candidates = List.map truncate_at_tree (pattern_paths pin target) in
+        let scored =
+          List.map (fun path -> (path_cost cost path, path)) candidates
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let best_cost, best_path =
+          match scored with best :: _ -> best | [] -> assert false
+        in
+        (* A pattern path whose average per-edge cost signals overflow gets
+           replaced by a maze search against the whole tree. *)
+        let len = max 1 (List.length best_path - 1) in
+        let path =
+          if best_cost /. float_of_int len <= 8.0 then best_path
+          else begin
+            incr mazes;
+            let targets = Hashtbl.fold (fun p () acc -> p :: acc) covered [] in
+            match Maze.route ~width ~height ~cost ~sources:[ pin ] ~targets with
+            | Some p -> p
+            | None -> best_path
+          end
+        in
+        cover_path path
+      end
+    done;
+    (Hashtbl.fold (fun _ e acc -> e :: acc) edges [], !mazes)
+  end
+
+let tree_of_unit_edges net unit_edges =
+  match unit_edges with
+  | [] -> None
+  | edges ->
+      let seg_edges =
+        List.map
+          (fun (e : Graph.edge2d) ->
+            match e.dir with
+            | Tech.Horizontal -> (((e.x, e.y) : point), ((e.x + 1, e.y) : point))
+            | Tech.Vertical -> ((e.x, e.y), (e.x, e.y + 1)))
+          edges
+      in
+      let src = Net.source net in
+      let tree = Stree.of_edges ~root:(src.Net.px, src.Net.py) seg_edges in
+      let keep = Array.to_list (Array.map (fun p -> (p.Net.px, p.Net.py)) net.Net.pins) in
+      Some (Stree.compress ~keep tree)
+
+let route_net ?(steiner = false) ~graph ~demand net =
+  let cost e = edge_cost graph demand e in
+  let unit_edges, _ =
+    build_topology ~steiner ~width:(Graph.width graph) ~height:(Graph.height graph) ~cost net
+  in
+  tree_of_unit_edges net unit_edges
+
+(* ---- full design ------------------------------------------------------- *)
+
+let overflow_2d graph demand =
+  let acc = ref 0 in
+  Graph.iter_edges graph (fun e ->
+      let over = demand_get demand e - Graph.capacity_2d graph e in
+      if over > 0 then acc := !acc + over);
+  !acc
+
+let tree_unit_edges tree =
+  let acc = ref [] in
+  Array.iteri
+    (fun i parent ->
+      if parent >= 0 then begin
+        let path = straight (Stree.node tree i) (Stree.node tree parent) in
+        acc := unit_edges_of_path path @ !acc
+      end)
+    tree.Stree.parent;
+  !acc
+
+let route_all ?(rrr_passes = 1) ?(steiner = false) ~graph nets =
+  let demand = make_demand graph in
+  let cost e = edge_cost graph (demand_get demand) e in
+  let trees = Array.make (Array.length nets) None in
+  let maze_count = ref 0 in
+  let order = Array.mapi (fun i n -> (Net.hpwl n, i)) nets in
+  Array.sort compare order;
+  let route_one i =
+    let net = nets.(i) in
+    let unit_edges, mazes =
+      build_topology ~steiner ~width:(Graph.width graph) ~height:(Graph.height graph) ~cost
+        net
+    in
+    maze_count := !maze_count + mazes;
+    List.iter (fun e -> demand_add demand e 1) unit_edges;
+    trees.(i) <- tree_of_unit_edges net unit_edges
+  in
+  Array.iter (fun (_, i) -> route_one i) order;
+  (* Rip-up and reroute nets that cross overflowed 2-D edges. *)
+  for _pass = 1 to rrr_passes do
+    if overflow_2d graph demand > 0 then begin
+      let is_overflowed e = demand_get demand e > Graph.capacity_2d graph e in
+      Array.iteri
+        (fun i tree_opt ->
+          match tree_opt with
+          | None -> ()
+          | Some tree ->
+              let edges = tree_unit_edges tree in
+              if List.exists is_overflowed edges then begin
+                List.iter (fun e -> demand_add demand e (-1)) edges;
+                route_one i
+              end)
+        trees
+    end
+  done;
+  { trees; overflow_2d = overflow_2d graph demand; maze_routes = !maze_count }

@@ -1,0 +1,26 @@
+(** Segments: the unit of layer assignment.
+
+    A segment is one (compressed) tree edge of a net's Steiner tree — a
+    maximal straight horizontal or vertical wire run.  Each segment is
+    identified within its net by the index of the *child* tree node of the
+    edge it covers. *)
+
+type t = {
+  net_id : int;
+  node : int;          (** child tree-node index; the parent node is the other end *)
+  dir : Cpla_grid.Tech.dir;
+  len : int;           (** length in grid edges, ≥ 1 *)
+  edges : Cpla_grid.Graph.edge2d array;  (** the grid edges covered, in order *)
+}
+
+val extract : net_id:int -> Stree.t -> t array * int array
+(** [extract ~net_id tree] returns [(segs, node_to_seg)] where [segs] lists
+    one segment per non-root tree node and [node_to_seg.(node)] is the index
+    into [segs] (or -1 for the root). *)
+
+val midpoint : t -> int * int
+(** Tile at (or next to) the middle of the segment, used to map segments to
+    grid partitions. *)
+
+val endpoints : t -> Stree.t -> (int * int) * (int * int)
+(** Child-end and parent-end tile coordinates. *)

@@ -1,0 +1,145 @@
+
+let abs_of ~lower_left ~tile (x, y) =
+  let llx, lly = lower_left and tw, th = tile in
+  (llx + (x * tw) + (tw / 2), lly + (y * th) + (th / 2))
+
+let tile_of ~lower_left ~tile (ax, ay) =
+  let llx, lly = lower_left and tw, th = tile in
+  ((ax - llx) / tw, (ay - lly) / th)
+
+(* Incident layers at a tree node: assigned layers of the node's parent and
+   child edges, plus any pin layers there. *)
+let node_layers asg net tree node_to_seg node =
+  let layers = ref (Assignment.pin_layers_at asg ~net ~node) in
+  let add_seg seg = if seg >= 0 then layers := Assignment.layer asg ~net ~seg :: !layers in
+  add_seg node_to_seg.(node);
+  Array.iteri
+    (fun child parent -> if parent = node then add_seg node_to_seg.(child))
+    tree.Stree.parent;
+  List.filter (fun l -> l >= 0) !layers
+
+let write ?(lower_left = (0, 0)) ?(tile = (10, 10)) asg =
+  let buf = Buffer.create 65536 in
+  let abs = abs_of ~lower_left ~tile in
+  for net = 0 to Assignment.num_nets asg - 1 do
+    let n = Assignment.net asg net in
+    Buffer.add_string buf (Printf.sprintf "%s %d\n" n.Net.name net);
+    (match Assignment.tree asg net with
+    | None -> ()
+    | Some tree ->
+        let segs = Assignment.segments asg net in
+        let node_to_seg = Assignment.node_to_seg asg net in
+        (* wires *)
+        Array.iteri
+          (fun i (s : Segment.t) ->
+            let layer = Assignment.layer asg ~net ~seg:i in
+            if layer < 0 then invalid_arg "Solution.write: unassigned segment";
+            let a, b = Segment.endpoints s tree in
+            let ax, ay = abs a and bx, by = abs b in
+            Buffer.add_string buf
+              (Printf.sprintf "(%d,%d,%d)-(%d,%d,%d)\n" ax ay (layer + 1) bx by (layer + 1)))
+          segs;
+        (* via stacks at nodes *)
+        for node = 0 to Stree.num_nodes tree - 1 do
+          match node_layers asg net tree node_to_seg node with
+          | [] -> ()
+          | layers ->
+              let lo = List.fold_left min max_int layers in
+              let hi = List.fold_left max min_int layers in
+              if hi > lo then begin
+                let x, y = abs (Stree.node tree node) in
+                Buffer.add_string buf
+                  (Printf.sprintf "(%d,%d,%d)-(%d,%d,%d)\n" x y (lo + 1) x y (hi + 1))
+              end
+        done);
+    Buffer.add_string buf "!\n"
+  done;
+  Buffer.contents buf
+
+type net_route = {
+  name : string;
+  wires : ((int * int * int) * (int * int * int)) list;
+}
+
+let parse ?(lower_left = (0, 0)) ?(tile = (10, 10)) content =
+  let to_tile = tile_of ~lower_left ~tile in
+  let lines = String.split_on_char '\n' content in
+  let nets = ref [] in
+  let current = ref None in
+  let error = ref None in
+  let parse_wire line =
+    (* (ax,ay,l1)-(bx,by,l2) *)
+    try
+      Scanf.sscanf line " (%d,%d,%d)-(%d,%d,%d)" (fun ax ay l1 bx by l2 ->
+          let tx1, ty1 = to_tile (ax, ay) and tx2, ty2 = to_tile (bx, by) in
+          Some ((tx1, ty1, l1 - 1), (tx2, ty2, l2 - 1)))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if !error = None && line <> "" then begin
+        if line = "!" then begin
+          match !current with
+          | Some (name, wires) ->
+              nets := { name; wires = List.rev wires } :: !nets;
+              current := None
+          | None -> error := Some "unexpected '!' outside a net block"
+        end
+        else if String.length line > 0 && line.[0] = '(' then begin
+          match (parse_wire line, !current) with
+          | Some w, Some (name, wires) -> current := Some (name, w :: wires)
+          | Some _, None -> error := Some ("wire outside a net block: " ^ line)
+          | None, _ -> error := Some ("cannot parse wire: " ^ line)
+        end
+        else begin
+          (* header: "name id" *)
+          match String.split_on_char ' ' line with
+          | name :: _ when !current = None -> current := Some (name, [])
+          | _ -> error := Some ("unexpected line: " ^ line)
+        end
+      end)
+    lines;
+  match (!error, !current) with
+  | Some msg, _ -> Error msg
+  | None, Some (name, _) -> Error (Printf.sprintf "net %s not terminated with '!'" name)
+  | None, None -> Ok (List.rev !nets)
+
+let apply asg routes =
+  let by_name = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace by_name r.name r) routes;
+  let error = ref None in
+  for net = 0 to Assignment.num_nets asg - 1 do
+    if !error = None then begin
+      let n = Assignment.net asg net in
+      match (Hashtbl.find_opt by_name n.Net.name, Assignment.tree asg net) with
+      | None, _ -> error := Some (Printf.sprintf "no route for net %s" n.Net.name)
+      | Some _, None -> ()
+      | Some route, Some tree ->
+          let segs = Assignment.segments asg net in
+          (* index planar wires by their covered tiles for edge matching *)
+          let covers ((x1, y1, l1), (x2, y2, l2)) (ax, ay) (bx, by) =
+            l1 = l2
+            && min x1 x2 <= min ax bx
+            && max x1 x2 >= max ax bx
+            && min y1 y2 <= min ay by
+            && max y1 y2 >= max ay by
+            && ((x1 = x2 && ax = bx && ax = x1) || (y1 = y2 && ay = by && ay = y1))
+          in
+          Array.iteri
+            (fun i (s : Segment.t) ->
+              if !error = None then begin
+                let a, b = Segment.endpoints s tree in
+                match
+                  List.find_opt (fun w -> covers w a b) route.wires
+                with
+                | Some ((_, _, l), _) -> Assignment.set_layer asg ~net ~seg:i ~layer:l
+                | None ->
+                    error :=
+                      Some
+                        (Printf.sprintf "net %s: no wire covers segment %d" n.Net.name i)
+              end)
+            segs
+    end
+  done;
+  match !error with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,49 @@
+(** Routed-solution I/O in the ISPD'08 global-routing *output* format.
+
+    The contest evaluator format: one block per net,
+
+    {v
+    netname id
+    (x1,y1,l1)-(x2,y2,l2)
+    (x2,y2,l2)-(x2,y2,l3)
+    !
+    v}
+
+    where coordinates are absolute (tile centres) and 1-based layers; a
+    via is a zero-length 3-D segment between two layers at one tile.  This
+    lets an assignment produced here be checked with the contest evaluator,
+    and an external router's output be loaded back as trees + layers. *)
+
+val write :
+  ?lower_left:int * int ->
+  ?tile:int * int ->
+  Assignment.t ->
+  string
+(** Serialise the current (fully assigned) state.  Wire segments are
+    emitted per tree edge at its assigned layer; via stacks are emitted at
+    every tree node whose incident layers span more than one layer, plus
+    pin vias.  [lower_left] (default (0,0)) and [tile] (default (10,10))
+    fix the tile→absolute-coordinate mapping.
+    @raise Invalid_argument when some segment is unassigned. *)
+
+type net_route = {
+  name : string;
+  wires : ((int * int * int) * (int * int * int)) list;
+      (** 3-D segments in tile coordinates, 0-based layers *)
+}
+
+val parse :
+  ?lower_left:int * int ->
+  ?tile:int * int ->
+  string ->
+  (net_route list, string) result
+(** Parse solution text back into per-net 3-D segment lists. *)
+
+val apply :
+  Assignment.t ->
+  net_route list ->
+  (unit, string) result
+(** Install the layers of a parsed solution onto a matching assignment
+    state: for every net (matched by name), each tree edge takes the layer
+    of the parsed wire covering it.  Fails when a net/tree edge cannot be
+    matched. *)

@@ -1,0 +1,88 @@
+type point = int * int
+
+let dist (x0, y0) (x1, y1) = abs (x0 - x1) + abs (y0 - y1)
+
+let mst_length points =
+  match points with
+  | [] | [ _ ] -> 0
+  | first :: _ ->
+      let pts = Array.of_list points in
+      let n = Array.length pts in
+      let in_tree = Array.make n false in
+      let best = Array.make n max_int in
+      let total = ref 0 in
+      let current = ref 0 in
+      ignore first;
+      in_tree.(0) <- true;
+      for i = 1 to n - 1 do
+        best.(i) <- dist pts.(0) pts.(i)
+      done;
+      for _ = 1 to n - 1 do
+        (* closest non-tree point *)
+        let pick = ref (-1) and pick_d = ref max_int in
+        for i = 0 to n - 1 do
+          if (not in_tree.(i)) && best.(i) < !pick_d then begin
+            pick := i;
+            pick_d := best.(i)
+          end
+        done;
+        if !pick >= 0 then begin
+          in_tree.(!pick) <- true;
+          total := !total + !pick_d;
+          current := !pick;
+          for i = 0 to n - 1 do
+            if not in_tree.(i) then best.(i) <- min best.(i) (dist pts.(!pick) pts.(i))
+          done
+        end
+      done;
+      !total
+
+let hanan_candidates pins =
+  let xs = List.sort_uniq compare (List.map fst pins) in
+  let ys = List.sort_uniq compare (List.map snd pins) in
+  let pin_set = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace pin_set p ()) pins;
+  List.concat_map
+    (fun x ->
+      List.filter_map (fun y -> if Hashtbl.mem pin_set (x, y) then None else Some (x, y)) ys)
+    xs
+
+let refine ?max_points pins =
+  let pins = List.sort_uniq compare pins in
+  let budget = Option.value ~default:(List.length pins) max_points in
+  if List.length pins < 3 then []
+  else begin
+    let added = ref [] in
+    let continue = ref true in
+    while !continue && List.length !added < budget do
+      let current = pins @ !added in
+      let base = mst_length current in
+      let best_gain = ref 0 and best_point = ref None in
+      List.iter
+        (fun c ->
+          if not (List.mem c !added) then begin
+            let gain = base - mst_length (c :: current) in
+            if gain > !best_gain then begin
+              best_gain := gain;
+              best_point := Some c
+            end
+          end)
+        (hanan_candidates current);
+      match !best_point with
+      | Some p -> added := p :: !added
+      | None -> continue := false
+    done;
+    (* Cleanup: a Steiner point that is a leaf or degree-2 pass-through of
+       the final MST contributes nothing; keep only load-bearing ones by
+       re-checking each for positive gain on removal. *)
+    let keep =
+      List.filter
+        (fun p ->
+          let others = pins @ List.filter (fun q -> q <> p) !added in
+          mst_length (p :: others) < mst_length others)
+        !added
+    in
+    keep
+  end
+
+let refined_mst_length pins = mst_length (pins @ refine pins)

@@ -1,0 +1,24 @@
+(** Rectilinear Steiner point insertion (iterated 1-Steiner, Kahng–Robins).
+
+    The router's Prim topology connects pins with L/Z paths, which is a
+    rectilinear *spanning* heuristic; inserting Steiner points from the
+    Hanan grid recovers most of the spanning-vs-Steiner gap (classically
+    ~11% wirelength on random instances).  Exposed as an opt-in topology
+    refinement: the returned Steiner points are fed to the router as extra
+    connection targets. *)
+
+type point = int * int
+
+val mst_length : point list -> int
+(** Manhattan minimum-spanning-tree length of a point set (Prim, O(n²)).
+    0 for fewer than two points. *)
+
+val refine : ?max_points:int -> point list -> point list
+(** [refine pins] returns Steiner points (a subset of the Hanan grid of
+    [pins]) whose insertion strictly reduces the Manhattan MST length,
+    chosen greedily best-first until no candidate helps or [max_points]
+    (default: number of pins) have been added.  Points already in [pins]
+    are never returned. *)
+
+val refined_mst_length : point list -> int
+(** [mst_length (pins @ refine pins)] — convenience for measurements. *)

@@ -1,0 +1,189 @@
+type point = int * int
+
+type t = {
+  nodes : point array;
+  parent : int array;
+  root : int;
+}
+
+let axis_aligned (x0, y0) (x1, y1) = x0 = x1 || y0 = y1
+
+let of_edges ~root edges =
+  List.iter
+    (fun (a, b) ->
+      if not (axis_aligned a b) then invalid_arg "Stree.of_edges: edge not axis-aligned";
+      if a = b then invalid_arg "Stree.of_edges: zero-length edge")
+    edges;
+  let index = Hashtbl.create 64 in
+  let nodes = ref [] and count = ref 0 in
+  let intern p =
+    match Hashtbl.find_opt index p with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        Hashtbl.add index p i;
+        nodes := p :: !nodes;
+        incr count;
+        i
+  in
+  let root_idx = intern root in
+  let pairs = List.map (fun (a, b) -> (intern a, intern b)) edges in
+  let n = !count in
+  let nodes = Array.of_list (List.rev !nodes) in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    pairs;
+  if List.length pairs <> n - 1 then
+    invalid_arg "Stree.of_edges: edge count does not match a tree";
+  (* BFS from the root to orient parents and check connectivity. *)
+  let parent = Array.make n (-2) in
+  parent.(root_idx) <- -1;
+  let queue = Queue.create () in
+  Queue.add root_idx queue;
+  let visited = ref 1 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          incr visited;
+          Queue.add v queue
+        end)
+      adj.(u)
+  done;
+  if !visited <> n then invalid_arg "Stree.of_edges: edges are not connected";
+  { nodes; parent; root = root_idx }
+
+let num_nodes t = Array.length t.nodes
+
+let node t i = t.nodes.(i)
+
+let children t =
+  let kids = Array.make (num_nodes t) [] in
+  Array.iteri (fun i p -> if p >= 0 then kids.(p) <- i :: kids.(p)) t.parent;
+  Array.map (fun l -> Array.of_list (List.rev l)) kids
+
+let edge_length t i =
+  let p = t.parent.(i) in
+  if p < 0 then invalid_arg "Stree.edge_length: root has no parent edge";
+  let x0, y0 = t.nodes.(i) and x1, y1 = t.nodes.(p) in
+  abs (x1 - x0) + abs (y1 - y0)
+
+let total_wirelength t =
+  let acc = ref 0 in
+  for i = 0 to num_nodes t - 1 do
+    if t.parent.(i) >= 0 then acc := !acc + edge_length t i
+  done;
+  !acc
+
+let find_node t p = Array.find_index (fun q -> q = p) t.nodes
+
+let on_edge (x, y) (x0, y0) (x1, y1) =
+  if x0 = x1 then x = x0 && y >= min y0 y1 && y <= max y0 y1
+  else y = y0 && x >= min x0 x1 && x <= max x0 x1
+
+let contains_point t p =
+  Array.exists (fun q -> q = p) t.nodes
+  ||
+  let hit = ref false in
+  Array.iteri
+    (fun i par -> if par >= 0 && on_edge p t.nodes.(i) t.nodes.(par) then hit := true)
+    t.parent;
+  !hit
+
+let path_to_root t i =
+  let rec go acc j = if j < 0 then List.rev acc else go (j :: acc) t.parent.(j) in
+  go [] i
+
+let degree t =
+  let d = Array.make (num_nodes t) 0 in
+  Array.iteri
+    (fun i p ->
+      if p >= 0 then begin
+        d.(i) <- d.(i) + 1;
+        d.(p) <- d.(p) + 1
+      end)
+    t.parent;
+  d
+
+let compress ~keep t =
+  let keep_tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace keep_tbl p ()) keep;
+  let d = degree t in
+  let n = num_nodes t in
+  (* A node is dissolvable when it has exactly one child, one parent, both
+     edges are collinear, and it is neither the root nor a kept pin tile. *)
+  let kids = children t in
+  let dissolve = Array.make n false in
+  for i = 0 to n - 1 do
+    if
+      i <> t.root
+      && d.(i) = 2
+      && Array.length kids.(i) = 1
+      && not (Hashtbl.mem keep_tbl t.nodes.(i))
+    then begin
+      let child = kids.(i).(0) and par = t.parent.(i) in
+      let cx, cy = t.nodes.(child) and px, py = t.nodes.(par) and x, y = t.nodes.(i) in
+      let collinear = (cx = x && px = x) || (cy = y && py = y) in
+      if collinear then dissolve.(i) <- true
+    end
+  done;
+  (* Re-emit edges, skipping through dissolved nodes. *)
+  let rec effective_parent j =
+    let p = t.parent.(j) in
+    if p >= 0 && dissolve.(p) then effective_parent p else p
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    if (not dissolve.(i)) && t.parent.(i) >= 0 then begin
+      let p = effective_parent i in
+      if p >= 0 then edges := (t.nodes.(i), t.nodes.(p)) :: !edges
+      else edges := (t.nodes.(i), t.nodes.(t.root)) :: !edges
+    end
+  done;
+  if !edges = [] then t else of_edges ~root:t.nodes.(t.root) !edges
+
+let validate t =
+  let n = num_nodes t in
+  let seen = Hashtbl.create n in
+  let dup = ref None in
+  Array.iter
+    (fun p ->
+      if Hashtbl.mem seen p && !dup = None then dup := Some p else Hashtbl.replace seen p ())
+    t.nodes;
+  match !dup with
+  | Some (x, y) -> Error (Printf.sprintf "duplicate node coordinate (%d,%d)" x y)
+  | None ->
+      let roots = ref 0 and bad = ref None in
+      Array.iteri
+        (fun i p ->
+          if p = -1 then incr roots
+          else if p < 0 || p >= n then bad := Some (Printf.sprintf "node %d: bad parent" i)
+          else begin
+            if not (axis_aligned t.nodes.(i) t.nodes.(p)) then
+              bad := Some (Printf.sprintf "node %d: edge not axis-aligned" i);
+            if t.nodes.(i) = t.nodes.(p) then
+              bad := Some (Printf.sprintf "node %d: zero-length edge" i)
+          end)
+        t.parent;
+      if !roots <> 1 then Error (Printf.sprintf "%d roots" !roots)
+      else begin
+        match !bad with
+        | Some msg -> Error msg
+        | None ->
+            (* acyclicity: walking up from every node must terminate *)
+            let ok = ref true in
+            for i = 0 to n - 1 do
+              let steps = ref 0 and j = ref i in
+              while !j >= 0 && !steps <= n do
+                j := t.parent.(!j);
+                incr steps
+              done;
+              if !steps > n then ok := false
+            done;
+            if !ok then Ok () else Error "cycle in parent pointers"
+      end

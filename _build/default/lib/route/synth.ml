@@ -1,0 +1,120 @@
+open Cpla_grid
+open Cpla_util
+
+type spec = {
+  name : string;
+  width : int;
+  height : int;
+  num_layers : int;
+  num_nets : int;
+  capacity : int;
+  seed : int;
+  mean_extra_pins : float;
+  local_fraction : float;
+  hotspots : int;
+  blockage_fraction : float;
+}
+
+let default_spec =
+  {
+    name = "default";
+    width = 48;
+    height = 48;
+    num_layers = 6;
+    num_nets = 1500;
+    capacity = 10;
+    seed = 1;
+    mean_extra_pins = 1.6;
+    local_fraction = 0.75;
+    hotspots = 3;
+    blockage_fraction = 0.04;
+  }
+
+let clamp lo hi v = max lo (min hi v)
+
+(* Geometric number of extra pins beyond the mandatory two. *)
+let extra_pins rng mean =
+  if mean <= 0.0 then 0
+  else begin
+    let p = 1.0 /. (1.0 +. mean) in
+    let rec go acc = if acc < 40 && Rng.float rng 1.0 > p then go (acc + 1) else acc in
+    go 0
+  end
+
+let generate spec =
+  let rng = Rng.create spec.seed in
+  let tech = Tech.default ~num_layers:spec.num_layers () in
+  let layer_capacity = Array.make spec.num_layers spec.capacity in
+  let graph = Graph.create ~tech ~width:spec.width ~height:spec.height ~layer_capacity in
+  (* Blockage patches: rectangular regions where low-layer capacity drops,
+     as macros do in the real benchmarks. *)
+  let blocked_budget =
+    int_of_float (spec.blockage_fraction *. float_of_int (spec.width * spec.height))
+  in
+  let blocked = ref 0 in
+  while !blocked < blocked_budget do
+    let bw = Rng.int_in rng 3 (max 3 (spec.width / 8)) in
+    let bh = Rng.int_in rng 3 (max 3 (spec.height / 8)) in
+    let bx = Rng.int rng (max 1 (spec.width - bw)) in
+    let by = Rng.int rng (max 1 (spec.height - bh)) in
+    let layers_hit = min spec.num_layers (2 + Rng.int rng 2) in
+    for l = 0 to layers_hit - 1 do
+      let dir = Tech.layer_dir tech l in
+      for y = by to by + bh - 1 do
+        for x = bx to bx + bw - 1 do
+          let e = { Graph.dir; x; y } in
+          if Graph.edge_exists graph e then
+            Graph.reduce_capacity graph e ~layer:l ~by:(spec.capacity * 3 / 4)
+        done
+      done
+    done;
+    blocked := !blocked + (bw * bh)
+  done;
+  (* Hotspot centres attract net centres. *)
+  let hotspot_centers =
+    Array.init (max 1 spec.hotspots) (fun _ ->
+        (Rng.int rng spec.width, Rng.int rng spec.height))
+  in
+  let pick_center () =
+    if Rng.float rng 1.0 < 0.5 then begin
+      let hx, hy = Rng.choose rng hotspot_centers in
+      let sx = float_of_int spec.width /. 10.0 in
+      ( clamp 0 (spec.width - 1) (hx + int_of_float (Rng.gaussian rng *. sx)),
+        clamp 0 (spec.height - 1) (hy + int_of_float (Rng.gaussian rng *. sx)) )
+    end
+    else (Rng.int rng spec.width, Rng.int rng spec.height)
+  in
+  let make_net id =
+    let cx, cy = pick_center () in
+    let local = Rng.float rng 1.0 < spec.local_fraction in
+    let sigma =
+      if local then Float.max 1.5 (float_of_int spec.width /. 24.0)
+      else float_of_int spec.width /. 5.0
+    in
+    let n_pins = 2 + extra_pins rng spec.mean_extra_pins in
+    let pin () =
+      {
+        Net.px = clamp 0 (spec.width - 1) (cx + int_of_float (Rng.gaussian rng *. sigma));
+        py = clamp 0 (spec.height - 1) (cy + int_of_float (Rng.gaussian rng *. sigma));
+        pl = 0;
+      }
+    in
+    let pins = Net.dedup_pins (Array.init n_pins (fun _ -> pin ())) in
+    if Array.length pins >= 2 then Some (Net.create ~id ~name:(Printf.sprintf "n%d" id) ~pins)
+    else None
+  in
+  let nets = ref [] and made = ref 0 and id = ref 0 in
+  while !made < spec.num_nets do
+    (match make_net !id with
+    | Some net ->
+        nets := net :: !nets;
+        incr made
+    | None -> ());
+    incr id
+  done;
+  (* Re-number ids densely in array order. *)
+  let arr = Array.of_list (List.rev !nets) in
+  let arr =
+    Array.mapi (fun i net -> Net.create ~id:i ~name:net.Net.name ~pins:net.Net.pins) arr
+  in
+  (graph, arr)

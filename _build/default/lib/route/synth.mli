@@ -1,0 +1,27 @@
+(** Synthetic benchmark generator.
+
+    Stands in for the (non-redistributable) ISPD'08 benchmark files: given a
+    spec it deterministically produces a grid graph with blockages and a net
+    list whose statistics resemble placed designs — mostly short local nets,
+    a tail of long global nets, and congestion hotspots so the routing
+    density map is non-uniform (Fig. 3b). *)
+
+type spec = {
+  name : string;
+  width : int;
+  height : int;
+  num_layers : int;
+  num_nets : int;
+  capacity : int;           (** uniform per-layer edge capacity before blockages *)
+  seed : int;
+  mean_extra_pins : float;  (** pins per net = 2 + geometric with this mean *)
+  local_fraction : float;   (** fraction of nets confined to a small window *)
+  hotspots : int;           (** number of placement-density hotspots *)
+  blockage_fraction : float; (** fraction of tiles inside blockage patches *)
+}
+
+val default_spec : spec
+(** A small sane baseline (48×48, 6 layers, 1500 nets, seed 1). *)
+
+val generate : spec -> Cpla_grid.Graph.t * Net.t array
+(** Deterministic in [spec] (including [seed]). *)

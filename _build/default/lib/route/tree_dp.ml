@@ -1,0 +1,106 @@
+(* Bottom-up DP.  For the tree edge owned by node [v] (the edge v→parent v)
+   and each candidate layer [l]:
+
+     best v l = seg_cost v l
+              + Σ_{pin p at v} via_cost v p l
+              + Σ_{child c of v} min_{l'} (best c l' + via_cost v l' l)
+
+   and the root closes with Σ pins at root vs. each child edge layer.  The
+   pin terms charge pin vias at the node where the pin lives, against the
+   layer of the edge *above* that node, which matches the stacked-via model
+   used by the assignment state closely enough for optimisation purposes
+   (the exact span model is not pairwise-decomposable). *)
+
+let solve ~tree ~node_to_seg ~pins_at ~candidates ~seg_cost ~via_cost =
+  let n = Stree.num_nodes tree in
+  let children = Stree.children tree in
+  let nsegs = Array.fold_left (fun acc s -> if s >= 0 then acc + 1 else acc) 0 node_to_seg in
+  let choice = Array.make nsegs (-1) in
+  (* memo.(node) : (layer, cost) array for the node's own edge *)
+  let memo = Array.make n [||] in
+  (* back.(node) : for each (own layer index), the chosen layer of each child *)
+  let back = Array.make n [||] in
+  (* post-order via explicit stack *)
+  let order = ref [] in
+  let stack = Stack.create () in
+  Stack.push tree.Stree.root stack;
+  while not (Stack.is_empty stack) do
+    let v = Stack.pop stack in
+    order := v :: !order;
+    Array.iter (fun c -> Stack.push c stack) children.(v)
+  done;
+  (* !order is now reverse pre-order = children before parents when folded
+     left-to-right?  No: reverse of pre-order visits parents after children
+     only on a path; in general reverse pre-order is a valid post-order for
+     processing as long as children appear before parents, which holds
+     because pre-order visits parents first. *)
+  let process v =
+    let seg = node_to_seg.(v) in
+    if seg >= 0 then begin
+      let cands = Array.of_list (candidates seg) in
+      if Array.length cands = 0 then invalid_arg "Tree_dp.solve: empty candidate set";
+      let costs = Array.make (Array.length cands) 0.0 in
+      let backs = Array.make_matrix (Array.length cands) (Array.length children.(v)) (-1) in
+      Array.iteri
+        (fun ci l ->
+          let base =
+            seg_cost seg l
+            +. List.fold_left (fun acc p -> acc +. via_cost ~node:v p l) 0.0 (pins_at v)
+          in
+          let total = ref base in
+          Array.iteri
+            (fun k c ->
+              let cseg = node_to_seg.(c) in
+              assert (cseg >= 0);
+              let ccands = memo.(c) in
+              let best = ref infinity and best_l = ref (-1) in
+              Array.iter
+                (fun (l', cost') ->
+                  let v' = cost' +. via_cost ~node:v l' l in
+                  if v' < !best then begin
+                    best := v';
+                    best_l := l'
+                  end)
+                ccands;
+              total := !total +. !best;
+              backs.(ci).(k) <- !best_l)
+            children.(v);
+          costs.(ci) <- !total)
+        cands;
+      memo.(v) <- Array.mapi (fun ci l -> (l, costs.(ci))) cands;
+      back.(v) <- backs
+    end
+  in
+  List.iter process !order;
+  (* Root: combine children with pin vias at the root tile. *)
+  let root = tree.Stree.root in
+  let root_choice = Array.make (Array.length children.(root)) (-1) in
+  Array.iteri
+    (fun k c ->
+      let best = ref infinity and best_l = ref (-1) in
+      Array.iter
+        (fun (l', cost') ->
+          let pin_term =
+            List.fold_left (fun acc p -> acc +. via_cost ~node:root p l') 0.0 (pins_at root)
+          in
+          let v' = cost' +. pin_term in
+          if v' < !best then begin
+            best := v';
+            best_l := l'
+          end)
+        memo.(c);
+      root_choice.(k) <- !best_l)
+    children.(root);
+  (* Walk back down recording choices. *)
+  let rec commit v l =
+    let seg = node_to_seg.(v) in
+    assert (seg >= 0);
+    choice.(seg) <- l;
+    (* find index of l among v's candidates *)
+    let ci = ref (-1) in
+    Array.iteri (fun i (l', _) -> if l' = l then ci := i) memo.(v);
+    assert (!ci >= 0);
+    Array.iteri (fun k c -> commit c back.(v).(!ci).(k)) children.(v)
+  in
+  Array.iteri (fun k c -> commit c root_choice.(k)) children.(root);
+  choice

@@ -1,0 +1,36 @@
+(** Net-by-net layer assignment by dynamic programming over the Steiner
+    tree.
+
+    This is the per-net engine behind both the initial (via-minimising)
+    assignment and the TILA baseline's Lagrangian subproblem: given arbitrary
+    per-segment-per-layer costs and pairwise via costs, it picks the optimal
+    layer for every segment of one net under the pairwise via model (the
+    same model the paper's Eqn (3) uses: via cost between two segments
+    connected at a node).
+
+    Complexity is O(nodes × L²) per net. *)
+
+val solve :
+  tree:Stree.t ->
+  node_to_seg:int array ->
+  pins_at:(int -> int list) ->
+  candidates:(int -> int list) ->
+  seg_cost:(int -> int -> float) ->
+  via_cost:(node:int -> int -> int -> float) ->
+  int array
+(** [solve ~tree ~node_to_seg ~pins_at ~candidates ~seg_cost ~via_cost]
+    returns the chosen layer per segment (indexed like the net's segment
+    array).
+
+    - [candidates seg] lists the admissible layers of a segment (non-empty,
+      direction already filtered by the caller);
+    - [seg_cost seg l] is the cost of putting segment [seg] on layer [l];
+    - [via_cost ~node a b] is the cost of a via stack between layers [a] and
+      [b] at tree node [node] (0 when [a = b]);
+    - [pins_at node] lists pin layers at the node: each contributes
+      [via_cost] between the pin layer and the layer of every incident tree
+      edge chosen at that node, which is what ties pin vias into the DP.
+
+    The minimisation is exact for the pairwise via objective
+      Σ seg_cost + Σ_{(child,parent) edges meeting at a node} via_cost
+      + Σ pins via_cost. *)

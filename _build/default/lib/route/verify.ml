@@ -1,0 +1,104 @@
+open Cpla_grid
+
+type violation =
+  | Unassigned_segment of { net : int; seg : int }
+  | Direction_mismatch of { net : int; seg : int; layer : int }
+  | Edge_overflow of { edge : Graph.edge2d; layer : int; usage : int; capacity : int }
+  | Via_overflow of { x : int; y : int; crossing : int; usage : int; capacity : int }
+  | Pin_unreachable of { net : int; pin : Net.pin }
+  | Ledger_mismatch of { description : string }
+
+type report = {
+  violations : violation list;
+  wirelength : int;
+  via_crossings : int;
+  nets_checked : int;
+}
+
+let check asg =
+  let graph = Assignment.graph asg in
+  let tech = Assignment.tech asg in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let wirelength = ref 0 and via_crossings = ref 0 in
+  (* per-net structural checks *)
+  for net = 0 to Assignment.num_nets asg - 1 do
+    let n = Assignment.net asg net in
+    match Assignment.tree asg net with
+    | None -> ()
+    | Some tree ->
+        let segs = Assignment.segments asg net in
+        Array.iteri
+          (fun seg (s : Segment.t) ->
+            let layer = Assignment.layer asg ~net ~seg in
+            if layer < 0 then add (Unassigned_segment { net; seg })
+            else begin
+              if Tech.layer_dir tech layer <> s.Segment.dir then
+                add (Direction_mismatch { net; seg; layer });
+              wirelength := !wirelength + s.Segment.len
+            end)
+          segs;
+        Array.iter
+          (fun p ->
+            if Stree.find_node tree (p.Net.px, p.Net.py) = None then
+              add (Pin_unreachable { net; pin = p }))
+          n.Net.pins
+  done;
+  (* from-scratch capacity audit *)
+  (match Assignment.check_usage asg with
+  | Ok () -> ()
+  | Error description -> add (Ledger_mismatch { description }));
+  Graph.iter_edges graph (fun e ->
+      List.iter
+        (fun layer ->
+          let usage = Graph.usage graph e ~layer in
+          let capacity = Graph.capacity graph e ~layer in
+          if usage > capacity then add (Edge_overflow { edge = e; layer; usage; capacity }))
+        (Graph.edge_layers graph e));
+  for x = 0 to Graph.width graph - 1 do
+    for y = 0 to Graph.height graph - 1 do
+      for crossing = 0 to Graph.num_layers graph - 2 do
+        let usage = Graph.via_usage graph ~x ~y ~crossing in
+        via_crossings := !via_crossings + usage;
+        if usage > 0 then begin
+          let capacity = Graph.via_capacity graph ~x ~y ~crossing in
+          if usage > capacity then add (Via_overflow { x; y; crossing; usage; capacity })
+        end
+      done
+    done
+  done;
+  {
+    violations = List.rev !violations;
+    wirelength = !wirelength;
+    via_crossings = !via_crossings;
+    nets_checked = Assignment.num_nets asg;
+  }
+
+let is_clean r = r.violations = []
+
+let pp_violation fmt = function
+  | Unassigned_segment { net; seg } -> Format.fprintf fmt "net %d: segment %d unassigned" net seg
+  | Direction_mismatch { net; seg; layer } ->
+      Format.fprintf fmt "net %d: segment %d on wrong-direction layer %d" net seg layer
+  | Edge_overflow { edge; layer; usage; capacity } ->
+      Format.fprintf fmt "edge (%d,%d,%s) layer %d: %d wires over capacity %d" edge.Graph.x
+        edge.Graph.y
+        (match edge.Graph.dir with Tech.Horizontal -> "H" | Tech.Vertical -> "V")
+        layer usage capacity
+  | Via_overflow { x; y; crossing; usage; capacity } ->
+      Format.fprintf fmt "tile (%d,%d) crossing %d: %d vias over capacity %d" x y crossing
+        usage capacity
+  | Pin_unreachable { net; pin } ->
+      Format.fprintf fmt "net %d: pin (%d,%d) not on the routing tree" net pin.Net.px pin.Net.py
+  | Ledger_mismatch { description } -> Format.fprintf fmt "usage ledger mismatch: %s" description
+
+let summary r =
+  let count pred = List.length (List.filter pred r.violations) in
+  Printf.sprintf
+    "%d nets: wirelength %d, via crossings %d; violations: %d edge-ov, %d via-ov, %d other"
+    r.nets_checked r.wirelength r.via_crossings
+    (count (function Edge_overflow _ -> true | _ -> false))
+    (count (function Via_overflow _ -> true | _ -> false))
+    (count (function
+      | Edge_overflow _ | Via_overflow _ -> false
+      | _ -> true))

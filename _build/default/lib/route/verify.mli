@@ -1,0 +1,35 @@
+(** Solution verifier — the role of the contest evaluator.
+
+    Audits a layer-assigned design independently of the incremental
+    bookkeeping: connectivity of every net's 3-D wiring, direction
+    legality, wire-capacity and via-capacity accounting recomputed from
+    scratch, and pin reachability.  Returns a structured report rather than
+    a boolean so callers can print or assert on specific classes. *)
+
+type violation =
+  | Unassigned_segment of { net : int; seg : int }
+  | Direction_mismatch of { net : int; seg : int; layer : int }
+  | Edge_overflow of { edge : Cpla_grid.Graph.edge2d; layer : int; usage : int; capacity : int }
+  | Via_overflow of { x : int; y : int; crossing : int; usage : int; capacity : int }
+  | Pin_unreachable of { net : int; pin : Net.pin }
+  | Ledger_mismatch of { description : string }
+
+type report = {
+  violations : violation list;
+  wirelength : int;        (** total assigned wirelength *)
+  via_crossings : int;     (** total via-layer crossings *)
+  nets_checked : int;
+}
+
+val check : Assignment.t -> report
+(** Full audit of the current state.  [Ledger_mismatch] is reported when
+    the incremental usage accounting disagrees with the from-scratch
+    recount (which would indicate a bug in this library, not the design). *)
+
+val is_clean : report -> bool
+(** No violations at all. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val summary : report -> string
+(** One-line human summary. *)

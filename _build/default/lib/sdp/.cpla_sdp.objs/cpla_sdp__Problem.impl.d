@@ -1,0 +1,1 @@
+lib/sdp/problem.ml: Array Cpla_numeric List Mat

@@ -1,0 +1,1 @@
+lib/sdp/problem.mli: Cpla_numeric

@@ -1,0 +1,1 @@
+lib/sdp/solver.ml: Array Cpla_numeric Cpla_util Float Lbfgs List Mat Problem Rng

@@ -1,0 +1,1 @@
+lib/sdp/solver.mli: Cpla_numeric Problem

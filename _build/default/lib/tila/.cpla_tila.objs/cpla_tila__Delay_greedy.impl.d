@@ -1,0 +1,1 @@
+lib/tila/delay_greedy.ml: Array Assignment Cpla_grid Cpla_route Cpla_timing Critical Elmore Graph Segment Tech Tree_dp

@@ -1,0 +1,1 @@
+lib/tila/delay_greedy.mli: Cpla_route

@@ -1,0 +1,1 @@
+lib/tila/tila.ml: Array Assignment Cpla_grid Cpla_route Cpla_timing Critical Elmore Float Graph Hashtbl List Net Option Segment Stree Tech

@@ -1,0 +1,1 @@
+lib/tila/tila.mli: Cpla_route

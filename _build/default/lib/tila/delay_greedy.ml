@@ -1,0 +1,50 @@
+open Cpla_grid
+open Cpla_route
+open Cpla_timing
+
+type stats = {
+  nets_reassigned : int;
+}
+
+let reassign_net asg net_idx =
+  match Assignment.tree asg net_idx with
+  | None -> ()
+  | Some tree ->
+      let tech = Assignment.tech asg in
+      let graph = Assignment.graph asg in
+      let detail = Elmore.analyze asg net_idx in
+      let segs = Assignment.segments asg net_idx in
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      Assignment.unassign_net asg net_idx;
+      let candidates seg = Tech.layers_of_dir tech segs.(seg).Segment.dir in
+      let seg_cost seg l =
+        let ts =
+          Elmore.seg_ts ~tech ~len:segs.(seg).Segment.len ~layer:l
+            ~cd:detail.Elmore.seg_cd.(seg)
+        in
+        (* hard wire capacity only: an over-full edge disqualifies the layer *)
+        let blocked =
+          Array.exists (fun e -> Graph.free graph e ~layer:l < 1) segs.(seg).Segment.edges
+        in
+        if blocked then ts +. 1e9 else ts
+      in
+      let cd_of_node node =
+        let s = node_to_seg.(node) in
+        if s >= 0 then detail.Elmore.seg_cd.(s) else detail.Elmore.total_cap
+      in
+      let via_cost ~node a b =
+        if a = b then 0.0
+        else Elmore.via_tv ~tech ~lo:(min a b) ~hi:(max a b) ~cd_min:(cd_of_node node)
+      in
+      let chosen =
+        Tree_dp.solve ~tree ~node_to_seg
+          ~pins_at:(fun node -> Assignment.pin_layers_at asg ~net:net_idx ~node)
+          ~candidates ~seg_cost ~via_cost
+      in
+      Array.iteri (fun seg layer -> Assignment.set_layer asg ~net:net_idx ~seg ~layer) chosen
+
+let optimize asg ~released =
+  let order = Array.map (fun i -> (Critical.net_tcp asg i, i)) released in
+  Array.sort (fun (a, _) (b, _) -> compare b a) order;
+  Array.iter (fun (_, net_idx) -> reassign_net asg net_idx) order;
+  { nets_reassigned = Array.length released }

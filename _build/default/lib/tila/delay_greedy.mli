@@ -1,0 +1,16 @@
+(** Delay-driven net-by-net layer assignment in the style of Ao et al.
+    (ISPD'13 — reference [9] of the paper): each net's segments are
+    assigned by the exact tree DP against pure Elmore delay costs, with
+    hard wire capacities but *no via-capacity model* — the paper's critique
+    of this class of methods is that "more wires may be assigned on high
+    metal layers, resulting in illegal solutions", which shows up here as a
+    higher via-overflow count.
+
+    Included as a second comparison point for the extended evaluation. *)
+
+type stats = {
+  nets_reassigned : int;
+}
+
+val optimize : Cpla_route.Assignment.t -> released:int array -> stats
+(** Reassign every released net, most critical first. *)

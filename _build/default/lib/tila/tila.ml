@@ -1,0 +1,237 @@
+open Cpla_grid
+open Cpla_route
+open Cpla_timing
+
+type options = {
+  max_rounds : int;
+  step0 : float;
+  step_decay : float;
+}
+
+let default_options = { max_rounds = 8; step0 = 1.0; step_decay = 0.7 }
+
+type stats = {
+  rounds : int;
+  objective : float;
+}
+
+(* Multipliers live in hash tables keyed by edge-layer / tile-crossing. *)
+type multipliers = {
+  lambda_edge : (bool * int * int * int, float) Hashtbl.t;
+  mu_via : (int * int * int, float) Hashtbl.t;
+}
+
+let edge_key (e : Graph.edge2d) layer = (e.Graph.dir = Tech.Horizontal, e.Graph.x, e.Graph.y, layer)
+
+let get tbl key = Option.value ~default:0.0 (Hashtbl.find_opt tbl key)
+
+let bump tbl key delta =
+  let v = Float.max 0.0 (get tbl key +. delta) in
+  if v = 0.0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v
+
+(* Sink-count weight per segment: how many sinks the segment drives. *)
+let seg_weights asg net_idx =
+  match Assignment.tree asg net_idx with
+  | None -> [||]
+  | Some tree ->
+      let segs = Assignment.segments asg net_idx in
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let n = Stree.num_nodes tree in
+      let sink_count = Array.make n 0 in
+      let net = Assignment.net asg net_idx in
+      let src = Net.source net in
+      Array.iter
+        (fun p ->
+          if not (p.Net.px = src.Net.px && p.Net.py = src.Net.py) then begin
+            match Stree.find_node tree (p.Net.px, p.Net.py) with
+            | Some v -> sink_count.(v) <- sink_count.(v) + 1
+            | None -> ()
+          end)
+        net.Net.pins;
+      (* accumulate bottom-up *)
+      let children = Stree.children tree in
+      let rec total v =
+        Array.fold_left (fun acc c -> acc + total c) sink_count.(v) children.(v)
+      in
+      let weights = Array.make (Array.length segs) 1.0 in
+      for v = 0 to n - 1 do
+        if node_to_seg.(v) >= 0 then
+          weights.(node_to_seg.(v)) <- float_of_int (max 1 (total v))
+      done;
+      weights
+
+(* The published TILA "artificially approximates some quadratic terms to
+   linear model" (Section 1, shortcoming (3)): the via delay between two
+   segments -- a product of both segments' layer choices -- is linearised by
+   charging each segment against its neighbours' *frozen* layers from the
+   previous state.  Each segment then picks its layer independently
+   (Gauss-Seidel over the net, sinks first), which is what makes the
+   min-cost-flow formulation of [4] linear, and is the accuracy the CPLA
+   paper's quadratic SDP model recovers. *)
+let reassign_net asg mult net_idx details =
+  match Assignment.tree asg net_idx with
+  | None -> ()
+  | Some tree ->
+      let tech = Assignment.tech asg in
+      let graph = Assignment.graph asg in
+      let segs = Assignment.segments asg net_idx in
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let weights = seg_weights asg net_idx in
+      let detail : Elmore.detail = details in
+      let frozen =
+        Array.init (Array.length segs) (fun seg -> Assignment.layer asg ~net:net_idx ~seg)
+      in
+      let children = Stree.children tree in
+      let cd_of seg =
+        if seg >= 0 && seg < Array.length detail.Elmore.seg_cd then detail.Elmore.seg_cd.(seg)
+        else detail.Elmore.total_cap
+      in
+      (* via stacks at both endpoint nodes of [seg], against frozen
+         neighbour and pin layers, with multiplier pressure *)
+      let via_to_frozen seg l =
+        let s = segs.(seg) in
+        let child_node = s.Segment.node in
+        let parent_node = tree.Stree.parent.(child_node) in
+        let acc = ref 0.0 in
+        let charge node other =
+          if other >= 0 && other <> seg && frozen.(other) >= 0 then begin
+            let lo = min l frozen.(other) and hi = max l frozen.(other) in
+            acc :=
+              !acc
+              +. Elmore.via_tv ~tech ~lo ~hi ~cd_min:(Float.min (cd_of seg) (cd_of other));
+            let x, y = Stree.node tree node in
+            for c = lo to hi - 1 do
+              acc := !acc +. get mult.mu_via (x, y, c)
+            done
+          end
+        in
+        let charge_node node =
+          charge node node_to_seg.(node);
+          Array.iter (fun c -> charge node node_to_seg.(c)) children.(node);
+          List.iter
+            (fun pl ->
+              acc :=
+                !acc
+                +. Elmore.via_tv ~tech ~lo:(min l pl) ~hi:(max l pl) ~cd_min:tech.Tech.sink_c)
+            (Assignment.pin_layers_at asg ~net:net_idx ~node)
+        in
+        charge_node child_node;
+        if parent_node >= 0 then charge_node parent_node;
+        !acc
+      in
+      Array.iteri
+        (fun seg (s : Segment.t) ->
+          let best = ref (-1) and best_cost = ref infinity in
+          List.iter
+            (fun l ->
+              (* the flow formulation of [4] has hard wire capacities: a
+                 layer without room is not a candidate (the wire the segment
+                 already holds on [l] does not count against itself) *)
+              let feasible =
+                Array.for_all
+                  (fun e ->
+                    Graph.free graph e ~layer:l + (if frozen.(seg) = l then 1 else 0) >= 1)
+                  s.Segment.edges
+              in
+              if feasible || frozen.(seg) = l then begin
+                let ts =
+                  Elmore.seg_ts ~tech ~len:s.Segment.len ~layer:l
+                    ~cd:detail.Elmore.seg_cd.(seg)
+                in
+                let lagr =
+                  Array.fold_left
+                    (fun acc e -> acc +. get mult.lambda_edge (edge_key e l))
+                    0.0 s.Segment.edges
+                in
+                let cost = (weights.(seg) *. ts) +. via_to_frozen seg l +. lagr in
+                if cost < !best_cost then begin
+                  best_cost := cost;
+                  best := l
+                end
+              end)
+            (Tech.layers_of_dir tech s.Segment.dir);
+          if !best >= 0 then begin
+            Assignment.set_layer asg ~net:net_idx ~seg ~layer:!best;
+            frozen.(seg) <- !best
+          end)
+        segs
+
+let weighted_total_delay asg released =
+  Array.fold_left
+    (fun acc net_idx ->
+      let detail = Elmore.analyze asg net_idx in
+      let weights = seg_weights asg net_idx in
+      let per_net = ref 0.0 in
+      Array.iteri
+        (fun seg w -> per_net := !per_net +. (w *. detail.Elmore.seg_delay.(seg)))
+        weights;
+      acc +. !per_net)
+    0.0 released
+
+let update_multipliers asg mult step released =
+  let graph = Assignment.graph asg in
+  (* subgradients only on the resources the released nets touch *)
+  let touched_edges = Hashtbl.create 256 in
+  let touched_tiles = Hashtbl.create 256 in
+  Array.iter
+    (fun net_idx ->
+      let segs = Assignment.segments asg net_idx in
+      Array.iter
+        (fun s ->
+          Array.iter (fun e -> Hashtbl.replace touched_edges e ()) s.Segment.edges)
+        segs;
+      match Assignment.tree asg net_idx with
+      | None -> ()
+      | Some tree ->
+          for v = 0 to Stree.num_nodes tree - 1 do
+            Hashtbl.replace touched_tiles (Stree.node tree v) ()
+          done)
+    released;
+  Hashtbl.iter
+    (fun (e : Graph.edge2d) () ->
+      List.iter
+        (fun l ->
+          let cap = Graph.capacity graph e ~layer:l in
+          if cap > 0 then begin
+            let slack = float_of_int (Graph.usage graph e ~layer:l - cap) /. float_of_int cap in
+            bump mult.lambda_edge (edge_key e l) (step *. slack)
+          end)
+        (Graph.edge_layers graph e))
+    touched_edges;
+  Hashtbl.iter
+    (fun (x, y) () ->
+      for c = 0 to Graph.num_layers graph - 2 do
+        let cap = Graph.via_capacity graph ~x ~y ~crossing:c in
+        let u = Graph.via_usage graph ~x ~y ~crossing:c in
+        if cap > 0 then begin
+          let slack = float_of_int (u - cap) /. float_of_int cap in
+          bump mult.mu_via (x, y, c) (step *. slack)
+        end
+        else if u > 0 then bump mult.mu_via (x, y, c) step
+      done)
+    touched_tiles
+
+let optimize ?(options = default_options) asg ~released =
+  let mult = { lambda_edge = Hashtbl.create 1024; mu_via = Hashtbl.create 1024 } in
+  let step = ref options.step0 in
+  let round = ref 0 in
+  let best = ref infinity in
+  let stalled = ref false in
+  while !round < options.max_rounds && not !stalled do
+    (* most critical nets move first: they get the freshest view of capacity *)
+    let order =
+      Array.map (fun i -> (Critical.net_tcp asg i, i)) released
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) order;
+    Array.iter
+      (fun (_, net_idx) ->
+        let detail = Elmore.analyze asg net_idx in
+        reassign_net asg mult net_idx detail)
+      order;
+    update_multipliers asg mult !step released;
+    step := !step *. options.step_decay;
+    let obj = weighted_total_delay asg released in
+    if obj >= !best -. 1e-9 then stalled := true else best := obj;
+    incr round
+  done;
+  { rounds = !round; objective = weighted_total_delay asg released }

@@ -1,0 +1,30 @@
+(** TILA baseline: timing-driven incremental layer assignment by Lagrangian
+    relaxation (Yu et al., ICCAD'15 — reference [4] of the paper).
+
+    Re-implemented here as the comparison baseline.  Characteristics the
+    paper attributes to TILA and that this implementation mirrors:
+
+    - the objective is the *weighted sum* of all segment delays of the
+      released nets (sink-count weights), not the per-net critical-path
+      delay — so it can trade a critical path off against many light paths;
+    - capacity constraints are relaxed into Lagrangian multipliers updated
+      by subgradient steps, so feasibility depends on multiplier tuning;
+    - each round reassigns nets one at a time with the tree DP, against
+      frozen downstream capacitances that are refreshed between rounds. *)
+
+type options = {
+  max_rounds : int;    (** Lagrangian outer rounds (default 8) *)
+  step0 : float;       (** initial subgradient step (default 1.0) *)
+  step_decay : float;  (** multiplicative decay per round (default 0.7) *)
+}
+
+val default_options : options
+
+type stats = {
+  rounds : int;
+  objective : float;  (** final weighted total segment delay of released nets *)
+}
+
+val optimize :
+  ?options:options -> Cpla_route.Assignment.t -> released:int array -> stats
+(** Reassign the layers of every segment of the released nets in place. *)

@@ -1,0 +1,1 @@
+lib/timing/critical.ml: Array Assignment Cpla_grid Cpla_route Cpla_util Elmore Float Hashtbl List Option Segment Stree Tech

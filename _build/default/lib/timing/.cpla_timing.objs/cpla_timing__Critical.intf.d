@@ -1,0 +1,1 @@
+lib/timing/critical.mli: Cpla_route Elmore

@@ -1,0 +1,1 @@
+lib/timing/elmore.ml: Array Assignment Cpla_grid Cpla_route Float List Net Segment Stack Stree Tech

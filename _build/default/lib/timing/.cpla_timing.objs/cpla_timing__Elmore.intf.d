@@ -1,0 +1,1 @@
+lib/timing/elmore.mli: Cpla_grid Cpla_route

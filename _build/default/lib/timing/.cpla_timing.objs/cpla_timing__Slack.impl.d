@@ -1,0 +1,1 @@
+lib/timing/slack.ml: Array Assignment Cpla_grid Cpla_route Elmore List Net Stree Tech

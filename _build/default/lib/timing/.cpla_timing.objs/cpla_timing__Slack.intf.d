@@ -1,0 +1,1 @@
+lib/timing/slack.mli: Cpla_route

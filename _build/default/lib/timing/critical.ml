@@ -1,0 +1,116 @@
+open Cpla_grid
+open Cpla_route
+
+type path_info = {
+  net : int;
+  detail : Elmore.detail;
+  path_segs : int array;
+  on_path : bool array;
+  branch_attach_r : float array;
+}
+
+let net_tcp asg i = (Elmore.analyze asg i).Elmore.worst_delay
+
+let select asg ~ratio =
+  if ratio <= 0.0 then [||]
+  else begin
+    let n = Assignment.num_nets asg in
+    let count = min n (int_of_float (Float.ceil (ratio *. float_of_int n))) in
+    let keyed =
+      Array.init n (fun i ->
+          let tcp =
+            if Array.length (Assignment.segments asg i) = 0 then neg_infinity
+            else net_tcp asg i
+          in
+          (tcp, i))
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) keyed;
+    Array.sub keyed 0 count
+    |> Array.to_list
+    |> List.filter (fun (tcp, _) -> tcp > neg_infinity)
+    |> List.map snd
+    |> Array.of_list
+  end
+
+let path_info asg net_idx =
+  let tech = Assignment.tech asg in
+  let detail = Elmore.analyze asg net_idx in
+  let segs = Assignment.segments asg net_idx in
+  let nsegs = Array.length segs in
+  match Assignment.tree asg net_idx with
+  | None ->
+      {
+        net = net_idx;
+        detail;
+        path_segs = [||];
+        on_path = Array.make nsegs false;
+        branch_attach_r = Array.make nsegs 0.0;
+      }
+  | Some tree ->
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let on_path = Array.make nsegs false in
+      let path_nodes =
+        if detail.Elmore.worst_node < 0 then []
+        else Stree.path_to_root tree detail.Elmore.worst_node
+      in
+      (* path_to_root lists worst sink first; reverse for source side first *)
+      let path_nodes = List.rev path_nodes in
+      let path_segs =
+        List.filter_map
+          (fun v -> if node_to_seg.(v) >= 0 then Some node_to_seg.(v) else None)
+          path_nodes
+        |> Array.of_list
+      in
+      Array.iter (fun s -> on_path.(s) <- true) path_segs;
+      (* Upstream resistance along the worst path at each path node (frozen
+         at current layers, vias included). *)
+      let layer_of seg = Assignment.layer asg ~net:net_idx ~seg in
+      let node_r = Hashtbl.create 16 in
+      let r = ref tech.Tech.driver_r in
+      List.iter
+        (fun v ->
+          let seg = node_to_seg.(v) in
+          (if seg >= 0 then begin
+             (* via resistance between this edge and the previous one is part
+                of the path but second-order for the coefficient; include the
+                wire resistance, which dominates *)
+             let l = layer_of seg in
+             r := !r +. (Tech.unit_r tech l *. float_of_int segs.(seg).Segment.len)
+           end);
+          Hashtbl.replace node_r v !r)
+        path_nodes;
+      (* For every segment: walk up to the first node that lies on the path;
+         the coefficient is the path resistance accumulated at that node
+         (for path segments: at their source-side end = parent node). *)
+      let path_node_set = Hashtbl.create 16 in
+      List.iter (fun v -> Hashtbl.replace path_node_set v ()) path_nodes;
+      let branch_attach_r = Array.make nsegs 0.0 in
+      let r_at v = Option.value ~default:tech.Tech.driver_r (Hashtbl.find_opt node_r v) in
+      for v = 0 to Stree.num_nodes tree - 1 do
+        let seg = node_to_seg.(v) in
+        if seg >= 0 then begin
+          if on_path.(seg) then
+            branch_attach_r.(seg) <- r_at tree.Stree.parent.(v)
+          else begin
+            (* first path ancestor of v *)
+            let rec up j =
+              if j < 0 then tree.Stree.root
+              else if Hashtbl.mem path_node_set j then j
+              else up tree.Stree.parent.(j)
+            in
+            let anchor = up v in
+            branch_attach_r.(seg) <- r_at anchor
+          end
+        end
+      done;
+      { net = net_idx; detail; path_segs; on_path; branch_attach_r }
+
+let pin_delays asg nets =
+  Array.to_list nets
+  |> List.concat_map (fun i ->
+         Array.to_list (Elmore.analyze asg i).Elmore.sink_delays |> List.map snd)
+  |> Array.of_list
+
+let avg_max_tcp asg nets =
+  let tcps = Array.map (fun i -> net_tcp asg i) nets in
+  (Cpla_util.Stats.mean tcps, Cpla_util.Stats.max tcps)

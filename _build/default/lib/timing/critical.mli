@@ -1,0 +1,38 @@
+(** Critical-net selection and critical-path structure.
+
+    The CPLA problem releases a fraction of the worst nets ("critical
+    ratio", e.g. 0.5%) and optimises the delay of each released net's worst
+    source→sink path.  This module ranks nets, extracts the worst path, and
+    computes the frozen coefficients the ILP/SDP formulations need. *)
+
+type path_info = {
+  net : int;
+  detail : Elmore.detail;
+  path_segs : int array;
+      (** segment indices on the root→worst-sink path, source side first *)
+  on_path : bool array;  (** per segment of the net: membership in [path_segs] *)
+  branch_attach_r : float array;
+      (** per segment: for branch segments, the frozen upstream resistance of
+          the shared root→branch-point prefix with the worst path (the factor
+          multiplying the segment's capacitance in the worst sink's Elmore
+          delay); for path segments, the upstream resistance to the
+          segment's source-side end *)
+}
+
+val net_tcp : Cpla_route.Assignment.t -> int -> float
+(** Worst sink delay (critical-path timing, [Tcp]) of a net. *)
+
+val select : Cpla_route.Assignment.t -> ratio:float -> int array
+(** Net ids of the top [ceil(ratio × num_nets)] nets by [Tcp], worst first.
+    [ratio] is a fraction (0.005 = the paper's "0.5%").  Nets without
+    segments are never selected. *)
+
+val path_info : Cpla_route.Assignment.t -> int -> path_info
+(** Worst-path structure of one net at its current assignment. *)
+
+val pin_delays : Cpla_route.Assignment.t -> int array -> float array
+(** All sink-pin delays of the given nets (Fig. 1's distribution). *)
+
+val avg_max_tcp : Cpla_route.Assignment.t -> int array -> float * float
+(** Average and maximum [Tcp] over the given nets — the Avg(Tcp) and
+    Max(Tcp) columns of Table 2. *)

@@ -1,0 +1,157 @@
+open Cpla_grid
+open Cpla_route
+
+type detail = {
+  seg_cd : float array;
+  seg_delay : float array;
+  node_delay : float array;
+  sink_delays : (int * float) array;
+  worst_delay : float;
+  worst_node : int;
+  total_cap : float;
+}
+
+let seg_ts ~tech ~len ~layer ~cd =
+  let flen = float_of_int len in
+  let r = Tech.unit_r tech layer *. flen in
+  let c = Tech.unit_c tech layer *. flen in
+  r *. ((c /. 2.0) +. cd)
+
+let via_tv ~tech ~lo ~hi ~cd_min = Tech.via_r_span tech ~lo ~hi *. cd_min
+
+let no_tree_detail tech net =
+  let sinks = Net.sinks net in
+  let load = float_of_int (Array.length sinks) *. tech.Tech.sink_c in
+  let d = tech.Tech.driver_r *. load in
+  {
+    seg_cd = [||];
+    seg_delay = [||];
+    node_delay = [||];
+    sink_delays = Array.map (fun _ -> (-1, d)) sinks;
+    worst_delay = d;
+    worst_node = -1;
+    total_cap = load;
+  }
+
+let analyze asg net_idx =
+  let tech = Assignment.tech asg in
+  let net = Assignment.net asg net_idx in
+  match Assignment.tree asg net_idx with
+  | None -> no_tree_detail tech net
+  | Some tree ->
+      let segs = Assignment.segments asg net_idx in
+      let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let layer_of seg =
+        let l = Assignment.layer asg ~net:net_idx ~seg in
+        if l < 0 then invalid_arg "Elmore.analyze: unassigned segment";
+        l
+      in
+      let n = Stree.num_nodes tree in
+      let children = Stree.children tree in
+      let src = Net.source net in
+      (* sink load at each node: every pin at the node except the source *)
+      let node_load = Array.make n 0.0 in
+      Array.iter
+        (fun p ->
+          if not (p.Net.px = src.Net.px && p.Net.py = src.Net.py) then begin
+            match Stree.find_node tree (p.Net.px, p.Net.py) with
+            | Some i -> node_load.(i) <- node_load.(i) +. tech.Tech.sink_c
+            | None -> ()
+          end)
+        net.Net.pins;
+      (* Bottom-up: Cd per node.  node_cd.(v) = load(v) + Σ_children (wire cap
+         of child seg + node_cd(child)). *)
+      let node_cd = Array.make n 0.0 in
+      let order =
+        (* reverse pre-order gives children before parents *)
+        let acc = ref [] in
+        let stack = Stack.create () in
+        Stack.push tree.Stree.root stack;
+        while not (Stack.is_empty stack) do
+          let v = Stack.pop stack in
+          acc := v :: !acc;
+          Array.iter (fun c -> Stack.push c stack) children.(v)
+        done;
+        !acc
+      in
+      let seg_wire_cap = Array.make (Array.length segs) 0.0 in
+      List.iter
+        (fun v ->
+          let acc = ref node_load.(v) in
+          Array.iter
+            (fun c ->
+              let seg = node_to_seg.(c) in
+              let cap =
+                Tech.unit_c tech (layer_of seg) *. float_of_int segs.(seg).Segment.len
+              in
+              seg_wire_cap.(seg) <- cap;
+              acc := !acc +. cap +. node_cd.(c))
+            children.(v);
+          node_cd.(v) <- !acc)
+        order;
+      let seg_cd = Array.make (Array.length segs) 0.0 in
+      for v = 0 to n - 1 do
+        let seg = node_to_seg.(v) in
+        if seg >= 0 then seg_cd.(seg) <- node_cd.(v)
+      done;
+      (* Top-down: Elmore delay per node. *)
+      let node_delay = Array.make n 0.0 in
+      let seg_delay = Array.make (Array.length segs) 0.0 in
+      let total_cap = node_cd.(tree.Stree.root) in
+      node_delay.(tree.Stree.root) <- tech.Tech.driver_r *. total_cap;
+      (* layer "seen" at a node on the way down: the layer of the edge above
+         it, or the source pin layer at the root *)
+      let upstream_layer v =
+        let seg = node_to_seg.(v) in
+        if seg >= 0 then layer_of seg else src.Net.pl
+      in
+      let rec down v =
+        Array.iter
+          (fun c ->
+            let seg = node_to_seg.(c) in
+            let l = layer_of seg in
+            let up = upstream_layer v in
+            let tv =
+              via_tv ~tech ~lo:(min l up) ~hi:(max l up) ~cd_min:(Float.min seg_cd.(seg) node_cd.(v))
+            in
+            let ts = seg_ts ~tech ~len:segs.(seg).Segment.len ~layer:l ~cd:seg_cd.(seg) in
+            seg_delay.(seg) <- ts;
+            node_delay.(c) <- node_delay.(v) +. tv +. ts;
+            down c)
+          children.(v)
+      in
+      down tree.Stree.root;
+      (* Sink delays including the pin via. *)
+      let sink_list = ref [] in
+      Array.iter
+        (fun p ->
+          if not (p.Net.px = src.Net.px && p.Net.py = src.Net.py) then begin
+            match Stree.find_node tree (p.Net.px, p.Net.py) with
+            | Some v ->
+                let up = upstream_layer v in
+                let pl = p.Net.pl in
+                let pin_via =
+                  via_tv ~tech ~lo:(min up pl) ~hi:(max up pl) ~cd_min:tech.Tech.sink_c
+                in
+                sink_list := (v, node_delay.(v) +. pin_via) :: !sink_list
+            | None -> ()
+          end)
+        net.Net.pins;
+      let sink_delays = Array.of_list (List.rev !sink_list) in
+      let worst_node = ref (-1) and worst_delay = ref 0.0 in
+      Array.iter
+        (fun (v, d) ->
+          if d > !worst_delay then begin
+            worst_delay := d;
+            worst_node := v
+          end)
+        sink_delays;
+      {
+        seg_cd;
+        seg_delay;
+        node_delay;
+        sink_delays;
+        worst_delay = !worst_delay;
+        worst_node = !worst_node;
+        total_cap;
+      }

@@ -1,0 +1,32 @@
+(** Elmore delay analysis of assigned nets (Section 2.2).
+
+    Implements Eqns (2) and (3): segment delay
+    [ts(i,l) = R_e(l)·(C_e(l)/2 + Cd(i))] with downstream capacitances
+    computed sinks-to-source, via delay
+    [tv = Σ R_v(l) · min(Cd(i), Cd(p))] for the stacked via between two
+    tree-adjacent segments, a driver resistance charging the whole net at
+    the source, and sink-pin vias charging the sink load. *)
+
+type detail = {
+  seg_cd : float array;
+      (** per segment: downstream capacitance [Cd(i)] — everything beyond the
+          segment's far (child) end, excluding the segment's own wire cap *)
+  seg_delay : float array;  (** per segment: [ts] of Eqn (2) at its current layer *)
+  node_delay : float array; (** per tree node: Elmore delay from the driver input *)
+  sink_delays : (int * float) array;
+      (** one entry per sink pin: (tree node, delay including the pin via) *)
+  worst_delay : float;  (** max over [sink_delays]; this is the net's [Tcp] *)
+  worst_node : int;     (** tree node of the worst sink; -1 when the net has no tree *)
+  total_cap : float;    (** capacitance the driver sees *)
+}
+
+val analyze : Cpla_route.Assignment.t -> int -> detail
+(** Analyse one net.  Every segment of the net must be assigned.
+    @raise Invalid_argument otherwise.  Nets without a tree (single-tile)
+    yield a detail with only the driver-charging-sink-load delay. *)
+
+val seg_ts : tech:Cpla_grid.Tech.t -> len:int -> layer:int -> cd:float -> float
+(** Eqn (2) for one segment given its downstream cap. *)
+
+val via_tv : tech:Cpla_grid.Tech.t -> lo:int -> hi:int -> cd_min:float -> float
+(** Eqn (3) for a via stack spanning layers [lo..hi]. *)

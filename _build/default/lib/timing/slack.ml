@@ -1,0 +1,62 @@
+open Cpla_grid
+open Cpla_route
+
+type budget =
+  | Clock of float
+  | Scaled of float
+
+type report = {
+  slacks : float array;
+  wns : float;
+  tns : float;
+  violations : int;
+}
+
+(* Zero-load lower bound: route length on the fastest layers with no
+   congestion or via detours — the best this net could ever do. *)
+let lower_bound_delay asg net_idx =
+  let tech = Assignment.tech asg in
+  let nl = Tech.num_layers tech in
+  let best_r = Tech.unit_r tech (nl - 1) in
+  let best_c = Tech.unit_c tech 0 in
+  match Assignment.tree asg net_idx with
+  | None -> tech.Tech.driver_r *. tech.Tech.sink_c
+  | Some tree ->
+      let wl = float_of_int (Stree.total_wirelength tree) in
+      let sinks = float_of_int (Array.length (Net.sinks (Assignment.net asg net_idx))) in
+      let total_cap = (best_c *. wl) +. (sinks *. tech.Tech.sink_c) in
+      (tech.Tech.driver_r *. total_cap) +. (best_r *. wl *. (total_cap /. 2.0))
+
+let budget_of_net asg budget net_idx =
+  match budget with
+  | Clock period -> period
+  | Scaled factor -> factor *. lower_bound_delay asg net_idx
+
+let analyze asg budget =
+  let n = Assignment.num_nets asg in
+  let slacks =
+    Array.init n (fun i ->
+        let required = budget_of_net asg budget i in
+        let arrival = (Elmore.analyze asg i).Elmore.worst_delay in
+        required -. arrival)
+  in
+  let wns = ref 0.0 and tns = ref 0.0 and violations = ref 0 in
+  Array.iter
+    (fun s ->
+      if s < 0.0 then begin
+        incr violations;
+        tns := !tns +. s;
+        if s < !wns then wns := s
+      end)
+    slacks;
+  { slacks; wns = !wns; tns = !tns; violations = !violations }
+
+let select_violating asg budget ~max_nets =
+  let report = analyze asg budget in
+  let keyed = Array.mapi (fun i s -> (s, i)) report.slacks in
+  Array.sort compare keyed;
+  Array.to_list keyed
+  |> List.filter (fun (s, i) -> s < 0.0 && Array.length (Assignment.segments asg i) > 0)
+  |> List.filteri (fun rank _ -> rank < max_nets)
+  |> List.map snd
+  |> Array.of_list

@@ -1,0 +1,61 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; len = 0 }
+
+let is_empty t = t.len = 0
+
+let size t = t.len
+
+let grow t =
+  let n = Array.length t.keys in
+  let keys = Array.make (2 * n) 0.0 and vals = Array.make (2 * n) None in
+  Array.blit t.keys 0 keys 0 t.len;
+  Array.blit t.vals 0 vals 0 t.len;
+  t.keys <- keys;
+  t.vals <- vals
+
+let swap t i j =
+  let k = t.keys.(i) and v = t.vals.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.vals.(i) <- t.vals.(j);
+  t.keys.(j) <- k;
+  t.vals.(j) <- v
+
+let push t key value =
+  if t.len = Array.length t.keys then grow t;
+  t.keys.(t.len) <- key;
+  t.vals.(t.len) <- Some value;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && t.keys.((!i - 1) / 2) > t.keys.(!i) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let key = t.keys.(0) and value = t.vals.(0) in
+    t.len <- t.len - 1;
+    t.keys.(0) <- t.keys.(t.len);
+    t.vals.(0) <- t.vals.(t.len);
+    t.vals.(t.len) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.len && t.keys.(l) < t.keys.(!smallest) then smallest := l;
+      if r < t.len && t.keys.(r) < t.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    match value with Some v -> Some (key, v) | None -> None
+  end

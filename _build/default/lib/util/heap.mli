@@ -1,0 +1,15 @@
+(** Binary min-heap keyed by floats, used by the Dijkstra maze router. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** Insert a value with the given priority. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry. *)

@@ -1,0 +1,45 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; counts = Array.make bins 0; total = 0 }
+
+let add t x =
+  let bins = Array.length t.counts in
+  let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
+  let i = int_of_float (Float.floor raw) in
+  let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let add_all t xs = Array.iter (add t) xs
+
+let counts t = Array.copy t.counts
+
+let total t = t.total
+
+let bin_center t i =
+  let bins = float_of_int (Array.length t.counts) in
+  t.lo +. ((float_of_int i +. 0.5) /. bins *. (t.hi -. t.lo))
+
+let render ?(width = 50) ?(label = "") t =
+  let buf = Buffer.create 256 in
+  if label <> "" then Buffer.add_string buf (label ^ "\n");
+  let log_count c = if c <= 0 then 0.0 else log (float_of_int c +. 1.0) in
+  let max_log = Array.fold_left (fun a c -> Float.max a (log_count c)) 0.0 t.counts in
+  Array.iteri
+    (fun i c ->
+      let bar =
+        if max_log <= 0.0 then 0
+        else int_of_float (Float.round (log_count c /. max_log *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%12.1f | %-*s %d\n" (bin_center t i) width (String.make bar '#') c))
+    t.counts;
+  Buffer.contents buf

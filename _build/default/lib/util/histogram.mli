@@ -1,0 +1,28 @@
+(** Fixed-bin histograms with an ASCII rendering, used for the pin-delay
+    distribution plots of Fig. 1. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins.
+    Samples outside the range are clamped into the first/last bin.
+    Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val add_all : t -> float array -> unit
+(** Record many samples. *)
+
+val counts : t -> int array
+(** A copy of the per-bin counts. *)
+
+val total : t -> int
+(** Number of recorded samples. *)
+
+val bin_center : t -> int -> float
+(** Mid-point value of bin [i]. *)
+
+val render : ?width:int -> ?label:string -> t -> string
+(** Log-scale horizontal bar chart (counts grow exponentially in the paper's
+    Fig. 1 y-axis), one line per bin. *)

@@ -1,0 +1,34 @@
+let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+exception Worker_failure of exn
+
+let parallel_map ~workers f xs =
+  let n = Array.length xs in
+  if workers <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else begin
+          match f xs.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set failure None (Some e))
+        end
+      done
+    in
+    let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some e -> raise (Worker_failure e)
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.parallel_map: missing result (worker died)")
+      results
+  end

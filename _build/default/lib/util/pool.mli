@@ -1,0 +1,16 @@
+(** Deterministic parallel map over OCaml 5 domains.
+
+    Substitute for the paper's OpenMP partition loop: partitions with
+    similar sizes are independent work items, so a fixed-size domain pool
+    pulling indices from a shared counter balances them well.  Output order
+    is by input index, so results are deterministic regardless of
+    scheduling (provided [f] itself is deterministic and does not share
+    mutable state across items). *)
+
+val parallel_map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map ~workers f xs] maps [f] over [xs] using up to [workers]
+    domains ([workers <= 1] runs sequentially, in-domain).  Exceptions in
+    [f] are re-raised in the caller after all domains join. *)
+
+val recommended_workers : unit -> int
+(** [Domain.recommended_domain_count - 1], at least 1. *)

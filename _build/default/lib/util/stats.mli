@@ -1,0 +1,24 @@
+(** Small summary-statistics helpers used by the timing reports and the
+    experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val max : float array -> float
+(** Maximum; [neg_infinity] on the empty array. *)
+
+val min : float array -> float
+(** Minimum; [infinity] on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty array. *)
+
+val sum : float array -> float
+(** Compensated (Kahan) summation. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive values; 0 if any value is non-positive. *)

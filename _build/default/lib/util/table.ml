@@ -1,0 +1,63 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let n = List.length t.headers in
+  let w = Array.make n 0 in
+  let feed cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  feed t.headers;
+  List.iter (function Cells c -> feed c | Separator -> ()) t.rows;
+  w
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render ?(align = Right) t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun width -> Buffer.add_string buf ("+" ^ String.make (width + 2) '-')) w;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad align w.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let print ?align t =
+  print_string (render ?align t);
+  flush stdout
+
+let cell_f ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let cell_i v = string_of_int v

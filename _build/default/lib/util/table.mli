@@ -1,0 +1,32 @@
+(** ASCII table rendering for experiment reports.
+
+    Used by the benchmark harness to print the paper's tables (Table 2) and
+    figure data series in a stable, diff-friendly layout. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : headers:string list -> t
+(** [create ~headers] starts a table; every row must have the same arity as
+    [headers]. *)
+
+val add_row : t -> string list -> unit
+(** Append one row.  Raises [Invalid_argument] on arity mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used before summary rows). *)
+
+val render : ?align:align -> t -> string
+(** Render with column widths fitted to content.  Default alignment is
+    [Right], which suits numeric tables. *)
+
+val print : ?align:align -> t -> unit
+(** [render] to stdout followed by a newline flush. *)
+
+val cell_f : ?digits:int -> float -> string
+(** Format a float cell with [digits] (default 2) fraction digits. *)
+
+val cell_i : int -> string
+(** Format an int cell. *)

@@ -1,0 +1,15 @@
+(** Monotonic wall-clock timing for the runtime columns of the experiment
+    tables. *)
+
+type t
+(** A running stopwatch. *)
+
+val start : unit -> t
+(** Start a stopwatch now. *)
+
+val elapsed_s : t -> float
+(** Seconds since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    seconds. *)

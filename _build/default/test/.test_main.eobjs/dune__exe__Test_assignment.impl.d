@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Array Assignment Cpla_grid Cpla_route Float Graph Init_assign List Net Printf QCheck QCheck_alcotest Router Segment Stree Synth Tech Tree_dp

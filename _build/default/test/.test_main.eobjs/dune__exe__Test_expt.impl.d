@@ -1,0 +1,1 @@
+test/test_expt.ml: Alcotest Cpla_expt Cpla_route Cpla_timing Experiments List Suite

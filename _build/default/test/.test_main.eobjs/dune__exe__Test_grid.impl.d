@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Array Cpla_grid Graph Printf QCheck QCheck_alcotest String Tech

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Cpla_ilp Cpla_numeric Float Model QCheck QCheck_alcotest Simplex Solver

@@ -1,0 +1,1 @@
+test/test_integration.ml: Array Assignment Cpla Cpla_grid Cpla_route Cpla_tila Cpla_timing Critical Elmore Init_assign List Net QCheck QCheck_alcotest Router Stree Synth

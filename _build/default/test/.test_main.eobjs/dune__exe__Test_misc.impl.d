@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Cpla Cpla_grid Cpla_route Cpla_util Graph List Net Router Stree String Tech

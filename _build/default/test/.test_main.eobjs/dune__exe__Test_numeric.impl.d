@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Cholesky Cpla_numeric Cpla_util Eigen Float Lbfgs Mat Printf QCheck QCheck_alcotest Simplex Vec

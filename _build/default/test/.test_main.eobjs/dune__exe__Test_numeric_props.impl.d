@@ -1,0 +1,1 @@
+test/test_numeric_props.ml: Array Cholesky Cpla_numeric Cpla_sdp Cpla_util Eigen Float Lbfgs Mat QCheck QCheck_alcotest Simplex Vec

@@ -1,0 +1,1 @@
+test/test_route.ml: Alcotest Array Cpla_grid Cpla_route Graph Ispd08 List Maze Net Printf Router Segment Stree Synth Tech

@@ -1,0 +1,1 @@
+test/test_route_edge.ml: Alcotest Array Cpla_grid Cpla_route Float Graph Ispd08 List Net Printf QCheck QCheck_alcotest Router Segment Stree Tech Tree_dp

@@ -1,0 +1,1 @@
+test/test_sdp.ml: Alcotest Array Cholesky Cpla_numeric Cpla_sdp Float List Mat Problem QCheck QCheck_alcotest Solver

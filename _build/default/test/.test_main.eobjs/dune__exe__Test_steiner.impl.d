@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Cpla_route List Net Printf QCheck QCheck_alcotest Router Steiner Stree Synth

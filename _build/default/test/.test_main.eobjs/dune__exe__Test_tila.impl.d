@@ -1,0 +1,1 @@
+test/test_tila.ml: Alcotest Assignment Cpla_grid Cpla_route Cpla_tila Cpla_timing Critical Init_assign Router Synth

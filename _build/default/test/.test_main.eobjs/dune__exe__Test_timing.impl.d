@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Assignment Cpla_grid Cpla_route Cpla_timing Critical Elmore Graph List Net Printf QCheck QCheck_alcotest Segment Stree Tech

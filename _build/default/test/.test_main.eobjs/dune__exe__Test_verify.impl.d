@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Assignment Buffer Cpla Cpla_grid Cpla_route Cpla_tila Cpla_timing Critical Format Graph Init_assign List Net Printf Router Segment Stree String Synth Tech Verify

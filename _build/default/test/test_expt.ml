@@ -1,0 +1,69 @@
+open Cpla_expt
+
+let test_suite_has_15 () =
+  Alcotest.(check int) "15 benchmarks" 15 (List.length Suite.all);
+  Alcotest.(check int) "6 small cases" 6 (List.length Suite.small_cases)
+
+let test_suite_names_match_paper () =
+  let names = List.map (fun b -> b.Suite.name) Suite.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " present") true (List.mem expected names))
+    [
+      "adaptec1"; "adaptec2"; "adaptec3"; "adaptec4"; "adaptec5";
+      "bigblue1"; "bigblue2"; "bigblue3"; "bigblue4";
+      "newblue1"; "newblue2"; "newblue4"; "newblue5"; "newblue6"; "newblue7";
+    ]
+
+let test_suite_sizes_ordered () =
+  (* newblue7 is the largest design, adaptec1 the smallest, as in ISPD'08 *)
+  let nets name = (Suite.find name).Suite.spec.Cpla_route.Synth.num_nets in
+  Alcotest.(check bool) "newblue7 largest" true
+    (List.for_all (fun b -> nets b.Suite.name <= nets "newblue7") Suite.all);
+  Alcotest.(check bool) "adaptec1 smallest" true
+    (List.for_all (fun b -> nets b.Suite.name >= nets "adaptec1") Suite.all)
+
+let test_find_unknown () =
+  Alcotest.(check bool) "not found" true
+    (match Suite.find "nosuchbench" with exception Not_found -> true | _ -> false)
+
+let test_prepare_deterministic () =
+  let bench = Suite.find "adaptec1" in
+  let a = Suite.prepare bench and b = Suite.prepare bench in
+  let released_a = Experiments.released_at a ~ratio:0.005 in
+  let released_b = Experiments.released_at b ~ratio:0.005 in
+  Alcotest.(check bool) "same release set" true (released_a = released_b);
+  let avg_a, max_a =
+    Cpla_timing.Critical.avg_max_tcp a.Suite.asg released_a
+  in
+  let avg_b, max_b =
+    Cpla_timing.Critical.avg_max_tcp b.Suite.asg released_b
+  in
+  Alcotest.(check (float 1e-12)) "same avg" avg_a avg_b;
+  Alcotest.(check (float 1e-12)) "same max" max_a max_b
+
+let test_prepare_fully_assigned () =
+  let prep = Suite.prepare (Suite.find "adaptec1") in
+  Alcotest.(check bool) "fully assigned" true
+    (Cpla_route.Assignment.fully_assigned prep.Suite.asg);
+  Alcotest.(check bool) "ledger consistent" true
+    (Cpla_route.Assignment.check_usage prep.Suite.asg = Ok ())
+
+let test_eight_layer_designs () =
+  List.iter
+    (fun name ->
+      let b = Suite.find name in
+      Alcotest.(check int) (name ^ " has 8 layers") 8
+        b.Suite.spec.Cpla_route.Synth.num_layers)
+    [ "bigblue3"; "bigblue4"; "newblue5"; "newblue6"; "newblue7" ]
+
+let suite =
+  [
+    Alcotest.test_case "suite has 15 benchmarks" `Quick test_suite_has_15;
+    Alcotest.test_case "suite names match paper" `Quick test_suite_names_match_paper;
+    Alcotest.test_case "suite sizes ordered" `Quick test_suite_sizes_ordered;
+    Alcotest.test_case "find unknown raises" `Quick test_find_unknown;
+    Alcotest.test_case "prepare deterministic" `Slow test_prepare_deterministic;
+    Alcotest.test_case "prepare fully assigned" `Slow test_prepare_fully_assigned;
+    Alcotest.test_case "eight layer designs" `Quick test_eight_layer_designs;
+  ]

@@ -1,0 +1,134 @@
+(* Cross-module integration properties: the full pipeline on randomised
+   small designs must preserve the structural invariants regardless of the
+   optimisation method applied. *)
+
+open Cpla_route
+open Cpla_timing
+
+let build ~seed ~nets ~w ~cap =
+  let spec =
+    {
+      Synth.default_spec with
+      Synth.width = w;
+      height = w;
+      num_nets = nets;
+      capacity = cap;
+      seed;
+      mean_extra_pins = 2.0;
+    }
+  in
+  let graph, net_arr = Synth.generate spec in
+  let routed = Router.route_all ~graph net_arr in
+  let asg = Assignment.create ~graph ~nets:net_arr ~trees:routed.Router.trees in
+  (asg, routed)
+
+let pipeline_invariants =
+  QCheck.Test.make ~name:"route+init pipeline invariants on random designs" ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 100 400))
+    (fun (seed, nets) ->
+      let asg, routed = build ~seed ~nets ~w:24 ~cap:8 in
+      Init_assign.run asg;
+      (* every tree valid, every pin a tree node, usage ledger consistent *)
+      let ok = ref (Assignment.check_usage asg = Ok () && Assignment.fully_assigned asg) in
+      Array.iteri
+        (fun i tree_opt ->
+          match tree_opt with
+          | None -> ()
+          | Some tree ->
+              if Stree.validate tree <> Ok () then ok := false;
+              Array.iter
+                (fun p ->
+                  if Stree.find_node tree (p.Net.px, p.Net.py) = None then ok := false)
+                (Assignment.net asg i).Net.pins)
+        routed.Router.trees;
+      !ok)
+
+let optimisation_preserves_invariants =
+  QCheck.Test.make ~name:"SDP optimisation preserves invariants" ~count:4
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let asg, _ = build ~seed ~nets:250 ~w:24 ~cap:8 in
+      Init_assign.run asg;
+      let released = Critical.select asg ~ratio:0.02 in
+      let avg0, _ = Critical.avg_max_tcp asg released in
+      let rep = Cpla.Driver.optimize_released asg ~released in
+      Assignment.check_usage asg = Ok ()
+      && Assignment.fully_assigned asg
+      && rep.Cpla.Driver.avg_tcp <= avg0 +. 1e-9)
+
+let tila_preserves_invariants =
+  QCheck.Test.make ~name:"TILA optimisation preserves invariants" ~count:4
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let asg, _ = build ~seed ~nets:250 ~w:24 ~cap:8 in
+      Init_assign.run asg;
+      let released = Critical.select asg ~ratio:0.02 in
+      ignore (Cpla_tila.Tila.optimize asg ~released);
+      Assignment.check_usage asg = Ok () && Assignment.fully_assigned asg)
+
+let determinism =
+  QCheck.Test.make ~name:"whole flow is deterministic in the seed" ~count:3
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let run () =
+        let asg, _ = build ~seed ~nets:200 ~w:20 ~cap:8 in
+        Init_assign.run asg;
+        let released = Critical.select asg ~ratio:0.02 in
+        let rep = Cpla.Driver.optimize_released asg ~released in
+        (rep.Cpla.Driver.avg_tcp, rep.Cpla.Driver.max_tcp)
+      in
+      run () = run ())
+
+let compress_preserves_shape =
+  QCheck.Test.make ~name:"stree compress preserves wirelength and validity" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (pair (int_bound 10) (int_bound 10)))
+    (fun raw_points ->
+      (* build a random monotone staircase tree through the points *)
+      let points = List.sort_uniq compare ((0, 0) :: raw_points) in
+      let edges =
+        let rec connect acc prev = function
+          | [] -> acc
+          | (x, y) :: rest ->
+              let px, py = prev in
+              let acc =
+                if px = x && py = y then acc
+                else if px = x || py = y then ((px, py), (x, y)) :: acc
+                else (((px, py), (x, py)) :: ((x, py), (x, y)) :: acc)
+              in
+              connect acc (x, y) rest
+        in
+        connect [] (0, 0) (List.tl points)
+      in
+      match edges with
+      | [] -> true
+      | _ -> (
+          match Stree.of_edges ~root:(0, 0) edges with
+          | exception Invalid_argument _ -> true (* staircase may self-touch: skip *)
+          | tree ->
+              let c = Stree.compress ~keep:points tree in
+              Stree.validate c = Ok ()
+              && Stree.total_wirelength c = Stree.total_wirelength tree))
+
+let elmore_layer_sensitivity =
+  QCheck.Test.make ~name:"moving a segment up never increases its own ts" ~count:100
+    QCheck.(triple (int_range 1 10) (int_range 0 2) (float_range 0.5 20.0))
+    (fun (len, tier, cd) ->
+      let tech = Cpla_grid.Tech.default ~num_layers:8 () in
+      (* compare same-direction layers two apart: higher tier = lower R *)
+      let low = tier * 2 and high = (tier + 1) * 2 in
+      let ts_low = Elmore.seg_ts ~tech ~len ~layer:low ~cd in
+      let ts_high = Elmore.seg_ts ~tech ~len ~layer:high ~cd in
+      (* with the default stack, R halves while C grows by <25%: for any
+         cd >= C/2's growth the higher layer is never slower by more than
+         the C increase; assert the dominant-R regime *)
+      cd < 1.0 || ts_high <= ts_low)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest pipeline_invariants;
+    QCheck_alcotest.to_alcotest optimisation_preserves_invariants;
+    QCheck_alcotest.to_alcotest tila_preserves_invariants;
+    QCheck_alcotest.to_alcotest determinism;
+    QCheck_alcotest.to_alcotest compress_preserves_shape;
+    QCheck_alcotest.to_alcotest elmore_layer_sensitivity;
+  ]

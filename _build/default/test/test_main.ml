@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "cpla"
+    [
+      ("util", Test_util.suite);
+      ("numeric", Test_numeric.suite);
+      ("numeric-props", Test_numeric_props.suite);
+      ("ilp", Test_ilp.suite);
+      ("sdp", Test_sdp.suite);
+      ("grid", Test_grid.suite);
+      ("route", Test_route.suite);
+      ("assignment", Test_assignment.suite);
+      ("timing", Test_timing.suite);
+      ("tila", Test_tila.suite);
+      ("cpla", Test_cpla.suite);
+      ("integration", Test_integration.suite);
+      ("extensions", Test_extensions.suite);
+      ("verify", Test_verify.suite);
+      ("expt", Test_expt.suite);
+      ("route-edge", Test_route_edge.suite);
+      ("misc", Test_misc.suite);
+      ("steiner", Test_steiner.suite);
+    ]

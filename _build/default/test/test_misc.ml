@@ -1,0 +1,97 @@
+(* Remaining coverage: read-only router API, partition stats, histogram
+   rendering, RNG copy semantics, Kahan summation. *)
+
+open Cpla_grid
+open Cpla_route
+
+let pin px py = { Net.px; py; pl = 0 }
+
+let test_route_net_pure () =
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:16 ~height:16 ~layer_capacity:(Array.make 4 8) in
+  let net = Net.create ~id:0 ~name:"n" ~pins:[| pin 1 1; pin 9 6 |] in
+  let before = Graph.usage_2d graph { Graph.dir = Tech.Horizontal; x = 1; y = 1 } in
+  match Router.route_net ~graph ~demand:(fun _ -> 0) net with
+  | Some tree ->
+      Alcotest.(check bool) "valid" true (Stree.validate tree = Ok ());
+      Alcotest.(check int) "graph untouched" before
+        (Graph.usage_2d graph { Graph.dir = Tech.Horizontal; x = 1; y = 1 })
+  | None -> Alcotest.fail "expected a tree"
+
+let test_route_net_respects_demand () =
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:16 ~height:16 ~layer_capacity:(Array.make 4 2) in
+  (* artificial demand saturating row y=3 pushes an L-route off that row *)
+  let demand (e : Graph.edge2d) =
+    if e.Graph.dir = Tech.Horizontal && e.Graph.y = 3 then 100 else 0
+  in
+  let net = Net.create ~id:0 ~name:"n" ~pins:[| pin 1 3; pin 12 3 |] in
+  match Router.route_net ~graph ~demand net with
+  | Some tree ->
+      (* the direct straight route would stay on y=3; congestion should bend
+         it away for at least part of the path *)
+      let touches_other_row = ref false in
+      Array.iter (fun (_, y) -> if y <> 3 then touches_other_row := true) tree.Stree.nodes;
+      Alcotest.(check bool) "detours off the hot row" true !touches_other_row
+  | None -> Alcotest.fail "expected a tree"
+
+let test_partition_stats () =
+  let items =
+    List.init 30 (fun i -> { Cpla.Partition.net = 0; seg = i; mid = (i mod 6, i / 6) })
+  in
+  let leaves = Cpla.Partition.build ~width:32 ~height:32 ~k:2 ~max_segments:4 items in
+  let n, depth, mean = Cpla.Partition.stats leaves in
+  Alcotest.(check bool) "has leaves" true (n > 0);
+  Alcotest.(check bool) "depth positive (30 items in one corner)" true (depth >= 1);
+  Alcotest.(check bool) "mean sane" true (mean > 0.0 && mean <= 30.0)
+
+let test_histogram_render_bars () =
+  let h = Cpla_util.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:2 in
+  for _ = 1 to 100 do
+    Cpla_util.Histogram.add h 2.0
+  done;
+  Cpla_util.Histogram.add h 8.0;
+  let s = Cpla_util.Histogram.render ~width:20 h in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "two bins rendered" 2 (List.length lines);
+  (* the 100-sample bin has a longer bar than the 1-sample bin *)
+  let count_hashes line = String.fold_left (fun a c -> if c = '#' then a + 1 else a) 0 line in
+  (match lines with
+  | [ big; small ] ->
+      Alcotest.(check bool) "log-scaled bars ordered" true
+        (count_hashes big > count_hashes small)
+  | _ -> Alcotest.fail "expected two lines")
+
+let test_rng_copy_semantics () =
+  let a = Cpla_util.Rng.create 9 in
+  ignore (Cpla_util.Rng.int a 100);
+  let b = Cpla_util.Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Cpla_util.Rng.int a 1000000)
+    (Cpla_util.Rng.int b 1000000)
+
+let test_kahan_sum () =
+  (* naive summation of 1e16 + many 1.0s loses the ones; Kahan keeps them *)
+  let xs = Array.make 1001 1.0 in
+  xs.(0) <- 1e16;
+  let kahan = Cpla_util.Stats.sum xs in
+  Alcotest.(check (float 1.0)) "kahan keeps low bits" (1e16 +. 1000.0) kahan
+
+let test_timer_monotone () =
+  let t = Cpla_util.Timer.start () in
+  let acc = ref 0.0 in
+  for i = 1 to 2_000_000 do
+    acc := !acc +. float_of_int i
+  done;
+  ignore !acc;
+  Alcotest.(check bool) "elapsed non-negative" true (Cpla_util.Timer.elapsed_s t >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "route_net is pure" `Quick test_route_net_pure;
+    Alcotest.test_case "route_net respects demand" `Quick test_route_net_respects_demand;
+    Alcotest.test_case "partition stats" `Quick test_partition_stats;
+    Alcotest.test_case "histogram render bars" `Quick test_histogram_render_bars;
+    Alcotest.test_case "rng copy semantics" `Quick test_rng_copy_semantics;
+    Alcotest.test_case "kahan summation" `Quick test_kahan_sum;
+    Alcotest.test_case "timer monotone" `Quick test_timer_monotone;
+  ]

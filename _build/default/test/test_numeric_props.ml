@@ -1,0 +1,144 @@
+(* Deeper property-based tests on the numerical substrates. *)
+
+open Cpla_numeric
+
+let random_psd rng n =
+  let b = Mat.init n n (fun _ _ -> Cpla_util.Rng.gaussian rng) in
+  let a = Mat.mul b (Mat.transpose b) in
+  Mat.init n n (fun i j -> Mat.get a i j +. if i = j then float_of_int n else 0.0)
+
+(* L-BFGS on a strongly convex quadratic must agree with the direct solve. *)
+let lbfgs_vs_cholesky =
+  QCheck.Test.make ~name:"lbfgs solves random PSD quadratics" ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Cpla_util.Rng.create seed in
+      let a = random_psd rng n in
+      let b = Array.init n (fun _ -> Cpla_util.Rng.gaussian rng) in
+      let x_direct = Cholesky.solve a b in
+      let f x =
+        let ax = Mat.mul_vec a x in
+        let fx = (0.5 *. Vec.dot x ax) -. Vec.dot b x in
+        let g = Array.mapi (fun i v -> v -. b.(i)) ax in
+        (fx, g)
+      in
+      let res = Lbfgs.minimize ~max_iter:1000 ~grad_tol:1e-9 ~f (Array.make n 0.0) in
+      let err = Vec.norm_inf (Vec.sub res.Lbfgs.x x_direct) in
+      err < 1e-4)
+
+(* Eigenvalues shift exactly under A + tI. *)
+let eigen_shift =
+  QCheck.Test.make ~name:"eigenvalues shift under diagonal offset" ~count:25
+    QCheck.(pair (int_range 1 1000) (float_range 0.1 5.0))
+    (fun (seed, t) ->
+      let rng = Cpla_util.Rng.create seed in
+      let n = 4 in
+      let a = random_psd rng n in
+      let shifted = Mat.init n n (fun i j -> Mat.get a i j +. if i = j then t else 0.0) in
+      let w, _ = Eigen.decompose a in
+      let ws, _ = Eigen.decompose shifted in
+      Array.for_all2 (fun x y -> Float.abs (x +. t -. y) < 1e-7) w ws)
+
+(* Eigenvalue sum equals the trace. *)
+let eigen_trace =
+  QCheck.Test.make ~name:"eigenvalue sum equals trace" ~count:25
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Cpla_util.Rng.create seed in
+      let n = 5 in
+      let a = random_psd rng n in
+      let w, _ = Eigen.decompose a in
+      let trace = ref 0.0 in
+      for i = 0 to n - 1 do
+        trace := !trace +. Mat.get a i i
+      done;
+      Float.abs (Cpla_util.Stats.sum w -. !trace) < 1e-7 *. Float.max 1.0 !trace)
+
+(* Adding a constraint can only worsen (raise) a minimisation optimum. *)
+let simplex_constraint_monotonicity =
+  QCheck.Test.make ~name:"extra constraints never lower the LP optimum" ~count:50
+    QCheck.(
+      quad (float_range (-3.0) 3.0) (float_range (-3.0) 3.0) (float_range 1.0 6.0)
+        (float_range 0.5 4.0))
+    (fun (c0, c1, b0, extra) ->
+      let base =
+        {
+          Simplex.objective = [| c0; c1 |];
+          rows =
+            [|
+              ([| 1.0; 1.0 |], Simplex.Le, b0);
+              ([| 1.0; 0.0 |], Simplex.Le, b0);
+              ([| 0.0; 1.0 |], Simplex.Le, b0);
+            |];
+        }
+      in
+      let tightened =
+        { base with Simplex.rows = Array.append base.Simplex.rows [| ([| 1.0; 1.0 |], Simplex.Le, Float.min b0 extra) |] }
+      in
+      match (Simplex.solve base, Simplex.solve tightened) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+          b.Simplex.objective >= a.Simplex.objective -. 1e-7
+      | Simplex.Optimal _, Simplex.Infeasible -> true
+      | _ -> false)
+
+(* Scaling the objective scales the optimum. *)
+let simplex_objective_scaling =
+  QCheck.Test.make ~name:"LP optimum scales with the objective" ~count:50
+    QCheck.(triple (float_range (-4.0) 4.0) (float_range (-4.0) 4.0) (float_range 0.5 5.0))
+    (fun (c0, c1, k) ->
+      let mk scale =
+        {
+          Simplex.objective = [| scale *. c0; scale *. c1 |];
+          rows =
+            [|
+              ([| 1.0; 1.0 |], Simplex.Le, 3.0);
+              ([| 1.0; 0.0 |], Simplex.Le, 2.0);
+              ([| 0.0; 1.0 |], Simplex.Le, 2.0);
+            |];
+        }
+      in
+      match (Simplex.solve (mk 1.0), Simplex.solve (mk k)) with
+      | Simplex.Optimal a, Simplex.Optimal b ->
+          Float.abs ((k *. a.Simplex.objective) -. b.Simplex.objective)
+          < 1e-6 *. Float.max 1.0 (Float.abs b.Simplex.objective)
+      | _ -> false)
+
+(* Cholesky solve agrees with explicit residual. *)
+let cholesky_residual =
+  QCheck.Test.make ~name:"cholesky solve residual is tiny" ~count:25
+    QCheck.(pair (int_range 1 1000) (int_range 1 8))
+    (fun (seed, n) ->
+      let rng = Cpla_util.Rng.create seed in
+      let a = random_psd rng n in
+      let b = Array.init n (fun _ -> Cpla_util.Rng.gaussian rng) in
+      let x = Cholesky.solve a b in
+      Vec.norm_inf (Vec.sub (Mat.mul_vec a x) b) < 1e-7 *. Float.max 1.0 (Vec.norm_inf b))
+
+(* The SDP solver respects objective scaling too (sanity for the CPLA
+   normalisation step). *)
+let sdp_objective_scaling =
+  QCheck.Test.make ~name:"SDP diag ranking invariant to objective scale" ~count:10
+    QCheck.(pair (float_range 0.5 3.0) (float_range 10.0 1000.0))
+    (fun (c, k) ->
+      let e i j v = { Cpla_sdp.Problem.i; j; v } in
+      let mk scale =
+        Cpla_sdp.Problem.create ~dim:2
+          ~cost:[ e 0 0 (scale *. c); e 1 1 (scale *. 2.0 *. c) ]
+          ~constraints:[ { Cpla_sdp.Problem.terms = [ e 0 0 1.0; e 1 1 1.0 ]; b = 1.0 } ]
+      in
+      let r1 = Cpla_sdp.Solver.solve (mk 1.0) in
+      let rk = Cpla_sdp.Solver.solve (mk (1.0 /. k)) in
+      (* entry 0 is cheaper in both cases *)
+      r1.Cpla_sdp.Solver.x_diag.(0) > r1.Cpla_sdp.Solver.x_diag.(1)
+      && rk.Cpla_sdp.Solver.x_diag.(0) > rk.Cpla_sdp.Solver.x_diag.(1))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest lbfgs_vs_cholesky;
+    QCheck_alcotest.to_alcotest eigen_shift;
+    QCheck_alcotest.to_alcotest eigen_trace;
+    QCheck_alcotest.to_alcotest simplex_constraint_monotonicity;
+    QCheck_alcotest.to_alcotest simplex_objective_scaling;
+    QCheck_alcotest.to_alcotest cholesky_residual;
+    QCheck_alcotest.to_alcotest sdp_objective_scaling;
+  ]

@@ -1,0 +1,168 @@
+(* Edge-case tests for the routing substrate. *)
+
+open Cpla_grid
+open Cpla_route
+
+let pin px py = { Net.px; py; pl = 0 }
+
+let mk_graph ?(w = 16) ?(h = 16) ?(layers = 4) ?(cap = 8) () =
+  let tech = Tech.default ~num_layers:layers () in
+  Graph.create ~tech ~width:w ~height:h ~layer_capacity:(Array.make layers cap)
+
+let test_router_avoids_blockage () =
+  (* a full-height wall of zero 2-D capacity at x=7..8 except a gap at y=14 *)
+  let g = mk_graph () in
+  for y = 0 to 15 do
+    if y <> 14 then
+      List.iter
+        (fun l ->
+          let e = { Graph.dir = Tech.Horizontal; x = 7; y } in
+          Graph.reduce_capacity g e ~layer:l ~by:100)
+        (Tech.layers_of_dir (Graph.tech g) Tech.Horizontal)
+  done;
+  let nets = [| Net.create ~id:0 ~name:"n" ~pins:[| pin 2 2; pin 13 2 |] |] in
+  let r = Router.route_all ~graph:g nets in
+  (match r.Router.trees.(0) with
+  | Some tree ->
+      Alcotest.(check bool) "valid" true (Stree.validate tree = Ok ());
+      (* crossing x=7 is only possible at y=14, so the tree must visit it *)
+      Alcotest.(check bool) "uses the gap" true (Stree.contains_point tree (7, 14))
+  | None -> Alcotest.fail "expected a tree");
+  Alcotest.(check int) "no overflow" 0 r.Router.overflow_2d
+
+let test_router_parallel_nets_spread () =
+  (* many nets along the same row must spread across rows/layers without 2-D
+     overflow when capacity suffices *)
+  let g = mk_graph ~cap:2 () in
+  let nets =
+    Array.init 10 (fun i -> Net.create ~id:i ~name:(Printf.sprintf "n%d" i)
+                      ~pins:[| pin 1 8; pin 14 8 |])
+  in
+  let r = Router.route_all ~graph:g nets in
+  Alcotest.(check bool) "low overflow" true (r.Router.overflow_2d <= 2)
+
+let test_pattern_route_degenerate_line () =
+  let g = mk_graph () in
+  let nets = [| Net.create ~id:0 ~name:"line" ~pins:[| pin 3 5; pin 11 5 |] |] in
+  let r = Router.route_all ~graph:g nets in
+  match r.Router.trees.(0) with
+  | Some tree ->
+      Alcotest.(check int) "straight line wirelength" 8 (Stree.total_wirelength tree);
+      Alcotest.(check int) "two nodes after compress" 2 (Stree.num_nodes tree)
+  | None -> Alcotest.fail "expected a tree"
+
+let test_router_pin_on_tree_interior () =
+  (* three collinear pins: the middle pin lies inside the segment and must
+     stay a tree node (compress keeps pin tiles) *)
+  let g = mk_graph () in
+  let nets = [| Net.create ~id:0 ~name:"mid" ~pins:[| pin 2 4; pin 12 4; pin 7 4 |] |] in
+  let r = Router.route_all ~graph:g nets in
+  match r.Router.trees.(0) with
+  | Some tree ->
+      Alcotest.(check bool) "middle pin kept" true (Stree.find_node tree (7, 4) <> None)
+  | None -> Alcotest.fail "expected a tree"
+
+let test_ispd_vertical_adjustment () =
+  let gr =
+    "grid 4 4 2\n\
+     vertical capacity 0 10\n\
+     horizontal capacity 10 0\n\
+     minimum width 1 1\n\
+     minimum spacing 1 1\n\
+     via spacing 1 1\n\
+     0 0 10 10\n\
+     num net 1\n\
+     n 0 2 1\n\
+     5 5 1\n\
+     35 35 1\n\
+     1\n\
+     1 1 2 1 2 2 3\n"
+  in
+  match Ispd08.parse gr with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      let g = Ispd08.to_graph d in
+      Alcotest.(check int) "v edge adjusted" 3
+        (Graph.capacity g { Graph.dir = Tech.Vertical; x = 1; y = 1 } ~layer:1)
+
+let test_ispd_single_tile_net () =
+  let gr =
+    "grid 4 4 2\n\
+     vertical capacity 0 10\n\
+     horizontal capacity 10 0\n\
+     minimum width 1 1\n\
+     minimum spacing 1 1\n\
+     via spacing 1 1\n\
+     0 0 10 10\n\
+     num net 1\n\
+     loop 0 2 1\n\
+     5 5 1\n\
+     6 6 1\n\
+     0\n"
+  in
+  match Ispd08.parse gr with
+  | Error e -> Alcotest.fail e
+  | Ok d ->
+      (* both pins collapse to tile (0,0): kept as a duplicated pair *)
+      Alcotest.(check int) "two pins kept" 2 (Array.length d.Ispd08.nets.(0).Net.pins)
+
+(* Tree_dp on a deeper 3-branch tree, brute-forced with 2 layer choices. *)
+let test_tree_dp_deep_tree =
+  QCheck.Test.make ~name:"tree dp optimal on a 6-segment tree" ~count:25
+    QCheck.(array_of_size (QCheck.Gen.return 24) (float_range 0.0 5.0))
+    (fun costs ->
+      let tree =
+        Stree.of_edges ~root:(0, 0)
+          [
+            ((0, 0), (4, 0)); ((4, 0), (4, 4)); ((4, 4), (8, 4));
+            ((4, 0), (8, 0)); ((0, 0), (0, 4)); ((0, 4), (0, 8));
+          ]
+      in
+      let segs, node_to_seg = Segment.extract ~net_id:0 tree in
+      let nsegs = Array.length segs in
+      if nsegs <> 6 then QCheck.Test.fail_report "fixture should have 6 segments";
+      let tech = Tech.default ~num_layers:8 () in
+      (* two candidates per segment *)
+      let cand seg =
+        match Tech.layers_of_dir tech segs.(seg).Segment.dir with
+        | a :: b :: _ -> [ a; b ]
+        | _ -> assert false
+      in
+      let cand_arr = Array.init nsegs (fun s -> Array.of_list (cand s)) in
+      let seg_cost seg l =
+        let ci = if l = cand_arr.(seg).(0) then 0 else 1 in
+        costs.((seg * 2) + ci) +. (0.01 *. float_of_int l)
+      in
+      let via_cost ~node:_ a b = 0.5 *. float_of_int (abs (a - b)) in
+      let pins_at _ = [] in
+      let chosen = Tree_dp.solve ~tree ~node_to_seg ~pins_at ~candidates:cand ~seg_cost ~via_cost in
+      let children = Stree.children tree in
+      let total x =
+        let acc = ref 0.0 in
+        Array.iteri (fun s l -> acc := !acc +. seg_cost s l) x;
+        for v = 0 to Stree.num_nodes tree - 1 do
+          let up = node_to_seg.(v) in
+          Array.iter
+            (fun c ->
+              if up >= 0 then acc := !acc +. via_cost ~node:v x.(node_to_seg.(c)) x.(up))
+            children.(v)
+        done;
+        !acc
+      in
+      let best = ref infinity in
+      for mask = 0 to (1 lsl nsegs) - 1 do
+        let x = Array.init nsegs (fun s -> cand_arr.(s).((mask lsr s) land 1)) in
+        best := Float.min !best (total x)
+      done;
+      total chosen <= !best +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "router avoids blockage" `Quick test_router_avoids_blockage;
+    Alcotest.test_case "parallel nets spread" `Quick test_router_parallel_nets_spread;
+    Alcotest.test_case "degenerate straight net" `Quick test_pattern_route_degenerate_line;
+    Alcotest.test_case "pin on tree interior kept" `Quick test_router_pin_on_tree_interior;
+    Alcotest.test_case "ispd vertical adjustment" `Quick test_ispd_vertical_adjustment;
+    Alcotest.test_case "ispd single-tile net" `Quick test_ispd_single_tile_net;
+    QCheck_alcotest.to_alcotest test_tree_dp_deep_tree;
+  ]

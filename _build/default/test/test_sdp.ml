@@ -1,0 +1,111 @@
+open Cpla_sdp
+open Cpla_numeric
+
+let e i j v = { Problem.i; j; v }
+
+(* min X_00 s.t. X_00 + X_11 = 1 — optimum pushes all mass to X_11. *)
+let test_two_diag () =
+  let p =
+    Problem.create ~dim:2
+      ~cost:[ e 0 0 1.0 ]
+      ~constraints:[ { Problem.terms = [ e 0 0 1.0; e 1 1 1.0 ]; b = 1.0 } ]
+  in
+  let r = Solver.solve p in
+  Alcotest.(check bool) "feasible" true (r.Solver.max_violation < 1e-3);
+  Alcotest.(check (float 1e-2)) "x00 ~ 0" 0.0 r.Solver.x_diag.(0);
+  Alcotest.(check (float 1e-2)) "x11 ~ 1" 1.0 r.Solver.x_diag.(1)
+
+(* Max-cut SDP on a triangle: min ⟨C,X⟩, C = W/4 with unit weights, diag(X)=1.
+   Known optimum: X_ij = -1/2 off-diagonal, objective Σ_{i<j} 2·(1/4)·(-1/2)
+   = 3·(1/2)·(-1/2)... with C entries 0.25 for i<j:
+   ⟨C,X⟩ = Σ_{i<j} 2·0.25·X_ij = 1.5·(-0.5) = -0.75. *)
+let test_maxcut_triangle () =
+  let cost = [ e 0 1 0.25; e 0 2 0.25; e 1 2 0.25 ] in
+  let constraints =
+    List.init 3 (fun i -> { Problem.terms = [ e i i 1.0 ]; b = 1.0 })
+  in
+  let p = Problem.create ~dim:3 ~cost ~constraints in
+  let r = Solver.solve p in
+  Alcotest.(check bool) "feasible" true (r.Solver.max_violation < 1e-3);
+  Alcotest.(check (float 0.01)) "sdp optimum" (-0.75) r.Solver.objective
+
+let test_psd_by_construction () =
+  let cost = [ e 0 1 1.0; e 1 2 (-1.0) ] in
+  let constraints = List.init 3 (fun i -> { Problem.terms = [ e i i 1.0 ]; b = 1.0 }) in
+  let p = Problem.create ~dim:3 ~cost ~constraints in
+  let r = Solver.solve p in
+  let x = Solver.x_matrix r in
+  Alcotest.(check bool) "X is PSD" true (Cholesky.is_psd x);
+  Alcotest.(check bool) "X symmetric" true (Mat.is_symmetric ~tol:1e-9 x)
+
+(* Assignment-style SDP: two "segments", two "layers" each; each segment's
+   two indicator diagonal entries sum to 1; costs prefer (layer0, layer1). *)
+let test_assignment_structure () =
+  let cost = [ e 0 0 1.0; e 1 1 5.0; e 2 2 6.0; e 3 3 2.0 ] in
+  let constraints =
+    [
+      { Problem.terms = [ e 0 0 1.0; e 1 1 1.0 ]; b = 1.0 };
+      { Problem.terms = [ e 2 2 1.0; e 3 3 1.0 ]; b = 1.0 };
+    ]
+  in
+  let p = Problem.create ~dim:4 ~cost ~constraints in
+  let r = Solver.solve p in
+  Alcotest.(check bool) "feasible" true (r.Solver.max_violation < 1e-3);
+  Alcotest.(check bool) "seg0 prefers layer 0" true (r.Solver.x_diag.(0) > r.Solver.x_diag.(1));
+  Alcotest.(check bool) "seg1 prefers layer 1" true (r.Solver.x_diag.(3) > r.Solver.x_diag.(2))
+
+(* Slack-variable inequality: X_00 <= 0.3 encoded as X_00 + s = 0.3 with the
+   slack a PSD diagonal entry. *)
+let test_slack_inequality () =
+  let cost = [ e 0 0 (-1.0) ] in
+  (* maximise X_00 *)
+  let constraints =
+    [
+      { Problem.terms = [ e 0 0 1.0; e 1 1 1.0 ]; b = 0.3 };
+    ]
+  in
+  let p = Problem.create ~dim:2 ~cost ~constraints in
+  let r = Solver.solve p in
+  Alcotest.(check bool) "feasible" true (r.Solver.max_violation < 1e-3);
+  Alcotest.(check (float 0.01)) "X00 hits the bound" 0.3 r.Solver.x_diag.(0);
+  Alcotest.(check bool) "slack nonneg" true (r.Solver.x_diag.(1) >= -1e-9)
+
+let test_deterministic () =
+  let cost = [ e 0 1 1.0 ] in
+  let constraints = List.init 2 (fun i -> { Problem.terms = [ e i i 1.0 ]; b = 1.0 }) in
+  let p = Problem.create ~dim:2 ~cost ~constraints in
+  let a = Solver.solve p and b = Solver.solve p in
+  Alcotest.(check (float 1e-12)) "same objective" a.Solver.objective b.Solver.objective
+
+let test_invalid_entry () =
+  Alcotest.(check bool) "lower triangle rejected" true
+    (match Problem.create ~dim:2 ~cost:[ e 1 0 1.0 ] ~constraints:[] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Property: on random diagonal SDPs (which are just LPs), the solver's
+   objective approaches the LP optimum min_i c_i. *)
+let test_diag_sdp_is_lp =
+  QCheck.Test.make ~name:"diagonal SDP solves the underlying LP" ~count:25
+    QCheck.(array_of_size (QCheck.Gen.return 4) (float_range 0.5 5.0))
+    (fun costs ->
+      let cost = Array.to_list (Array.mapi (fun i c -> e i i c) costs) in
+      let constraints =
+        [ { Problem.terms = List.init 4 (fun i -> e i i 1.0); b = 1.0 } ]
+      in
+      let p = Problem.create ~dim:4 ~cost ~constraints in
+      let r = Solver.solve p in
+      let best = Array.fold_left Float.min infinity costs in
+      r.Solver.max_violation < 1e-2 && r.Solver.objective < best +. 0.15)
+
+let suite =
+  [
+    Alcotest.test_case "two diagonal entries" `Quick test_two_diag;
+    Alcotest.test_case "max-cut triangle" `Quick test_maxcut_triangle;
+    Alcotest.test_case "X psd by construction" `Quick test_psd_by_construction;
+    Alcotest.test_case "assignment structure" `Quick test_assignment_structure;
+    Alcotest.test_case "slack inequality" `Quick test_slack_inequality;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "invalid entry rejected" `Quick test_invalid_entry;
+    QCheck_alcotest.to_alcotest test_diag_sdp_is_lp;
+  ]

@@ -1,0 +1,94 @@
+open Cpla_route
+
+let test_mst_basic () =
+  Alcotest.(check int) "empty" 0 (Steiner.mst_length []);
+  Alcotest.(check int) "single" 0 (Steiner.mst_length [ (3, 3) ]);
+  Alcotest.(check int) "pair" 7 (Steiner.mst_length [ (0, 0); (3, 4) ]);
+  Alcotest.(check int) "line" 10 (Steiner.mst_length [ (0, 0); (5, 0); (10, 0) ])
+
+let test_three_corner_steiner () =
+  (* pins at (0,0), (4,0), (2,3): MST = 4 + 5 = 9; the Steiner point (2,0)
+     gives 4 + 3 = 7 *)
+  let pins = [ (0, 0); (4, 0); (2, 3) ] in
+  Alcotest.(check int) "mst" 9 (Steiner.mst_length pins);
+  let refined = Steiner.refined_mst_length pins in
+  Alcotest.(check int) "steiner tree" 7 refined
+
+let test_refine_returns_no_pins () =
+  let pins = [ (0, 0); (4, 0); (2, 3); (2, 0) ] in
+  let extra = Steiner.refine pins in
+  List.iter
+    (fun p -> Alcotest.(check bool) "not a pin" false (List.mem p pins))
+    extra
+
+let test_refine_small_sets_empty () =
+  Alcotest.(check (list (pair int int))) "two pins" [] (Steiner.refine [ (0, 0); (5, 5) ]);
+  Alcotest.(check (list (pair int int))) "one pin" [] (Steiner.refine [ (1, 1) ])
+
+let refine_never_hurts =
+  QCheck.Test.make ~name:"steiner refinement never lengthens the tree" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 3 9) (pair (int_bound 15) (int_bound 15)))
+    (fun pins ->
+      let pins = List.sort_uniq compare pins in
+      List.length pins < 2
+      || Steiner.refined_mst_length pins <= Steiner.mst_length pins)
+
+let refine_lower_bounded_by_hpwl =
+  QCheck.Test.make ~name:"steiner tree is at least half the bounding perimeter" ~count:60
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 8) (pair (int_bound 15) (int_bound 15)))
+    (fun pins ->
+      let pins = List.sort_uniq compare pins in
+      if List.length pins < 2 then true
+      else begin
+        let xs = List.map fst pins and ys = List.map snd pins in
+        let span l = List.fold_left max min_int l - List.fold_left min max_int l in
+        Steiner.refined_mst_length pins >= span xs + span ys - (span xs + span ys) / 2
+        (* weak but valid bound: RSMT >= max(span_x, span_y) >= hpwl/2 *)
+        && Steiner.refined_mst_length pins >= max (span xs) (span ys)
+      end)
+
+let test_router_with_steiner_improves_wl () =
+  let spec =
+    { Synth.default_spec with Synth.width = 24; height = 24; num_nets = 150; seed = 31;
+      mean_extra_pins = 3.0 }
+  in
+  let total_wl trees =
+    Array.fold_left
+      (fun acc t -> match t with Some tr -> acc + Stree.total_wirelength tr | None -> acc)
+      0 trees
+  in
+  let graph1, nets = Synth.generate spec in
+  let plain = Router.route_all ~graph:graph1 nets in
+  let graph2, nets2 = Synth.generate spec in
+  let refined = Router.route_all ~steiner:true ~graph:graph2 nets2 in
+  let wl_plain = total_wl plain.Router.trees in
+  let wl_refined = total_wl refined.Router.trees in
+  Alcotest.(check bool)
+    (Printf.sprintf "refined wl (%d) <= plain wl (%d)" wl_refined wl_plain)
+    true
+    (wl_refined <= wl_plain);
+  (* trees stay structurally valid and pin-complete *)
+  Array.iteri
+    (fun i t ->
+      match t with
+      | None -> ()
+      | Some tree ->
+          Alcotest.(check bool) "valid" true (Stree.validate tree = Ok ());
+          Array.iter
+            (fun p ->
+              Alcotest.(check bool) "pin covered" true
+                (Stree.find_node tree (p.Net.px, p.Net.py) <> None))
+            nets2.(i).Net.pins)
+    refined.Router.trees
+
+let suite =
+  [
+    Alcotest.test_case "mst basics" `Quick test_mst_basic;
+    Alcotest.test_case "three-corner steiner point" `Quick test_three_corner_steiner;
+    Alcotest.test_case "refine returns no pins" `Quick test_refine_returns_no_pins;
+    Alcotest.test_case "refine trivial sets" `Quick test_refine_small_sets_empty;
+    QCheck_alcotest.to_alcotest refine_never_hurts;
+    QCheck_alcotest.to_alcotest refine_lower_bounded_by_hpwl;
+    Alcotest.test_case "router with steiner improves WL" `Slow
+      test_router_with_steiner_improves_wl;
+  ]

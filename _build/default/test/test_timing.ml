@@ -1,0 +1,202 @@
+open Cpla_grid
+open Cpla_route
+open Cpla_timing
+
+let pin px py = { Net.px; py; pl = 0 }
+
+(* Two-pin net, one horizontal segment of length 4 on an 8x8 grid. *)
+let straight_design ?(layers = 4) () =
+  let tech = Tech.default ~num_layers:layers () in
+  let graph = Graph.create ~tech ~width:8 ~height:8 ~layer_capacity:(Array.make layers 8) in
+  let net = Net.create ~id:0 ~name:"n0" ~pins:[| pin 0 0; pin 4 0 |] in
+  let tree = Stree.of_edges ~root:(0, 0) [ ((0, 0), (4, 0)) ] in
+  let asg = Assignment.create ~graph ~nets:[| net |] ~trees:[| Some tree |] in
+  (tech, asg)
+
+let test_hand_computed_straight () =
+  let tech, asg = straight_design () in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:0;
+  let d = Elmore.analyze asg 0 in
+  (* By hand: len=4, layer 0: R = 8*4 = 32, C = 0.8*4 = 3.2.
+     Cd(seg) = sink_c = 1.0.  ts = 32*(1.6+1.0) = 83.2.
+     total_cap = 3.2 + 1.0 = 4.2; driver delay = 4*4.2 = 16.8.
+     source pin layer 0 = segment layer, no source via.
+     sink pin layer 0 = segment layer, no sink via.
+     worst = 16.8 + 83.2 = 100.0 *)
+  Alcotest.(check (float 1e-9)) "cd" 1.0 d.Elmore.seg_cd.(0);
+  Alcotest.(check (float 1e-9)) "ts" 83.2 d.Elmore.seg_delay.(0);
+  Alcotest.(check (float 1e-9)) "total cap" 4.2 d.Elmore.total_cap;
+  Alcotest.(check (float 1e-9)) "worst" 100.0 d.Elmore.worst_delay;
+  ignore tech
+
+let test_higher_layer_faster () =
+  let _, asg = straight_design () in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:0;
+  let low = (Elmore.analyze asg 0).Elmore.worst_delay in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:2;
+  let high = (Elmore.analyze asg 0).Elmore.worst_delay in
+  (* layer 2 halves the resistance; via delay to pins is small *)
+  Alcotest.(check bool) "high layer wins for a long segment" true (high < low)
+
+let test_via_delay_charged () =
+  let tech, asg = straight_design ~layers:6 () in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:4;
+  let d = Elmore.analyze asg 0 in
+  (* source via: 4 crossings driving Cd=1.0 -> min(Cd, total)·R_v(0..4) = 4.0
+     sink via: 4 crossings driving sink_c -> 4.0 *)
+  let expected_ts = Elmore.seg_ts ~tech ~len:4 ~layer:4 ~cd:1.0 in
+  let driver = tech.Tech.driver_r *. d.Elmore.total_cap in
+  Alcotest.(check (float 1e-9)) "worst includes vias" (driver +. 4.0 +. expected_ts +. 4.0)
+    d.Elmore.worst_delay
+
+let test_unassigned_raises () =
+  let _, asg = straight_design () in
+  Alcotest.(check bool) "raises" true
+    (match Elmore.analyze asg 0 with exception Invalid_argument _ -> true | _ -> false)
+
+(* Branching net: source (0,0) -- (2,0) -- branch to (2,2) and on to (5,0). *)
+let branched_design () =
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:8 ~height:8 ~layer_capacity:(Array.make 4 8) in
+  let net = Net.create ~id:0 ~name:"n0" ~pins:[| pin 0 0; pin 5 0; pin 2 2 |] in
+  let tree =
+    Stree.of_edges ~root:(0, 0) [ ((0, 0), (2, 0)); ((2, 0), (5, 0)); ((2, 0), (2, 2)) ]
+  in
+  let asg = Assignment.create ~graph ~nets:[| net |] ~trees:[| Some tree |] in
+  (tech, asg)
+
+let assign_lowest asg =
+  let tech = Assignment.tech asg in
+  Array.iteri
+    (fun seg s ->
+      Assignment.set_layer asg ~net:0 ~seg
+        ~layer:(List.hd (Tech.layers_of_dir tech s.Segment.dir)))
+    (Assignment.segments asg 0)
+
+let test_branch_cd_accumulates () =
+  let _, asg = branched_design () in
+  assign_lowest asg;
+  let d = Elmore.analyze asg 0 in
+  let segs = Assignment.segments asg 0 in
+  (* The stem (0,0)-(2,0) must see the caps of both branches downstream. *)
+  let stem = ref (-1) in
+  let tree = match Assignment.tree asg 0 with Some t -> t | None -> assert false in
+  Array.iteri
+    (fun i s ->
+      let (ax, _), (bx, _) = Segment.endpoints s tree in
+      if s.Segment.dir = Tech.Horizontal && min ax bx = 0 then stem := i)
+    segs;
+  Alcotest.(check bool) "found stem" true (!stem >= 0);
+  (* downstream of stem: branch wire (len 3 h + len 2 v) caps + 2 sink caps *)
+  let expect = (0.8 *. 3.0) +. (0.8 *. 2.0) +. 2.0 in
+  Alcotest.(check (float 1e-9)) "stem cd" expect d.Elmore.seg_cd.(!stem)
+
+let test_two_sinks_reported () =
+  let _, asg = branched_design () in
+  assign_lowest asg;
+  let d = Elmore.analyze asg 0 in
+  Alcotest.(check int) "two sinks" 2 (Array.length d.Elmore.sink_delays);
+  Alcotest.(check bool) "worst is max" true
+    (Array.for_all (fun (_, dl) -> dl <= d.Elmore.worst_delay) d.Elmore.sink_delays)
+
+let test_critical_select_ranks () =
+  (* Three nets with increasing lengths: selection must pick the longest. *)
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:16 ~height:16 ~layer_capacity:(Array.make 4 8) in
+  let mk_net id len =
+    ( Net.create ~id ~name:(Printf.sprintf "n%d" id) ~pins:[| pin 0 id; pin len id |],
+      Stree.of_edges ~root:(0, id) [ ((0, id), (len, id)) ] )
+  in
+  let n0, t0 = mk_net 0 2 and n1, t1 = mk_net 1 8 and n2, t2 = mk_net 2 14 in
+  let asg =
+    Assignment.create ~graph ~nets:[| n0; n1; n2 |] ~trees:[| Some t0; Some t1; Some t2 |]
+  in
+  for i = 0 to 2 do
+    Assignment.set_layer asg ~net:i ~seg:0 ~layer:0
+  done;
+  let sel = Critical.select asg ~ratio:0.3 in
+  Alcotest.(check int) "one net selected" 1 (Array.length sel);
+  Alcotest.(check int) "longest selected" 2 sel.(0);
+  let sel2 = Critical.select asg ~ratio:0.6 in
+  Alcotest.(check bool) "two selected, worst first" true (sel2 = [| 2; 1 |])
+
+let test_path_info_structure () =
+  let _, asg = branched_design () in
+  assign_lowest asg;
+  let info = Critical.path_info asg 0 in
+  (* worst sink is (5,0): path = stem + right segment; branch to (2,2) off-path *)
+  let segs = Assignment.segments asg 0 in
+  Alcotest.(check int) "two path segments" 2 (Array.length info.Critical.path_segs);
+  let branch_count = ref 0 in
+  Array.iteri
+    (fun i s ->
+      if not info.Critical.on_path.(i) then begin
+        incr branch_count;
+        Alcotest.(check bool) "branch is vertical" true (s.Segment.dir = Tech.Vertical)
+      end)
+    segs;
+  Alcotest.(check int) "one branch segment" 1 !branch_count
+
+let test_branch_attach_r () =
+  let tech, asg = branched_design () in
+  assign_lowest asg;
+  let info = Critical.path_info asg 0 in
+  let segs = Assignment.segments asg 0 in
+  Array.iteri
+    (fun i s ->
+      if not info.Critical.on_path.(i) then begin
+        (* branch attaches at (2,0): upstream R = driver + R(stem len 2 layer 0) *)
+        let expect = tech.Tech.driver_r +. (Tech.unit_r tech 0 *. 2.0) in
+        Alcotest.(check (float 1e-9)) "attach R" expect info.Critical.branch_attach_r.(i)
+      end;
+      ignore s)
+    segs
+
+let test_avg_max_tcp () =
+  let _, asg = branched_design () in
+  assign_lowest asg;
+  let avg, mx = Critical.avg_max_tcp asg [| 0 |] in
+  let d = Elmore.analyze asg 0 in
+  Alcotest.(check (float 1e-9)) "avg of one" d.Elmore.worst_delay avg;
+  Alcotest.(check (float 1e-9)) "max of one" d.Elmore.worst_delay mx
+
+let test_pin_delays_count () =
+  let _, asg = branched_design () in
+  assign_lowest asg;
+  let ds = Critical.pin_delays asg [| 0 |] in
+  Alcotest.(check int) "two pin delays" 2 (Array.length ds)
+
+(* Property: Elmore delay is positive and grows with segment length. *)
+let test_delay_monotone_length =
+  QCheck.Test.make ~name:"delay grows with wire length" ~count:30
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (l1, l2) ->
+      let mk len =
+        let tech = Tech.default ~num_layers:4 () in
+        let graph =
+          Graph.create ~tech ~width:16 ~height:16 ~layer_capacity:(Array.make 4 8)
+        in
+        let net = Net.create ~id:0 ~name:"n" ~pins:[| pin 0 0; pin len 0 |] in
+        let tree = Stree.of_edges ~root:(0, 0) [ ((0, 0), (len, 0)) ] in
+        let asg = Assignment.create ~graph ~nets:[| net |] ~trees:[| Some tree |] in
+        Assignment.set_layer asg ~net:0 ~seg:0 ~layer:0;
+        (Elmore.analyze asg 0).Elmore.worst_delay
+      in
+      let d1 = mk l1 and d2 = mk l2 in
+      d1 > 0.0 && d2 > 0.0 && (l1 = l2 || (l1 < l2) = (d1 < d2)))
+
+let suite =
+  [
+    Alcotest.test_case "hand-computed straight net" `Quick test_hand_computed_straight;
+    Alcotest.test_case "higher layer is faster" `Quick test_higher_layer_faster;
+    Alcotest.test_case "via delay charged" `Quick test_via_delay_charged;
+    Alcotest.test_case "unassigned raises" `Quick test_unassigned_raises;
+    Alcotest.test_case "branch cd accumulates" `Quick test_branch_cd_accumulates;
+    Alcotest.test_case "two sinks reported" `Quick test_two_sinks_reported;
+    Alcotest.test_case "critical select ranks" `Quick test_critical_select_ranks;
+    Alcotest.test_case "path info structure" `Quick test_path_info_structure;
+    Alcotest.test_case "branch attach resistance" `Quick test_branch_attach_r;
+    Alcotest.test_case "avg/max tcp" `Quick test_avg_max_tcp;
+    Alcotest.test_case "pin delays count" `Quick test_pin_delays_count;
+    QCheck_alcotest.to_alcotest test_delay_monotone_length;
+  ]

@@ -1,0 +1,123 @@
+open Cpla_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42 in
+  let c = Rng.split a in
+  let x = Rng.int a 1000000 and y = Rng.int c 1000000 in
+  Alcotest.(check bool) "streams diverge" true (x <> y)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_minmax () =
+  check_float "max" 4.0 (Stats.max [| 1.0; 4.0; 3.0 |]);
+  check_float "min" 1.0 (Stats.min [| 1.0; 4.0; 3.0 |])
+
+let test_stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Stats.percentile xs 50.0);
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 5.0 (Stats.percentile xs 100.0);
+  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [| 3.0; 3.0; 3.0 |]);
+  check_float "spread" 2.0 (Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let test_stats_geomean () =
+  check_float "geo" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
+  check_float "nonpositive" 0.0 (Stats.geometric_mean [| 1.0; -2.0 |])
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "10"; "20" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length s > 0 && String.index_opt s 'a' <> None);
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch") (fun () ->
+      Table.add_row t [ "only-one" ])
+
+let test_histogram_counts () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 0.5;
+  Histogram.add h 9.5;
+  Histogram.add h 100.0;
+  (* clamped into last bin *)
+  Histogram.add h (-3.0);
+  (* clamped into first bin *)
+  let c = Histogram.counts h in
+  Alcotest.(check int) "first bin" 2 c.(0);
+  Alcotest.(check int) "last bin" 2 c.(9);
+  Alcotest.(check int) "total" 4 (Histogram.total h)
+
+let test_histogram_centers () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  check_float "center of bin 0" 0.5 (Histogram.bin_center h 0);
+  check_float "center of bin 9" 9.5 (Histogram.bin_center h 9)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h k (int_of_float k)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | Some (_, v) ->
+        order := v :: !order;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_heap_random =
+  QCheck.Test.make ~name:"heap pops in sorted order"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let rec drain acc =
+        match Heap.pop_min h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng invalid bound" `Quick test_rng_invalid;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats min/max" `Quick test_stats_minmax;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats geometric mean" `Quick test_stats_geomean;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "histogram counts+clamp" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram centers" `Quick test_histogram_centers;
+    Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+    QCheck_alcotest.to_alcotest test_heap_random;
+  ]

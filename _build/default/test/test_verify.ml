@@ -1,0 +1,125 @@
+open Cpla_grid
+open Cpla_route
+open Cpla_timing
+
+let pin px py = { Net.px; py; pl = 0 }
+
+let tiny_design ?(cap = 8) () =
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:8 ~height:8 ~layer_capacity:(Array.make 4 cap) in
+  let net = Net.create ~id:0 ~name:"n0" ~pins:[| pin 0 0; pin 4 0; pin 2 2 |] in
+  let tree =
+    Stree.of_edges ~root:(0, 0) [ ((0, 0), (2, 0)); ((2, 0), (4, 0)); ((2, 0), (2, 2)) ]
+  in
+  Assignment.create ~graph ~nets:[| net |] ~trees:[| Some tree |]
+
+let assign_all asg =
+  let tech = Assignment.tech asg in
+  Array.iteri
+    (fun seg s ->
+      Assignment.set_layer asg ~net:0 ~seg
+        ~layer:(List.hd (Tech.layers_of_dir tech s.Segment.dir)))
+    (Assignment.segments asg 0)
+
+let test_clean_design () =
+  let asg = tiny_design () in
+  assign_all asg;
+  let r = Verify.check asg in
+  Alcotest.(check bool) "clean" true (Verify.is_clean r);
+  Alcotest.(check int) "wirelength" 6 r.Verify.wirelength;
+  Alcotest.(check bool) "vias counted" true (r.Verify.via_crossings > 0)
+
+let test_unassigned_reported () =
+  let asg = tiny_design () in
+  let r = Verify.check asg in
+  let unassigned =
+    List.filter (function Verify.Unassigned_segment _ -> true | _ -> false) r.Verify.violations
+  in
+  Alcotest.(check int) "three unassigned" 3 (List.length unassigned)
+
+let test_edge_overflow_reported () =
+  (* capacity 1 and two identical nets on the same layer *)
+  let tech = Tech.default ~num_layers:4 () in
+  let graph = Graph.create ~tech ~width:8 ~height:8 ~layer_capacity:(Array.make 4 1) in
+  let mk id = Net.create ~id ~name:(Printf.sprintf "n%d" id) ~pins:[| pin 0 0; pin 4 0 |] in
+  let tree () = Stree.of_edges ~root:(0, 0) [ ((0, 0), (4, 0)) ] in
+  let asg =
+    Assignment.create ~graph ~nets:[| mk 0; mk 1 |] ~trees:[| Some (tree ()); Some (tree ()) |]
+  in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:0;
+  Assignment.set_layer asg ~net:1 ~seg:0 ~layer:0;
+  let r = Verify.check asg in
+  Alcotest.(check bool) "not clean" false (Verify.is_clean r);
+  Alcotest.(check bool) "edge overflow found" true
+    (List.exists (function Verify.Edge_overflow _ -> true | _ -> false) r.Verify.violations)
+
+let test_full_flow_clean_modulo_via () =
+  let spec =
+    { Synth.default_spec with Synth.width = 24; height = 24; num_nets = 250; seed = 23 }
+  in
+  let graph, nets = Synth.generate spec in
+  let routed = Router.route_all ~graph nets in
+  let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+  Init_assign.run asg;
+  let released = Critical.select asg ~ratio:0.02 in
+  ignore (Cpla.Driver.optimize_released asg ~released);
+  let r = Verify.check asg in
+  (* no structural violations; via overflow is tolerated (paper allows V_o) *)
+  Alcotest.(check bool) "no unassigned" true
+    (not
+       (List.exists
+          (function
+            | Verify.Unassigned_segment _ | Verify.Direction_mismatch _
+            | Verify.Pin_unreachable _ | Verify.Ledger_mismatch _ ->
+                true
+            | Verify.Edge_overflow _ | Verify.Via_overflow _ -> false)
+          r.Verify.violations));
+  Alcotest.(check bool) "summary renders" true (String.length (Verify.summary r) > 0)
+
+let test_pp_violation () =
+  let buf = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buf in
+  Verify.pp_violation fmt (Verify.Unassigned_segment { net = 3; seg = 7 });
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "message mentions ids" true
+    (Buffer.contents buf = "net 3: segment 7 unassigned")
+
+(* ---- Delay_greedy -------------------------------------------------------------- *)
+
+let greedy_design () =
+  let spec =
+    { Synth.default_spec with Synth.width = 24; height = 24; num_nets = 300; seed = 29 }
+  in
+  let graph, nets = Synth.generate spec in
+  let routed = Router.route_all ~graph nets in
+  let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+  Init_assign.run asg;
+  asg
+
+let test_greedy_improves () =
+  let asg = greedy_design () in
+  let released = Critical.select asg ~ratio:0.02 in
+  let avg0, _ = Critical.avg_max_tcp asg released in
+  let stats = Cpla_tila.Delay_greedy.optimize asg ~released in
+  let avg1, _ = Critical.avg_max_tcp asg released in
+  Alcotest.(check int) "all nets reassigned" (Array.length released)
+    stats.Cpla_tila.Delay_greedy.nets_reassigned;
+  Alcotest.(check bool) "avg improves" true (avg1 <= avg0 +. 1e-9);
+  Alcotest.(check bool) "usage consistent" true (Assignment.check_usage asg = Ok ())
+
+let test_greedy_fully_assigned () =
+  let asg = greedy_design () in
+  let released = Critical.select asg ~ratio:0.05 in
+  ignore (Cpla_tila.Delay_greedy.optimize asg ~released);
+  Alcotest.(check bool) "fully assigned" true (Assignment.fully_assigned asg)
+
+let suite =
+  [
+    Alcotest.test_case "clean design" `Quick test_clean_design;
+    Alcotest.test_case "unassigned reported" `Quick test_unassigned_reported;
+    Alcotest.test_case "edge overflow reported" `Quick test_edge_overflow_reported;
+    Alcotest.test_case "full flow structurally clean" `Slow test_full_flow_clean_modulo_via;
+    Alcotest.test_case "violation pretty printing" `Quick test_pp_violation;
+    Alcotest.test_case "greedy improves" `Quick test_greedy_improves;
+    Alcotest.test_case "greedy fully assigned" `Quick test_greedy_fully_assigned;
+  ]
