@@ -6,16 +6,29 @@
 
    Usage:
      dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- table2 fig7  # selected sections *)
+     dune exec bench/main.exe -- table2 fig7  # selected sections
+
+   The micro section's fixture design defaults to adaptec1; override it with
+   `micro=NAME` on the command line or the CPLA_MICRO_DESIGN environment
+   variable (any name from `cpla list`). *)
 
 open Bechamel
 open Toolkit
 
 (* ---- micro-benchmarks: one kernel per table/figure ------------------------ *)
 
-let micro_fixture () =
+let default_micro_design () =
+  Option.value ~default:"adaptec1" (Sys.getenv_opt "CPLA_MICRO_DESIGN")
+
+let micro_fixture ~design () =
   (* one moderate design shared by the kernels, prepared once *)
-  let bench = Cpla_expt.Suite.find "adaptec1" in
+  let bench =
+    try Cpla_expt.Suite.find design
+    with Not_found ->
+      Printf.eprintf "unknown micro design %S; available: %s\n" design
+        (String.concat ", " (List.map (fun b -> b.Cpla_expt.Suite.name) Cpla_expt.Suite.all));
+      exit 2
+  in
   let prep = Cpla_expt.Suite.prepare bench in
   let released = Cpla_expt.Experiments.released_at prep ~ratio:0.005 in
   let asg = prep.Cpla_expt.Suite.asg in
@@ -52,7 +65,9 @@ let micro_fixture () =
     (fun it ->
       Cpla_route.Assignment.unassign asg ~net:it.Cpla.Partition.net ~seg:it.Cpla.Partition.seg)
     leaf.Cpla.Partition.items;
-  let f = Cpla.Formulation.build asg ~infos ~items:leaf.Cpla.Partition.items in
+  let f =
+    Cpla.Formulation.build asg ~infos:(Hashtbl.find infos) ~items:leaf.Cpla.Partition.items
+  in
   (* re-assign so the state stays valid for the Elmore kernel *)
   Array.iter
     (fun (v : Cpla.Formulation.var) ->
@@ -61,8 +76,8 @@ let micro_fixture () =
     f.Cpla.Formulation.vars;
   (asg, released, items, f, width, height)
 
-let micro_tests () =
-  let asg, released, items, f, width, height = micro_fixture () in
+let micro_tests ~design () =
+  let asg, released, items, f, width, height = micro_fixture ~design () in
   let fig1_elmore =
     Test.make ~name:"fig1/elmore-pin-delays"
       (Staged.stage (fun () -> Cpla_timing.Critical.pin_delays asg released))
@@ -95,14 +110,72 @@ let micro_tests () =
       (Staged.stage (fun () ->
            Array.map (fun net -> Cpla_timing.Critical.path_info asg net) released))
   in
+  (* Incremental engine counterparts of the fig9/table2 kernels: the same
+     queries served through the generation-keyed cache.  select-warm hits a
+     fully clean cache (the steady state between outer iterations);
+     path-info-after-leaf re-dirties one released net per run — the typical
+     state after a single partition commit — and re-freezes the whole
+     released set. *)
+  let eng = Cpla_timing.Incremental.create asg in
+  Cpla_timing.Incremental.refresh eng;
+  Array.iter (fun net -> ignore (Cpla_timing.Incremental.path_info eng net)) released;
+  let incr_select =
+    Test.make ~name:"incr/select-warm"
+      (Staged.stage (fun () -> Cpla_timing.Incremental.select eng ~ratio:0.005))
+  in
+  let tech = Cpla_route.Assignment.tech asg in
+  (* One (net, seg, cur, alt) toggle per released net: a single layer move is
+     the minimal event that dirties a net.  Runs rotate through the released
+     set so the recompute cost is averaged over typical nets, not pinned to
+     the most (or least) expensive one. *)
+  let toggles =
+    Array.to_list released
+    |> List.filter_map (fun net ->
+           let segs = Cpla_route.Assignment.segments asg net in
+           let rec first seg =
+             if seg >= Array.length segs then None
+             else
+               let cur = Cpla_route.Assignment.layer asg ~net ~seg in
+               match
+                 List.find_opt
+                   (fun l -> l <> cur)
+                   (Cpla_grid.Tech.layers_of_dir tech segs.(seg).Cpla_route.Segment.dir)
+               with
+               | Some alt -> Some (net, seg, cur, alt)
+               | None -> first (seg + 1)
+           in
+           first 0)
+    |> Array.of_list
+  in
+  let toggle_cursor = ref 0 in
+  let incr_path_info =
+    Test.make ~name:"incr/path-info-after-leaf"
+      (Staged.stage (fun () ->
+           let net, seg, cur, alt = toggles.(!toggle_cursor) in
+           toggle_cursor := (!toggle_cursor + 1) mod Array.length toggles;
+           Cpla_route.Assignment.set_layer asg ~net ~seg ~layer:alt;
+           Cpla_route.Assignment.set_layer asg ~net ~seg ~layer:cur;
+           Array.map (fun n -> Cpla_timing.Incremental.path_info eng n) released))
+  in
   Test.make_grouped ~name:"kernels"
-    [ fig1_elmore; fig7_ilp; fig7_sdp; fig8_partition; fig9_select; table2_path_info ]
+    [
+      fig1_elmore;
+      fig7_ilp;
+      fig7_sdp;
+      fig8_partition;
+      fig9_select;
+      table2_path_info;
+      incr_select;
+      incr_path_info;
+    ]
 
-let run_micro () =
+let run_micro ?design () =
+  let design = match design with Some d -> d | None -> default_micro_design () in
   Printf.printf "\n==================================================================\n";
-  Printf.printf "Micro-benchmarks (Bechamel) — kernel behind each table/figure\n";
+  Printf.printf "Micro-benchmarks (Bechamel) — kernel behind each table/figure (%s)\n"
+    design;
   Printf.printf "==================================================================\n%!";
-  let tests = micro_tests () in
+  let tests = micro_tests ~design () in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -141,7 +214,7 @@ let sections =
     ("extended", Cpla_expt.Experiments.extended);
     ("steiner", Cpla_expt.Experiments.steiner);
     ("ablations", Cpla_expt.Experiments.ablations);
-    ("micro", run_micro);
+    ("micro", fun () -> run_micro ());
   ]
 
 let () =
@@ -154,8 +227,13 @@ let () =
     (fun name ->
       match List.assoc_opt name sections with
       | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %s (available: %s)\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 2)
+      | None -> (
+          (* micro=NAME runs the micro section against another suite design *)
+          match String.index_opt name '=' with
+          | Some i when String.sub name 0 i = "micro" ->
+              run_micro ~design:(String.sub name (i + 1) (String.length name - i - 1)) ()
+          | _ ->
+              Printf.eprintf "unknown section %s (available: %s)\n" name
+                (String.concat ", " (List.map fst sections));
+              exit 2))
     requested

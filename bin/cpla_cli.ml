@@ -135,8 +135,9 @@ let optimize_cmd =
         Init_assign.run asg;
         Printf.printf "routed %d nets (2-D overflow %d)\n" (Array.length nets)
           routed.Router.overflow_2d;
-        let released = Critical.select asg ~ratio in
-        let avg0, max0 = Critical.avg_max_tcp asg released in
+        let engine = Incremental.create asg in
+        let released = Incremental.select engine ~ratio in
+        let avg0, max0 = Incremental.avg_max_tcp engine released in
         Printf.printf "released %d nets: Avg(Tcp)=%.1f Max(Tcp)=%.1f\n"
           (Array.length released) avg0 max0;
         let cpu_s =
@@ -163,11 +164,11 @@ let optimize_cmd =
               in
               let _, s =
                 Cpla_util.Timer.time (fun () ->
-                    Cpla.Driver.optimize_released ~config asg ~released)
+                    Cpla.Driver.optimize_released ~config ~engine asg ~released)
               in
               s
         in
-        let m = Cpla.Metrics.measure asg ~released ~cpu_s in
+        let m = Cpla.Metrics.measure ~engine asg ~released ~cpu_s in
         Format.printf "%a@." Cpla.Metrics.pp m;
         (match dump with
         | None -> ()
@@ -234,8 +235,9 @@ let verify_cmd =
   let run file bench_name =
     Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
         let asg, _ = prepare graph nets in
-        let released = Critical.select asg ~ratio:0.005 in
-        ignore (Cpla.Driver.optimize_released asg ~released);
+        let engine = Incremental.create asg in
+        let released = Incremental.select engine ~ratio:0.005 in
+        ignore (Cpla.Driver.optimize_released ~engine asg ~released);
         let r = Verify.check asg in
         print_endline (Verify.summary r);
         List.iteri

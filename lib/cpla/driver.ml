@@ -21,8 +21,8 @@ let restore asg snap =
       Array.iteri (fun seg layer -> if layer >= 0 then Assignment.set_layer asg ~net ~seg ~layer) layers)
     snap
 
-let score asg released =
-  let avg, mx = Critical.avg_max_tcp asg released in
+let score eng released =
+  let avg, mx = Incremental.avg_max_tcp eng released in
   (* the paper optimises each net's critical path; the sum of path delays
      (= avg up to scale) with a max tiebreaker captures both columns *)
   avg +. (0.05 *. mx)
@@ -92,20 +92,23 @@ let local_refine asg (f : Formulation.t) =
     incr rounds
   done
 
-let solve_leaf config asg infos (leaf : Partition.leaf) =
-  (* Refresh the frozen coefficients of the nets touching this partition so
-     later partitions see the effect of earlier ones within the same sweep
-     (Section 3.2: "newly updated assignment results of neighboring
-     partitions benefit each current partition"). *)
+let solve_leaf config eng asg (leaf : Partition.leaf) =
+  (* Freeze the coefficients of the nets touching this partition at the
+     current assignment so later partitions see the effect of earlier ones
+     within the same sweep (Section 3.2: "newly updated assignment results
+     of neighboring partitions benefit each current partition").  The engine
+     re-analyses only nets dirtied by earlier leaves; the snapshot must be
+     taken before the release below unassigns this leaf's segments. *)
+  let infos = Hashtbl.create 16 in
   List.sort_uniq compare (List.map (fun it -> it.Partition.net) leaf.Partition.items)
-  |> List.iter (fun net -> Hashtbl.replace infos net (Critical.path_info asg net));
+  |> List.iter (fun net -> Hashtbl.replace infos net (Incremental.path_info eng net));
   (* release this partition's segments, rebuild their coefficients, solve *)
   List.iter
     (fun { Partition.net; seg; _ } -> Assignment.unassign asg ~net ~seg)
     leaf.Partition.items;
   let f =
-    Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg ~infos
-      ~items:leaf.Partition.items
+    Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg
+      ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items
   in
   (* Uncoupled partitions (no shared capacity rows, no intra-partition via
      pairs) decompose exactly: each segment independently takes its cheapest
@@ -144,7 +147,17 @@ let solve_leaf config asg infos (leaf : Partition.leaf) =
    others-only capacity view, solve them concurrently on a domain pool
    (solvers are pure given their formulation), then commit partition by
    partition in deterministic order. *)
-let solve_leaves_parallel config asg infos leaves =
+let solve_leaves_parallel config eng asg leaves =
+  (* Freeze every released net's coefficients once, before any release. *)
+  let infos = Hashtbl.create 64 in
+  List.iter
+    (fun (leaf : Partition.leaf) ->
+      List.iter
+        (fun { Partition.net; _ } ->
+          if not (Hashtbl.mem infos net) then
+            Hashtbl.replace infos net (Incremental.path_info eng net))
+        leaf.Partition.items)
+    leaves;
   List.iter
     (fun (leaf : Partition.leaf) ->
       List.iter
@@ -155,8 +168,8 @@ let solve_leaves_parallel config asg infos leaves =
     Array.of_list
       (List.map
          (fun leaf ->
-           Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg ~infos
-             ~items:leaf.Partition.items)
+           Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg
+             ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items)
          leaves)
   in
   let solve (f : Formulation.t) =
@@ -197,52 +210,64 @@ let solve_leaves_parallel config asg infos leaves =
       | `Layers None -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
     formulations
 
-let optimize_released ?(config = Config.default) asg ~released =
+let optimize_released ?(config = Config.default) ?engine asg ~released =
   if not (Assignment.fully_assigned asg) then
     invalid_arg "Driver.optimize: initial assignment incomplete";
-  let graph = Assignment.graph asg in
-  let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
-  let iterations = ref 0 and partitions = ref 0 in
-  let best_score = ref (score asg released) in
-  let stop = ref (Array.length released = 0) in
-  while (not !stop) && !iterations < config.Config.max_outer_iters do
-    let snap = snapshot asg released in
-    (* freeze coefficients at the current assignment *)
-    let infos = Hashtbl.create 64 in
-    Array.iter (fun net -> Hashtbl.replace infos net (Critical.path_info asg net)) released;
-    let items =
-      Array.to_list released
-      |> List.concat_map (fun net ->
-             Array.to_list
-               (Array.mapi
-                  (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
-                  (Assignment.segments asg net)))
+  if Array.length released = 0 then
+    (* nothing to optimise; avoid seeding scores/metrics from an empty set *)
+    { released; iterations = 0; partitions_solved = 0; avg_tcp = 0.0; max_tcp = 0.0 }
+  else begin
+    let eng =
+      match engine with
+      | Some e ->
+          if Incremental.assignment e != asg then
+            invalid_arg "Driver.optimize: engine bound to a different assignment";
+          e
+      | None -> Incremental.create asg
     in
-    let leaves =
-      Partition.build ~width ~height ~k:config.Config.k_div
-        ~max_segments:config.Config.max_segments_per_partition items
-    in
-    if config.Config.workers > 1 then begin
-      solve_leaves_parallel config asg infos leaves;
-      partitions := !partitions + List.length leaves
-    end
-    else
-      List.iter
-        (fun leaf ->
-          solve_leaf config asg infos leaf;
-          incr partitions)
-        leaves;
-    incr iterations;
-    let s = score asg released in
-    if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
-    else begin
-      if s > !best_score then restore asg snap;
-      stop := true
-    end
-  done;
-  let avg_tcp, max_tcp = Critical.avg_max_tcp asg released in
-  { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }
+    let graph = Assignment.graph asg in
+    let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
+    let iterations = ref 0 and partitions = ref 0 in
+    let best_score = ref (score eng released) in
+    let stop = ref false in
+    while (not !stop) && !iterations < config.Config.max_outer_iters do
+      let snap = snapshot asg released in
+      let items =
+        Array.to_list released
+        |> List.concat_map (fun net ->
+               Array.to_list
+                 (Array.mapi
+                    (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
+                    (Assignment.segments asg net)))
+      in
+      let leaves =
+        Partition.build ~width ~height ~k:config.Config.k_div
+          ~max_segments:config.Config.max_segments_per_partition items
+      in
+      if config.Config.workers > 1 then begin
+        solve_leaves_parallel config eng asg leaves;
+        partitions := !partitions + List.length leaves
+      end
+      else
+        List.iter
+          (fun leaf ->
+            solve_leaf config eng asg leaf;
+            incr partitions)
+          leaves;
+      incr iterations;
+      (* only nets the leaves actually moved are re-analysed here *)
+      let s = score eng released in
+      if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
+      else begin
+        if s > !best_score then restore asg snap;
+        stop := true
+      end
+    done;
+    let avg_tcp, max_tcp = Incremental.avg_max_tcp eng released in
+    { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }
+  end
 
 let optimize ?(config = Config.default) asg =
-  let released = Critical.select asg ~ratio:config.Config.critical_ratio in
-  optimize_released ~config asg ~released
+  let engine = Incremental.create asg in
+  let released = Incremental.select engine ~ratio:config.Config.critical_ratio in
+  optimize_released ~config ~engine asg ~released

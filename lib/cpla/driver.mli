@@ -20,6 +20,15 @@ val optimize : ?config:Config.t -> Cpla_route.Assignment.t -> report
     @raise Invalid_argument otherwise. *)
 
 val optimize_released :
-  ?config:Config.t -> Cpla_route.Assignment.t -> released:int array -> report
+  ?config:Config.t ->
+  ?engine:Cpla_timing.Incremental.t ->
+  Cpla_route.Assignment.t ->
+  released:int array ->
+  report
 (** Same, but with an externally chosen release set (used by the benchmark
-    harness to give TILA and CPLA identical released nets). *)
+    harness to give TILA and CPLA identical released nets).  [engine] is the
+    incremental timing cache to score and freeze coefficients through; pass
+    the one already warmed by selection/measurement to avoid re-analysing
+    clean nets, or omit it to have a fresh engine created internally.
+    @raise Invalid_argument when the engine is bound to another assignment.
+    An empty [released] returns immediately with zero metrics. *)

@@ -48,9 +48,10 @@ let build ?(boundary_coupling = true) asg ~infos ~items =
   let tech = Assignment.tech asg in
   let graph = Assignment.graph asg in
   let info_of net =
-    match Hashtbl.find_opt infos net with
-    | Some i -> i
-    | None -> invalid_arg "Formulation.build: missing path_info for a released net"
+    match infos net with
+    | i -> i
+    | exception Not_found ->
+        invalid_arg "Formulation.build: missing path_info for a released net"
   in
   let released = Hashtbl.create 64 in
   List.iter (fun it -> Hashtbl.replace released (it.Partition.net, it.Partition.seg) ()) items;

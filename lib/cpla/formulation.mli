@@ -61,11 +61,14 @@ type t = {
 val build :
   ?boundary_coupling:bool ->
   Cpla_route.Assignment.t ->
-  infos:(int, Cpla_timing.Critical.path_info) Hashtbl.t ->
+  infos:(int -> Cpla_timing.Critical.path_info) ->
   items:Partition.item list ->
   t
 (** Requires every item's segment to be currently unassigned and [infos] to
-    hold a [path_info] for every net appearing in [items].
+    return a frozen [path_info] for every net appearing in [items] (raising
+    [Not_found] otherwise).  The infos must have been captured *before* the
+    items were unassigned — typically a lookup into coefficients frozen by
+    the enclosing sweep, not a live re-analysis.
     [boundary_coupling] (default true) folds the via delay to tree-adjacent
     segments *outside* the partition into ts; disabling it reproduces a
     naive partitioned objective for ablation. *)

@@ -10,8 +10,12 @@ type t = {
   cpu_s : float;
 }
 
-let measure asg ~released ~cpu_s =
-  let avg_tcp, max_tcp = Critical.avg_max_tcp asg released in
+let measure ?engine asg ~released ~cpu_s =
+  let avg_tcp, max_tcp =
+    match engine with
+    | Some eng -> Incremental.avg_max_tcp eng released
+    | None -> Critical.avg_max_tcp asg released
+  in
   let graph = Assignment.graph asg in
   {
     avg_tcp;

@@ -9,6 +9,13 @@ type t = {
   cpu_s : float;        (** measured optimisation time, filled by the caller *)
 }
 
-val measure : Cpla_route.Assignment.t -> released:int array -> cpu_s:float -> t
+val measure :
+  ?engine:Cpla_timing.Incremental.t ->
+  Cpla_route.Assignment.t ->
+  released:int array ->
+  cpu_s:float ->
+  t
+(** [engine], when given, must be bound to [asg]; timing columns then come
+    from the incremental cache (only dirty nets re-analysed). *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,21 +1,22 @@
 open Cpla_util
 open Cpla_timing
 
-let released_at prepared ~ratio = Critical.select prepared.Suite.asg ~ratio
+let released_at prepared ~ratio = Incremental.select prepared.Suite.engine ~ratio
 
 let run_tila prepared ~released =
   let asg = prepared.Suite.asg in
   let (_ : Cpla_tila.Tila.stats), cpu_s =
     Timer.time (fun () -> Cpla_tila.Tila.optimize asg ~released)
   in
-  Cpla.Metrics.measure asg ~released ~cpu_s
+  Cpla.Metrics.measure ~engine:prepared.Suite.engine asg ~released ~cpu_s
 
 let run_cpla ?(config = Cpla.Config.default) prepared ~released =
   let asg = prepared.Suite.asg in
+  let engine = prepared.Suite.engine in
   let (_ : Cpla.Driver.report), cpu_s =
-    Timer.time (fun () -> Cpla.Driver.optimize_released ~config asg ~released)
+    Timer.time (fun () -> Cpla.Driver.optimize_released ~config ~engine asg ~released)
   in
-  Cpla.Metrics.measure asg ~released ~cpu_s
+  Cpla.Metrics.measure ~engine asg ~released ~cpu_s
 
 let header title =
   Printf.printf "\n==================================================================\n";
@@ -31,10 +32,10 @@ let fig1 () =
   let tila_prep = Suite.prepare bench in
   let released = released_at tila_prep ~ratio:0.005 in
   ignore (run_tila tila_prep ~released);
-  let tila_delays = Critical.pin_delays tila_prep.Suite.asg released in
+  let tila_delays = Incremental.pin_delays tila_prep.Suite.engine released in
   let sdp_prep = Suite.prepare bench in
   ignore (run_cpla sdp_prep ~released);
-  let sdp_delays = Critical.pin_delays sdp_prep.Suite.asg released in
+  let sdp_delays = Incremental.pin_delays sdp_prep.Suite.engine released in
   let hi =
     1.02 *. Float.max (Stats.max tila_delays) (Float.max 1.0 (Stats.max sdp_delays))
   in
@@ -272,7 +273,7 @@ let run_greedy prepared ~released =
   let (_ : Cpla_tila.Delay_greedy.stats), cpu_s =
     Timer.time (fun () -> Cpla_tila.Delay_greedy.optimize asg ~released)
   in
-  Cpla.Metrics.measure asg ~released ~cpu_s
+  Cpla.Metrics.measure ~engine:prepared.Suite.engine asg ~released ~cpu_s
 
 let extended () =
   header
@@ -342,8 +343,9 @@ let steiner () =
         Cpla_route.Assignment.create ~graph ~nets ~trees:routed.Cpla_route.Router.trees
       in
       Cpla_route.Init_assign.run asg;
-      let released = Critical.select asg ~ratio:0.005 in
-      let rep = Cpla.Driver.optimize_released asg ~released in
+      let engine = Incremental.create asg in
+      let released = Incremental.select engine ~ratio:0.005 in
+      let rep = Cpla.Driver.optimize_released ~engine asg ~released in
       Table.add_row t
         [
           label;

@@ -57,6 +57,7 @@ let find name = List.find (fun b -> b.name = name) all
 type prepared = {
   bench : bench;
   asg : Assignment.t;
+  engine : Cpla_timing.Incremental.t;
   route_overflow : int;
 }
 
@@ -65,4 +66,9 @@ let prepare bench =
   let routed = Router.route_all ~graph nets in
   let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
   Init_assign.run asg;
-  { bench; asg; route_overflow = routed.Router.overflow_2d }
+  {
+    bench;
+    asg;
+    engine = Cpla_timing.Incremental.create asg;
+    route_overflow = routed.Router.overflow_2d;
+  }

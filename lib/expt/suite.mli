@@ -26,6 +26,10 @@ val find : string -> bench
 type prepared = {
   bench : bench;
   asg : Cpla_route.Assignment.t;
+  engine : Cpla_timing.Incremental.t;
+      (** incremental timing cache bound to [asg]; shared by selection,
+          optimisation and measurement so repeated queries only re-analyse
+          nets that moved *)
   route_overflow : int;
 }
 

@@ -6,7 +6,9 @@ type per_net = {
   node_to_seg : int array;
   layers : int array; (* per segment; -1 = unassigned *)
   pins_at_node : int list array; (* per tree node: pin layers at that tile *)
-  children : int list array; (* per tree node: child node indices *)
+  children : int array array; (* per tree node: child node indices *)
+  sink_nodes : (int * int) array; (* per non-source pin: (tree node, pin layer) *)
+  mutable generation : int; (* bumped on every layer mutation of this net *)
 }
 
 type t = {
@@ -25,6 +27,8 @@ let build_per_net net tree_opt =
         layers = [||];
         pins_at_node = [||];
         children = [||];
+        sink_nodes = [||];
+        generation = 0;
       }
   | Some tree ->
       let segs, node_to_seg = Segment.extract ~net_id:net.Net.id tree in
@@ -38,10 +42,17 @@ let build_per_net net tree_opt =
                  a miss means the tree does not belong to this net. *)
               invalid_arg "Assignment.create: pin tile is not a tree node")
         net.Net.pins;
-      let children = Array.make (Stree.num_nodes tree) [] in
-      Array.iteri
-        (fun child parent -> if parent >= 0 then children.(parent) <- child :: children.(parent))
-        tree.Stree.parent;
+      let children = Stree.children tree in
+      let src = Net.source net in
+      let sink_nodes =
+        Array.to_list net.Net.pins
+        |> List.filter_map (fun p ->
+               if p.Net.px = src.Net.px && p.Net.py = src.Net.py then None
+               else
+                 Stree.find_node tree (p.Net.px, p.Net.py)
+                 |> Option.map (fun i -> (i, p.Net.pl)))
+        |> Array.of_list
+      in
       {
         tree = Some tree;
         segs;
@@ -49,6 +60,8 @@ let build_per_net net tree_opt =
         layers = Array.make (Array.length segs) (-1);
         pins_at_node;
         children;
+        sink_nodes;
+        generation = 0;
       }
 
 let create ~graph ~nets ~trees =
@@ -63,6 +76,9 @@ let net t i = t.nets.(i)
 let tree t i = t.data.(i).tree
 let segments t i = t.data.(i).segs
 let node_to_seg t i = t.data.(i).node_to_seg
+let children t i = t.data.(i).children
+let sink_nodes t i = t.data.(i).sink_nodes
+let generation t i = t.data.(i).generation
 
 let layer t ~net ~seg = t.data.(net).layers.(seg)
 
@@ -72,7 +88,7 @@ let pin_layers_at t ~net ~node = t.data.(net).pins_at_node.(node)
    child edge. *)
 let incident_segs d node =
   let own = if d.node_to_seg.(node) >= 0 then [ d.node_to_seg.(node) ] else [] in
-  own @ List.map (fun child -> d.node_to_seg.(child)) d.children.(node)
+  own @ Array.to_list (Array.map (fun child -> d.node_to_seg.(child)) d.children.(node))
 
 let node_span_of d node =
   let seg_layers =
@@ -113,6 +129,7 @@ let set_layer t ~net ~seg ~layer =
     List.iter (fun n -> apply_span t d n (-1)) nodes;
     apply_wires t d seg (-1);
     d.layers.(seg) <- layer;
+    d.generation <- d.generation + 1;
     apply_wires t d seg 1;
     List.iter (fun n -> apply_span t d n 1) nodes
   end
@@ -126,6 +143,7 @@ let unassign t ~net ~seg =
     List.iter (fun n -> apply_span t d n (-1)) nodes;
     apply_wires t d seg (-1);
     d.layers.(seg) <- -1;
+    d.generation <- d.generation + 1;
     List.iter (fun n -> apply_span t d n 1) nodes
   end
 

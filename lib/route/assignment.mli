@@ -26,6 +26,19 @@ val segments : t -> int -> Segment.t array
 
 val node_to_seg : t -> int -> int array
 
+val children : t -> int -> int array array
+(** Per tree node: child node indices (precomputed at [create]; empty for
+    nets without a tree). *)
+
+val sink_nodes : t -> int -> (int * int) array
+(** Per non-source pin of the net, in pin order: (tree node, pin layer).
+    Empty for nets without a tree. *)
+
+val generation : t -> int -> int
+(** Monotonic per-net modification counter: bumped by every effective
+    [set_layer] / [unassign] on the net.  Timing caches compare generations
+    to decide whether a memoized analysis of the net is still valid. *)
+
 val layer : t -> net:int -> seg:int -> int
 (** Current layer of a segment, or -1 when unassigned. *)
 

@@ -32,9 +32,8 @@ let select asg ~ratio =
     |> Array.of_list
   end
 
-let path_info asg net_idx =
+let path_info_of_detail asg net_idx detail =
   let tech = Assignment.tech asg in
-  let detail = Elmore.analyze asg net_idx in
   let segs = Assignment.segments asg net_idx in
   let nsegs = Array.length segs in
   match Assignment.tree asg net_idx with
@@ -104,6 +103,8 @@ let path_info asg net_idx =
         end
       done;
       { net = net_idx; detail; path_segs; on_path; branch_attach_r }
+
+let path_info asg net_idx = path_info_of_detail asg net_idx (Elmore.analyze asg net_idx)
 
 let pin_delays asg nets =
   Array.to_list nets

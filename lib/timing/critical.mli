@@ -30,6 +30,11 @@ val select : Cpla_route.Assignment.t -> ratio:float -> int array
 val path_info : Cpla_route.Assignment.t -> int -> path_info
 (** Worst-path structure of one net at its current assignment. *)
 
+val path_info_of_detail :
+  Cpla_route.Assignment.t -> int -> Elmore.detail -> path_info
+(** Same, but reusing an already computed (e.g. cached) Elmore detail of the
+    net at its current assignment instead of re-analysing. *)
+
 val pin_delays : Cpla_route.Assignment.t -> int array -> float array
 (** All sink-pin delays of the given nets (Fig. 1's distribution). *)
 

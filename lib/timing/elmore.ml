@@ -11,6 +11,24 @@ type detail = {
   total_cap : float;
 }
 
+type workspace = {
+  mutable order : int array; (* pre-order node sequence of the last traversal *)
+  mutable stack : int array;
+  mutable node_load : float array;
+  mutable node_cd : float array;
+}
+
+let make_workspace () = { order = [||]; stack = [||]; node_load = [||]; node_cd = [||] }
+
+let ensure_capacity ws n =
+  if Array.length ws.order < n then begin
+    let cap = max n (2 * Array.length ws.order) in
+    ws.order <- Array.make cap 0;
+    ws.stack <- Array.make cap 0;
+    ws.node_load <- Array.make cap 0.0;
+    ws.node_cd <- Array.make cap 0.0
+  end
+
 let seg_ts ~tech ~len ~layer ~cd =
   let flen = float_of_int len in
   let r = Tech.unit_r tech layer *. flen in
@@ -33,7 +51,7 @@ let no_tree_detail tech net =
     total_cap = load;
   }
 
-let analyze asg net_idx =
+let analyze_with ws asg net_idx =
   let tech = Assignment.tech asg in
   let net = Assignment.net asg net_idx in
   match Assignment.tree asg net_idx with
@@ -41,60 +59,58 @@ let analyze asg net_idx =
   | Some tree ->
       let segs = Assignment.segments asg net_idx in
       let node_to_seg = Assignment.node_to_seg asg net_idx in
+      let children = Assignment.children asg net_idx in
+      let sinks = Assignment.sink_nodes asg net_idx in
       let layer_of seg =
         let l = Assignment.layer asg ~net:net_idx ~seg in
         if l < 0 then invalid_arg "Elmore.analyze: unassigned segment";
         l
       in
       let n = Stree.num_nodes tree in
-      let children = Stree.children tree in
+      ensure_capacity ws n;
+      let order = ws.order and stack = ws.stack in
+      let node_load = ws.node_load and node_cd = ws.node_cd in
       let src = Net.source net in
       (* sink load at each node: every pin at the node except the source *)
-      let node_load = Array.make n 0.0 in
-      Array.iter
-        (fun p ->
-          if not (p.Net.px = src.Net.px && p.Net.py = src.Net.py) then begin
-            match Stree.find_node tree (p.Net.px, p.Net.py) with
-            | Some i -> node_load.(i) <- node_load.(i) +. tech.Tech.sink_c
-            | None -> ()
-          end)
-        net.Net.pins;
+      Array.fill node_load 0 n 0.0;
+      Array.iter (fun (v, _) -> node_load.(v) <- node_load.(v) +. tech.Tech.sink_c) sinks;
+      (* DFS pre-order into [order]; reading it backwards visits children
+         before parents, so one scratch array serves both sweeps *)
+      stack.(0) <- tree.Stree.root;
+      let sp = ref 1 and m = ref 0 in
+      while !sp > 0 do
+        decr sp;
+        let v = stack.(!sp) in
+        order.(!m) <- v;
+        incr m;
+        Array.iter
+          (fun c ->
+            stack.(!sp) <- c;
+            incr sp)
+          children.(v)
+      done;
       (* Bottom-up: Cd per node.  node_cd.(v) = load(v) + Σ_children (wire cap
          of child seg + node_cd(child)). *)
-      let node_cd = Array.make n 0.0 in
-      let order =
-        (* reverse pre-order gives children before parents *)
-        let acc = ref [] in
-        let stack = Stack.create () in
-        Stack.push tree.Stree.root stack;
-        while not (Stack.is_empty stack) do
-          let v = Stack.pop stack in
-          acc := v :: !acc;
-          Array.iter (fun c -> Stack.push c stack) children.(v)
-        done;
-        !acc
-      in
-      let seg_wire_cap = Array.make (Array.length segs) 0.0 in
-      List.iter
-        (fun v ->
-          let acc = ref node_load.(v) in
-          Array.iter
-            (fun c ->
-              let seg = node_to_seg.(c) in
-              let cap =
-                Tech.unit_c tech (layer_of seg) *. float_of_int segs.(seg).Segment.len
-              in
-              seg_wire_cap.(seg) <- cap;
-              acc := !acc +. cap +. node_cd.(c))
-            children.(v);
-          node_cd.(v) <- !acc)
-        order;
+      for i = n - 1 downto 0 do
+        let v = order.(i) in
+        let acc = ref node_load.(v) in
+        Array.iter
+          (fun c ->
+            let seg = node_to_seg.(c) in
+            let cap =
+              Tech.unit_c tech (layer_of seg) *. float_of_int segs.(seg).Segment.len
+            in
+            acc := !acc +. cap +. node_cd.(c))
+          children.(v);
+        node_cd.(v) <- !acc
+      done;
       let seg_cd = Array.make (Array.length segs) 0.0 in
       for v = 0 to n - 1 do
         let seg = node_to_seg.(v) in
         if seg >= 0 then seg_cd.(seg) <- node_cd.(v)
       done;
-      (* Top-down: Elmore delay per node. *)
+      (* Top-down: Elmore delay per node.  Pre-order guarantees a node's
+         parent delay is final before the node is reached. *)
       let node_delay = Array.make n 0.0 in
       let seg_delay = Array.make (Array.length segs) 0.0 in
       let total_cap = node_cd.(tree.Stree.root) in
@@ -105,39 +121,33 @@ let analyze asg net_idx =
         let seg = node_to_seg.(v) in
         if seg >= 0 then layer_of seg else src.Net.pl
       in
-      let rec down v =
+      for i = 0 to n - 1 do
+        let v = order.(i) in
         Array.iter
           (fun c ->
             let seg = node_to_seg.(c) in
             let l = layer_of seg in
             let up = upstream_layer v in
             let tv =
-              via_tv ~tech ~lo:(min l up) ~hi:(max l up) ~cd_min:(Float.min seg_cd.(seg) node_cd.(v))
+              via_tv ~tech ~lo:(min l up) ~hi:(max l up)
+                ~cd_min:(Float.min seg_cd.(seg) node_cd.(v))
             in
             let ts = seg_ts ~tech ~len:segs.(seg).Segment.len ~layer:l ~cd:seg_cd.(seg) in
             seg_delay.(seg) <- ts;
-            node_delay.(c) <- node_delay.(v) +. tv +. ts;
-            down c)
+            node_delay.(c) <- node_delay.(v) +. tv +. ts)
           children.(v)
-      in
-      down tree.Stree.root;
+      done;
       (* Sink delays including the pin via. *)
-      let sink_list = ref [] in
-      Array.iter
-        (fun p ->
-          if not (p.Net.px = src.Net.px && p.Net.py = src.Net.py) then begin
-            match Stree.find_node tree (p.Net.px, p.Net.py) with
-            | Some v ->
-                let up = upstream_layer v in
-                let pl = p.Net.pl in
-                let pin_via =
-                  via_tv ~tech ~lo:(min up pl) ~hi:(max up pl) ~cd_min:tech.Tech.sink_c
-                in
-                sink_list := (v, node_delay.(v) +. pin_via) :: !sink_list
-            | None -> ()
-          end)
-        net.Net.pins;
-      let sink_delays = Array.of_list (List.rev !sink_list) in
+      let sink_delays =
+        Array.map
+          (fun (v, pl) ->
+            let up = upstream_layer v in
+            let pin_via =
+              via_tv ~tech ~lo:(min up pl) ~hi:(max up pl) ~cd_min:tech.Tech.sink_c
+            in
+            (v, node_delay.(v) +. pin_via))
+          sinks
+      in
       let worst_node = ref (-1) and worst_delay = ref 0.0 in
       Array.iter
         (fun (v, d) ->
@@ -155,3 +165,5 @@ let analyze asg net_idx =
         worst_node = !worst_node;
         total_cap;
       }
+
+let analyze asg net_idx = analyze_with (make_workspace ()) asg net_idx

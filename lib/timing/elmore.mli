@@ -20,10 +20,23 @@ type detail = {
   total_cap : float;    (** capacitance the driver sees *)
 }
 
+type workspace
+(** Reusable scratch buffers (traversal order, DFS stack, per-node loads and
+    downstream caps) for repeated analyses.  Grown geometrically to the
+    largest net seen; one workspace must not be shared between domains. *)
+
+val make_workspace : unit -> workspace
+
 val analyze : Cpla_route.Assignment.t -> int -> detail
 (** Analyse one net.  Every segment of the net must be assigned.
     @raise Invalid_argument otherwise.  Nets without a tree (single-tile)
     yield a detail with only the driver-charging-sink-load delay. *)
+
+val analyze_with : workspace -> Cpla_route.Assignment.t -> int -> detail
+(** Same result as {!analyze} (bitwise), but scratch state comes from the
+    workspace; only the arrays stored in the returned [detail] are freshly
+    allocated.  This is the entry point the incremental engine's cache and
+    its parallel refresh use (one workspace per worker). *)
 
 val seg_ts : tech:Cpla_grid.Tech.t -> len:int -> layer:int -> cd:float -> float
 (** Eqn (2) for one segment given its downstream cap. *)

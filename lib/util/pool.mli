@@ -7,10 +7,16 @@
     scheduling (provided [f] itself is deterministic and does not share
     mutable state across items). *)
 
+exception Worker_failure of exn
+(** Wraps the first exception raised by [f] on a pooled domain.  The
+    sequential fast path ([workers <= 1] or fewer than two items) raises
+    [f]'s exception unwrapped. *)
+
 val parallel_map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map ~workers f xs] maps [f] over [xs] using up to [workers]
     domains ([workers <= 1] runs sequentially, in-domain).  Exceptions in
-    [f] are re-raised in the caller after all domains join. *)
+    [f] are re-raised in the caller after all domains join, wrapped in
+    {!Worker_failure}. *)
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count - 1], at least 1. *)

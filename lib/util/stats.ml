@@ -14,9 +14,9 @@ let mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0 else sum xs /. float_of_int n
 
-let max xs = Array.fold_left Float.max neg_infinity xs
+let max xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.max neg_infinity xs
 
-let min xs = Array.fold_left Float.min infinity xs
+let min xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.min infinity xs
 
 let stddev xs =
   let n = Array.length xs in

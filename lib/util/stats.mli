@@ -5,10 +5,11 @@ val mean : float array -> float
 (** Arithmetic mean; 0 on the empty array. *)
 
 val max : float array -> float
-(** Maximum; [neg_infinity] on the empty array. *)
+(** Maximum; 0 on the empty array (like {!mean}, so empty released sets
+    score 0 instead of poisoning accumulators with [neg_infinity]). *)
 
 val min : float array -> float
-(** Minimum; [infinity] on the empty array. *)
+(** Minimum; 0 on the empty array (see {!max}). *)
 
 val stddev : float array -> float
 (** Population standard deviation; 0 on arrays of length < 2. *)

@@ -94,7 +94,7 @@ let build_design ?(w = 32) ?(nets = 600) ?(cap = 8) ?(seed = 11) () =
 let build_infos asg released =
   let infos = Hashtbl.create 16 in
   Array.iter (fun n -> Hashtbl.replace infos n (Critical.path_info asg n)) released;
-  infos
+  Hashtbl.find infos
 
 let released_items asg released =
   Array.to_list released
@@ -268,7 +268,7 @@ let test_post_map_respects_capacity () =
   let items =
     [ { Partition.net = 0; seg = 0; mid = (2, 0) }; { Partition.net = 1; seg = 0; mid = (2, 0) } ]
   in
-  let f = Formulation.build asg ~infos ~items in
+  let f = Formulation.build asg ~infos:(Hashtbl.find infos) ~items in
   (* both want the top layer *)
   Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.9);
   let l0 = Assignment.layer asg ~net:0 ~seg:0 and l1 = Assignment.layer asg ~net:1 ~seg:0 in

@@ -10,6 +10,8 @@ let () =
       ("route", Test_route.suite);
       ("assignment", Test_assignment.suite);
       ("timing", Test_timing.suite);
+      ("timing-incremental", Test_timing_incremental.suite);
+      ("pool", Test_pool.suite);
       ("tila", Test_tila.suite);
       ("cpla", Test_cpla.suite);
       ("integration", Test_integration.suite);

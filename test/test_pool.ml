@@ -1,0 +1,88 @@
+open Cpla_util
+
+(* Pool.parallel_map carries the parallel timing refresh: its ordering,
+   failure and fast-path contracts get dedicated coverage here. *)
+
+let square i = i * i
+
+let test_order_determinism () =
+  let xs = Array.init 257 (fun i -> i) in
+  let expected = Array.map square xs in
+  List.iter
+    (fun workers ->
+      let got = Pool.parallel_map ~workers square xs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "results indexed by input order (workers=%d)" workers)
+        expected got)
+    [ 1; 2; 3; 4; 8 ]
+
+let test_uneven_work_still_ordered () =
+  (* items deliberately unbalanced so domains finish out of order *)
+  let xs = Array.init 64 (fun i -> i) in
+  let f i =
+    let spin = if i mod 7 = 0 then 20_000 else 10 in
+    let acc = ref 0 in
+    for k = 1 to spin do
+      acc := (!acc + (i * k)) land 0xFFFF
+    done;
+    (i, !acc)
+  in
+  let expected = Array.map f xs in
+  let got = Pool.parallel_map ~workers:4 f xs in
+  Alcotest.(check bool) "deterministic under imbalance" true (expected = got)
+
+exception Boom of int
+
+let test_worker_failure_propagates () =
+  let xs = Array.init 50 (fun i -> i) in
+  let f i = if i = 31 then raise (Boom i) else i in
+  let raised =
+    match Pool.parallel_map ~workers:4 f xs with
+    | _ -> None
+    | exception Pool.Worker_failure e -> Some e
+  in
+  match raised with
+  | Some (Boom 31) -> ()
+  | Some e -> Alcotest.failf "wrong payload: %s" (Printexc.to_string e)
+  | None -> Alcotest.fail "expected Worker_failure"
+
+let test_sequential_fast_path () =
+  (* workers <= 1 must not spawn domains: side effects happen in order, in
+     the calling domain, and exceptions surface raw (not wrapped). *)
+  let log = ref [] in
+  let f i =
+    log := i :: !log;
+    i + 1
+  in
+  let xs = [| 5; 6; 7 |] in
+  let got = Pool.parallel_map ~workers:1 f xs in
+  Alcotest.(check (array int)) "mapped" [| 6; 7; 8 |] got;
+  Alcotest.(check (list int)) "in-order, in-domain" [ 7; 6; 5 ] !log;
+  let raw =
+    match Pool.parallel_map ~workers:0 (fun _ -> raise (Boom 0)) xs with
+    | _ -> false
+    | exception Boom 0 -> true
+    | exception _ -> false
+  in
+  Alcotest.(check bool) "sequential path raises raw exception" true raw
+
+let test_single_item_stays_sequential () =
+  let got = Pool.parallel_map ~workers:8 square [| 9 |] in
+  Alcotest.(check (array int)) "singleton" [| 81 |] got;
+  let got = Pool.parallel_map ~workers:8 square [||] in
+  Alcotest.(check (array int)) "empty" [||] got
+
+let test_more_workers_than_items () =
+  let xs = Array.init 3 (fun i -> i) in
+  let got = Pool.parallel_map ~workers:16 square xs in
+  Alcotest.(check (array int)) "clamped worker count" [| 0; 1; 4 |] got
+
+let suite =
+  [
+    Alcotest.test_case "result order determinism" `Quick test_order_determinism;
+    Alcotest.test_case "ordered under imbalance" `Quick test_uneven_work_still_ordered;
+    Alcotest.test_case "worker failure propagates" `Quick test_worker_failure_propagates;
+    Alcotest.test_case "sequential fast path" `Quick test_sequential_fast_path;
+    Alcotest.test_case "singleton/empty input" `Quick test_single_item_stays_sequential;
+    Alcotest.test_case "more workers than items" `Quick test_more_workers_than_items;
+  ]

@@ -32,7 +32,11 @@ let test_stats_mean () =
 
 let test_stats_minmax () =
   check_float "max" 4.0 (Stats.max [| 1.0; 4.0; 3.0 |]);
-  check_float "min" 1.0 (Stats.min [| 1.0; 4.0; 3.0 |])
+  check_float "min" 1.0 (Stats.min [| 1.0; 4.0; 3.0 |]);
+  (* documented: empty inputs yield 0, not ±infinity — an empty released
+     set must not poison score accumulators *)
+  check_float "empty max" 0.0 (Stats.max [||]);
+  check_float "empty min" 0.0 (Stats.min [||])
 
 let test_stats_percentile () =
   let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
