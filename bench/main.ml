@@ -201,6 +201,68 @@ let run_micro ?design () =
          Cpla_util.Table.add_row t [ name; cell ]);
   Cpla_util.Table.print t
 
+(* ---- serve throughput ------------------------------------------------------ *)
+
+(* The batch-service scaling claim: N independent synthetic jobs drained by
+   1 worker vs K workers.  Jobs are identical pipelines (generate, route,
+   assign, optimise, audit), so ideal scaling is min(K, N)x; the measured
+   ratio exposes scheduler and allocator overhead.  Wall clock, not CPU —
+   CPU time is invariant under parallelism. *)
+let serve_jobs n =
+  List.init n (fun i ->
+      {
+        Cpla_serve.Job.id = i;
+        label = Printf.sprintf "synth-%02d" i;
+        source =
+          Cpla_serve.Job.Synth
+            {
+              Cpla_route.Synth.default_spec with
+              Cpla_route.Synth.name = Printf.sprintf "synth-%02d" i;
+              width = 24;
+              height = 24;
+              num_layers = 4;
+              num_nets = 600;
+              seed = 7000 + i;
+              hotspots = 2;
+              blockage_fraction = 0.02;
+            };
+        config = { Cpla.Config.default with Cpla.Config.max_outer_iters = 2 };
+        priority = 0;
+        deadline_s = None;
+      })
+
+let run_serve () =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "serve/throughput — batch service, 1 vs K workers\n";
+  Printf.printf "==================================================================\n%!";
+  let n = 8 in
+  (* 4 workers regardless of the local core count: on a single-core box the
+     ratio degrades to ~1x (domains just interleave) and the printed core
+     count explains why *)
+  let workers_hi = 4 in
+  Printf.printf "(%d recommended worker(s) on this machine)\n%!"
+    (Cpla_util.Pool.recommended_workers ());
+  let time_with workers =
+    let results, s =
+      Cpla_util.Timer.wall_time (fun () -> Cpla_serve.Scheduler.run ~workers (serve_jobs n))
+    in
+    let ok = Array.for_all (fun (_, t) -> Cpla_serve.Job.is_ok t) results in
+    if not ok then failwith "serve/throughput: a job did not finish ok";
+    s
+  in
+  let t1 = time_with 1 in
+  let tk = time_with workers_hi in
+  let t = Cpla_util.Table.create ~headers:[ "workers"; "jobs"; "wall(s)"; "speedup" ] in
+  Cpla_util.Table.add_row t [ "1"; string_of_int n; Printf.sprintf "%.2f" t1; "1.00x" ];
+  Cpla_util.Table.add_row t
+    [
+      string_of_int workers_hi;
+      string_of_int n;
+      Printf.sprintf "%.2f" tk;
+      Printf.sprintf "%.2fx" (t1 /. tk);
+    ];
+  Cpla_util.Table.print t
+
 (* ---- entry ----------------------------------------------------------------- *)
 
 let sections =
@@ -214,6 +276,7 @@ let sections =
     ("extended", Cpla_expt.Experiments.extended);
     ("steiner", Cpla_expt.Experiments.steiner);
     ("ablations", Cpla_expt.Experiments.ablations);
+    ("serve", run_serve);
     ("micro", fun () -> run_micro ());
   ]
 

@@ -3,6 +3,7 @@
    Subcommands:
      synth     generate a synthetic benchmark and write it as ISPD'08 text
      optimize  route + initial assignment + timing-driven layer assignment
+     serve     drain a manifest of optimisation jobs over a worker pool
      density   route a design and print its congestion map
      bench     regenerate a paper experiment (fig1/fig3b/fig7/fig8/fig9/table2)
      list      list the built-in benchmark suite *)
@@ -11,17 +12,18 @@ open Cmdliner
 open Cpla_route
 open Cpla_timing
 
+(* Binary mode so ISPD'08 text round-trips byte-identically on any platform;
+   Fun.protect so an exception mid-I/O (parse error, full disk) cannot leak
+   the channel. *)
 let read_file path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let write_file path content =
-  let oc = open_out path in
-  output_string oc content;
-  close_out oc
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
 
 (* Load a design either from an ISPD'08 file or from the built-in suite. *)
 let load ~file ~bench_name =
@@ -56,6 +58,27 @@ let bench_arg =
 let ratio_arg =
   let doc = "Fraction of nets released as critical (0.005 = the paper's 0.5%)." in
   Arg.(value & opt float 0.005 & info [ "r"; "ratio" ] ~docv:"RATIO" ~doc)
+
+(* Rejecting 0/negative at the command line (instead of silently treating
+   them as "sequential") keeps `--workers 0` from masking a typo'd fleet
+   size in scripts. *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v > 0 -> Ok v
+    | Some v -> Error (`Msg (Printf.sprintf "%d is not a positive worker/job count" v))
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok v
+    | Some _ -> Error (`Msg "must be a positive number of seconds")
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv ~docv:"SECONDS" (parse, Format.pp_print_float)
 
 (* ---- synth -------------------------------------------------------------- *)
 
@@ -128,7 +151,11 @@ let optimize_cmd =
     let doc = "Refine routing topologies with iterated-1-Steiner points." in
     Arg.(value & flag & info [ "steiner" ] ~doc)
   in
-  let run file bench_name ratio method_ dump steiner =
+  let workers_arg =
+    let doc = "Domains solving partitions concurrently (SDP/ILP methods)." in
+    Arg.(value & opt positive_int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let run file bench_name ratio method_ dump steiner workers =
     Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
         let routed = Router.route_all ~steiner ~graph nets in
         let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
@@ -160,6 +187,7 @@ let optimize_cmd =
                   Cpla.Config.method_ =
                     (match m with `Sdp -> Cpla.Config.Sdp | `Ilp -> Cpla.Config.Ilp);
                   critical_ratio = ratio;
+                  workers;
                 }
               in
               let _, s =
@@ -181,7 +209,67 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Timing-driven incremental layer assignment")
     Term.(
       term_result
-        (const run $ file_arg $ bench_arg $ ratio_arg $ method_arg $ dump_arg $ steiner_arg))
+        (const run $ file_arg $ bench_arg $ ratio_arg $ method_arg $ dump_arg $ steiner_arg
+       $ workers_arg))
+
+(* ---- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "Job manifest: one job per line, $(i,<file-or-bench> [key=value ...]), with \
+             $(b,#) comments.  Keys: method=sdp|ilp ratio=F priority=N deadline=S \
+             iters=N workers=N name=LABEL.")
+  in
+  let workers_arg =
+    let doc = "Worker domains draining the batch concurrently." in
+    Arg.(
+      value
+      & opt positive_int (Cpla_util.Pool.recommended_workers ())
+      & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-job wall-clock deadline in seconds (jobs may override)." in
+    Arg.(value & opt (some positive_float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-job start notices (result lines still stream)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run manifest workers deadline quiet =
+    match
+      Cpla_serve.Job.parse_manifest ?default_deadline_s:deadline (read_file manifest)
+    with
+    | Error msg -> Error (`Msg msg)
+    | Ok [] -> Error (`Msg (Printf.sprintf "manifest %s contains no jobs" manifest))
+    | Ok specs ->
+        Printf.printf "serve: %d job%s on %d worker%s\n%!" (List.length specs)
+          (if List.length specs = 1 then "" else "s")
+          workers
+          (if workers = 1 then "" else "s");
+        (* events arrive from worker domains, already serialised by the
+           scheduler's internal lock — safe to print directly *)
+        let on_event = function
+          | Cpla_serve.Scheduler.Started spec ->
+              if not quiet then
+                Printf.printf "# start job %d %s\n%!" spec.Cpla_serve.Job.id
+                  spec.Cpla_serve.Job.label
+          | Cpla_serve.Scheduler.Finished (spec, terminal) ->
+              Printf.printf "%s\n%!" (Cpla_serve.Report.line spec terminal)
+        in
+        let results = Cpla_serve.Scheduler.run ~workers ~on_event specs in
+        print_endline (Cpla_serve.Report.summary results);
+        if Cpla_serve.Report.all_ok results then Ok ()
+        else Error (`Msg "some jobs did not finish ok")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Batch-optimise a manifest of designs over a pool of worker domains")
+    Term.(term_result (const run $ manifest_arg $ workers_arg $ deadline_arg $ quiet_arg))
 
 (* ---- density -------------------------------------------------------------- *)
 
@@ -298,4 +386,10 @@ let list_cmd =
 let () =
   let doc = "incremental layer assignment for critical path timing (DAC'16)" in
   let info = Cmd.info "cpla" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ synth_cmd; optimize_cmd; density_cmd; slack_cmd; verify_cmd; bench_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            synth_cmd; optimize_cmd; serve_cmd; density_cmd; slack_cmd; verify_cmd; bench_cmd;
+            list_cmd;
+          ]))

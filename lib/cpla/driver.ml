@@ -92,7 +92,7 @@ let local_refine asg (f : Formulation.t) =
     incr rounds
   done
 
-let solve_leaf config eng asg (leaf : Partition.leaf) =
+let solve_leaf config eng asg ?check (leaf : Partition.leaf) =
   (* Freeze the coefficients of the nets touching this partition at the
      current assignment so later partitions see the effect of earlier ones
      within the same sweep (Section 3.2: "newly updated assignment results
@@ -124,12 +124,13 @@ let solve_leaf config eng asg (leaf : Partition.leaf) =
   else
   match config.Config.method_ with
   | Config.Sdp ->
-      let x = Sdp_method.solve ~options:config.Config.sdp_options f in
+      let x = Sdp_method.solve ~options:config.Config.sdp_options ?check f in
       Post_map.run asg ~vars:f.Formulation.vars ~x;
       if config.Config.local_refinement then local_refine asg f
   | Config.Ilp -> (
       match
-        Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha f
+        Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
+          ?check f
       with
       | Some layers ->
           Array.iteri
@@ -147,7 +148,7 @@ let solve_leaf config eng asg (leaf : Partition.leaf) =
    others-only capacity view, solve them concurrently on a domain pool
    (solvers are pure given their formulation), then commit partition by
    partition in deterministic order. *)
-let solve_leaves_parallel config eng asg leaves =
+let solve_leaves_parallel config eng asg ?check leaves =
   (* Freeze every released net's coefficients once, before any release. *)
   let infos = Hashtbl.create 64 in
   List.iter
@@ -188,11 +189,12 @@ let solve_leaves_parallel config eng asg leaves =
     else
       match config.Config.method_ with
       | Config.Sdp ->
-          let x = Sdp_method.solve ~options:config.Config.sdp_options f in
+          let x = Sdp_method.solve ~options:config.Config.sdp_options ?check f in
           `Fractional x
       | Config.Ilp ->
           `Layers
-            (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha f)
+            (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
+               ?check f)
   in
   let solutions = Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve formulations in
   Array.iteri
@@ -210,7 +212,8 @@ let solve_leaves_parallel config eng asg leaves =
       | `Layers None -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
     formulations
 
-let optimize_released ?(config = Config.default) ?engine asg ~released =
+let optimize_released ?(config = Config.default) ?engine ?check asg ~released =
+  let poll = match check with Some f -> f | None -> fun () -> () in
   if not (Assignment.fully_assigned asg) then
     invalid_arg "Driver.optimize: initial assignment incomplete";
   if Array.length released = 0 then
@@ -231,29 +234,39 @@ let optimize_released ?(config = Config.default) ?engine asg ~released =
     let best_score = ref (score eng released) in
     let stop = ref false in
     while (not !stop) && !iterations < config.Config.max_outer_iters do
+      poll ();
       let snap = snapshot asg released in
-      let items =
-        Array.to_list released
-        |> List.concat_map (fun net ->
-               Array.to_list
-                 (Array.mapi
-                    (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
-                    (Assignment.segments asg net)))
-      in
-      let leaves =
-        Partition.build ~width ~height ~k:config.Config.k_div
-          ~max_segments:config.Config.max_segments_per_partition items
-      in
-      if config.Config.workers > 1 then begin
-        solve_leaves_parallel config eng asg leaves;
-        partitions := !partitions + List.length leaves
-      end
-      else
-        List.iter
-          (fun leaf ->
-            solve_leaf config eng asg leaf;
-            incr partitions)
-          leaves;
+      (* Cancellation (or any solver failure) mid-iteration can leave
+         released segments between unassign and re-assign; restoring the
+         iteration-entry snapshot before re-raising hands the caller a
+         consistent state it can still measure (partial metrics). *)
+      (try
+         let items =
+           Array.to_list released
+           |> List.concat_map (fun net ->
+                  Array.to_list
+                    (Array.mapi
+                       (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
+                       (Assignment.segments asg net)))
+         in
+         let leaves =
+           Partition.build ~width ~height ~k:config.Config.k_div
+             ~max_segments:config.Config.max_segments_per_partition items
+         in
+         if config.Config.workers > 1 then begin
+           solve_leaves_parallel config eng asg ?check leaves;
+           partitions := !partitions + List.length leaves
+         end
+         else
+           List.iter
+             (fun leaf ->
+               poll ();
+               solve_leaf config eng asg ?check leaf;
+               incr partitions)
+             leaves
+       with e ->
+         restore asg snap;
+         raise e);
       incr iterations;
       (* only nets the leaves actually moved are re-analysed here *)
       let s = score eng released in
@@ -267,7 +280,7 @@ let optimize_released ?(config = Config.default) ?engine asg ~released =
     { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }
   end
 
-let optimize ?(config = Config.default) asg =
+let optimize ?(config = Config.default) ?check asg =
   let engine = Incremental.create asg in
   let released = Incremental.select engine ~ratio:config.Config.critical_ratio in
-  optimize_released ~config ~engine asg ~released
+  optimize_released ~config ~engine ?check asg ~released

@@ -15,13 +15,15 @@ type report = {
   max_tcp : float;           (** Max(Tcp) over released nets, final *)
 }
 
-val optimize : ?config:Config.t -> Cpla_route.Assignment.t -> report
+val optimize :
+  ?config:Config.t -> ?check:(unit -> unit) -> Cpla_route.Assignment.t -> report
 (** Requires a fully assigned state (run {!Cpla_route.Init_assign} first).
     @raise Invalid_argument otherwise. *)
 
 val optimize_released :
   ?config:Config.t ->
   ?engine:Cpla_timing.Incremental.t ->
+  ?check:(unit -> unit) ->
   Cpla_route.Assignment.t ->
   released:int array ->
   report
@@ -31,4 +33,14 @@ val optimize_released :
     the one already warmed by selection/measurement to avoid re-analysing
     clean nets, or omit it to have a fresh engine created internally.
     @raise Invalid_argument when the engine is bound to another assignment.
-    An empty [released] returns immediately with zero metrics. *)
+    An empty [released] returns immediately with zero metrics.
+
+    [check] is a cooperative-cancellation hook: it is polled at every
+    partition-solve boundary (iteration start, before each leaf solve, and
+    inside the parallel sweep's per-partition solver closures) and cancels
+    the run by raising.  The exception propagates to the caller — wrapped
+    in {!Cpla_util.Pool.Worker_failure} when it fired on a pooled domain —
+    after the in-progress iteration's mutations are rolled back to the
+    iteration-entry snapshot, so the assignment is always left fully
+    assigned and internally consistent.  {!Cpla_serve.Token.check} is the
+    intended hook; any closure works. *)

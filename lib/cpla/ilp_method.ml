@@ -105,10 +105,12 @@ let build_model ~alpha (f : Formulation.t) =
   binary.(lay.vo) <- false;
   Cpla_ilp.Model.create ~objective ~rows:(List.rev !rows) ~binary
 
-let solve ~options ~alpha (f : Formulation.t) =
+let solve ~options ~alpha ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then Some [||]
   else begin
+    check ();
     let model = build_model ~alpha f in
+    check ();
     match Cpla_ilp.Solver.solve ~options model with
     | None -> None
     | Some outcome ->

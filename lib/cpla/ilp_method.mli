@@ -9,10 +9,15 @@
 val solve :
   options:Cpla_ilp.Solver.options ->
   alpha:float ->
+  ?check:(unit -> unit) ->
   Formulation.t ->
   int array option
 (** Chosen layer per var, or [None] when the solver found nothing within
-    budget (caller keeps the previous assignment). *)
+    budget (caller keeps the previous assignment).  [check] is the
+    cooperative-cancellation hook (see {!Driver.optimize_released}),
+    polled at the solve boundaries (before model build and before
+    branch-and-bound); the solver's own [time_limit_s] bounds the gap
+    between polls. *)
 
 val build_model : alpha:float -> Formulation.t -> Cpla_ilp.Model.t
 (** The exact 0/1 model (exposed for tests). *)

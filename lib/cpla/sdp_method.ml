@@ -82,10 +82,12 @@ let build_problem (f : Formulation.t) =
     f.Formulation.cap_rows;
   (Problem.create ~dim ~cost:!cost ~constraints:!constraints, index)
 
-let solve ~options (f : Formulation.t) =
+let solve ~options ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then fun _ _ -> 0.0
   else begin
+    check ();
     let problem, index = build_problem f in
+    check ();
     let result = Solver.solve ~options problem in
     fun vi ci ->
       let v = result.Solver.x_diag.(index vi ci) in

@@ -14,7 +14,11 @@ val build_problem : Formulation.t -> Cpla_sdp.Problem.t * (int -> int -> int)
 
 val solve :
   options:Cpla_sdp.Solver.options ->
+  ?check:(unit -> unit) ->
   Formulation.t ->
   (int -> int -> float)
 (** Solve the relaxation and return the fractional value accessor
-    [x vi ci ∈ [0,1]] that feeds {!Post_map.run}. *)
+    [x vi ci ∈ [0,1]] that feeds {!Post_map.run}.  [check] is the
+    cooperative-cancellation hook (see {!Driver.optimize_released}): it is
+    polled at the solve boundaries (before building the SDP and before
+    running the solver) and aborts the solve by raising. *)

@@ -54,7 +54,10 @@ let solve ?(options = default_options) model =
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
   let nodes = ref 0 in
-  let start = Cpla_util.Timer.start () in
+  (* wall clock, as documented for [time_limit_s]: under the partition-level
+     domain pool, CPU time advances once per running domain and would shrink
+     every concurrent solver's budget by the worker count *)
+  let start = Cpla_util.Timer.wall () in
   let proven = ref true in
   let budget_left () =
     !nodes < options.max_nodes && Cpla_util.Timer.elapsed_s start < options.time_limit_s

@@ -1,0 +1,39 @@
+let metrics_string (m : Job.metrics) =
+  Printf.sprintf "wl=%d avg=%.2f max=%.2f ov=%d edge_ov=%d rel=%d wall=%.2fs"
+    m.Job.wirelength m.Job.avg_tcp m.Job.max_tcp m.Job.via_overflow m.Job.edge_overflow
+    m.Job.released m.Job.wall_s
+
+let detail_string = function
+  | Job.Done m -> metrics_string m
+  | Job.Failed { error; partial } -> (
+      let error = String.map (fun c -> if c = '\n' then ' ' else c) error in
+      match partial with
+      | Some m -> Printf.sprintf "%s [partial: %s]" error (metrics_string m)
+      | None -> error)
+  | Job.Timed_out { limit_s; partial } -> (
+      let hdr = Printf.sprintf "deadline %.2fs exceeded" limit_s in
+      match partial with
+      | Some m -> Printf.sprintf "%s [partial: %s]" hdr (metrics_string m)
+      | None -> hdr)
+  | Job.Cancelled { partial } -> (
+      match partial with
+      | Some m -> Printf.sprintf "[partial: %s]" (metrics_string m)
+      | None -> "")
+
+let line (spec : Job.spec) terminal =
+  String.trim
+    (Printf.sprintf "job %-3d %-24s %-9s %s" spec.Job.id spec.Job.label
+       (Job.status_string terminal) (detail_string terminal))
+
+let summary results =
+  let count pred = Array.length (Array.of_seq (Seq.filter pred (Array.to_seq results))) in
+  let ok = count (fun (_, t) -> Job.is_ok t) in
+  let failed = count (fun (_, t) -> match t with Job.Failed _ -> true | _ -> false) in
+  let timed_out = count (fun (_, t) -> match t with Job.Timed_out _ -> true | _ -> false) in
+  let cancelled = count (fun (_, t) -> match t with Job.Cancelled _ -> true | _ -> false) in
+  Printf.sprintf "serve: %d job%s — %d ok, %d failed, %d timed-out, %d cancelled"
+    (Array.length results)
+    (if Array.length results = 1 then "" else "s")
+    ok failed timed_out cancelled
+
+let all_ok results = Array.for_all (fun (_, t) -> Job.is_ok t) results

@@ -1,0 +1,61 @@
+(** Concurrent batch-optimisation scheduler.
+
+    Executes a batch of {!Job.spec}s on a fixed pool of OCaml 5 domains
+    ({!Cpla_util.Pool.Persistent}).  Ready jobs are ordered by the
+    {!Queue} policy — user priority first, then shortest-expected-first —
+    and each runs the full pipeline: load/generate, global route, initial
+    assignment, CPLA optimisation, from-scratch {!Cpla_route.Verify}
+    audit.
+
+    Fault isolation: a job that raises, misses its deadline, is cancelled,
+    or fails the audit settles as its own non-[Done] terminal state; the
+    rest of the batch is unaffected.  Deadlines are enforced through a
+    per-job {!Token} polled by {!Cpla.Driver} at partition-solve
+    boundaries, measured from batch submission (queue wait counts against
+    the budget, as in a latency SLA).
+
+    Every job owns its design, assignment and timing engine, so results
+    are identical whether the batch runs on one worker or many. *)
+
+type event =
+  | Started of Job.spec  (** a worker began executing the job *)
+  | Finished of Job.spec * Job.terminal
+      (** the job settled; emitted exactly once per job *)
+
+type batch
+
+val submit :
+  ?workers:int -> ?on_event:(event -> unit) -> Job.spec list -> batch
+(** Start executing the jobs on [workers] domains (default
+    {!Cpla_util.Pool.recommended_workers}, clamped to the job count) and
+    return immediately.  [on_event] is invoked from worker domains;
+    invocations are serialised by an internal lock, so a consumer may
+    print or mutate shared state without further locking.  Job ids must
+    be unique within the batch.
+    @raise Invalid_argument on an empty list, duplicate ids, or
+    [workers < 1]. *)
+
+val cancel : batch -> id:int -> unit
+(** Cancel one job: revoked outright if still queued, else its token fires
+    and the run stops at the next cancellation point.  Unknown ids are
+    ignored. *)
+
+val wait : batch -> (Job.spec * Job.terminal) array
+(** Block until every job settles, then shut the pool down (draining).
+    Results are in submission (manifest) order.  Call once per batch. *)
+
+val run :
+  ?workers:int ->
+  ?on_event:(event -> unit) ->
+  Job.spec list ->
+  (Job.spec * Job.terminal) array
+(** [submit] then [wait]. *)
+
+val run_one : Job.spec -> Job.terminal
+(** Execute one job in the calling domain with a fresh token (deadline
+    still honoured) — the sequential reference the batch results are
+    compared against in tests. *)
+
+val expected_cost : Job.spec -> float
+(** The scheduling cost proxy (net count for specs and suite names, scaled
+    byte size for files); exposed for tests. *)

@@ -32,3 +32,131 @@ let parallel_map ~workers f xs =
         | None -> invalid_arg "Pool.parallel_map: missing result (worker died)")
       results
   end
+
+(* ---- persistent worker pool ---------------------------------------------- *)
+
+module Persistent = struct
+  exception Cancelled
+
+  type mode = Accepting | Draining | Aborting
+
+  type 'a task = {
+    mutable cell : ('a, exn) result option;  (* Some = terminal *)
+    mutable revoked : bool;   (* cancel won before a worker claimed it *)
+    mutable claimed : bool;   (* a worker is (or was) running it *)
+  }
+
+  type entry = Entry : 'a task * (unit -> 'a) -> entry
+
+  type t = {
+    m : Mutex.t;
+    work : Condition.t;     (* queue gained an entry, or the pool is closing *)
+    settled : Condition.t;  (* some task reached a terminal state *)
+    q : entry Queue.t;
+    mutable mode : mode;
+    mutable domains : unit Domain.t list;
+  }
+
+  let create ~workers =
+    if workers < 1 then invalid_arg "Pool.Persistent.create: workers must be >= 1";
+    let p =
+      {
+        m = Mutex.create ();
+        work = Condition.create ();
+        settled = Condition.create ();
+        q = Queue.create ();
+        mode = Accepting;
+        domains = [];
+      }
+    in
+    let rec worker () =
+      Mutex.lock p.m;
+      let rec next () =
+        if p.mode = Aborting then None
+        else if Queue.is_empty p.q then
+          match p.mode with
+          | Accepting ->
+              Condition.wait p.work p.m;
+              next ()
+          | Draining | Aborting -> None
+        else Some (Queue.pop p.q)
+      in
+      match next () with
+      | None -> Mutex.unlock p.m
+      | Some (Entry (t, f)) ->
+          if t.revoked then begin
+            Mutex.unlock p.m;
+            worker ()
+          end
+          else begin
+            t.claimed <- true;
+            Mutex.unlock p.m;
+            let r = match f () with v -> Ok v | exception e -> Error e in
+            Mutex.lock p.m;
+            t.cell <- Some r;
+            Condition.broadcast p.settled;
+            Mutex.unlock p.m;
+            worker ()
+          end
+    in
+    p.domains <- List.init workers (fun _ -> Domain.spawn worker);
+    p
+
+  let submit p f =
+    let t = { cell = None; revoked = false; claimed = false } in
+    Mutex.lock p.m;
+    (match p.mode with
+    | Accepting ->
+        Queue.add (Entry (t, f)) p.q;
+        Condition.signal p.work;
+        Mutex.unlock p.m
+    | Draining | Aborting ->
+        Mutex.unlock p.m;
+        invalid_arg "Pool.Persistent.submit: pool is shut down");
+    t
+
+  let revoke_locked p t =
+    let won = (not t.claimed) && t.cell = None in
+    if won then begin
+      t.revoked <- true;
+      t.cell <- Some (Error Cancelled);
+      Condition.broadcast p.settled
+    end;
+    won
+
+  let cancel p t =
+    Mutex.lock p.m;
+    let won = revoke_locked p t in
+    Mutex.unlock p.m;
+    won
+
+  let await p t =
+    Mutex.lock p.m;
+    let rec wait () =
+      match t.cell with
+      | Some r -> r
+      | None ->
+          Condition.wait p.settled p.m;
+          wait ()
+    in
+    let r = wait () in
+    Mutex.unlock p.m;
+    r
+
+  let shutdown ?(drain = true) p =
+    Mutex.lock p.m;
+    if p.mode <> Accepting then Mutex.unlock p.m
+    else begin
+      if drain then p.mode <- Draining
+      else begin
+        p.mode <- Aborting;
+        Queue.iter (fun (Entry (t, _)) -> ignore (revoke_locked p t)) p.q;
+        Queue.clear p.q
+      end;
+      Condition.broadcast p.work;
+      let ds = p.domains in
+      p.domains <- [];
+      Mutex.unlock p.m;
+      List.iter Domain.join ds
+    end
+end

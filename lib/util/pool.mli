@@ -20,3 +20,52 @@ val parallel_map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count - 1], at least 1. *)
+
+(** Persistent fixed-size worker pool.
+
+    Unlike {!parallel_map} — which spawns domains per call and fails the
+    whole batch on the first exception — a persistent pool keeps its
+    domains alive across many independent submissions and isolates
+    failures per task: an exception inside one task is captured in that
+    task's result and the workers carry on.  This is the substrate of the
+    batch-optimisation service ({!Cpla_serve.Scheduler}).
+
+    Thread-safety: every operation may be called from any domain.  Tasks
+    are executed in FIFO submission order (callers wanting a different
+    policy order their submissions, e.g. by draining a priority queue). *)
+module Persistent : sig
+  type t
+  (** A pool of worker domains and its pending-task queue. *)
+
+  type 'a task
+  (** Handle for one submitted unit of work. *)
+
+  exception Cancelled
+  (** Terminal result of a task revoked by {!cancel} (or discarded by an
+      aborting {!shutdown}) before any worker claimed it.  Surfaced as
+      [Error Cancelled] from {!await}, never raised by the pool itself. *)
+
+  val create : workers:int -> t
+  (** Spawn [workers] domains that block waiting for submissions.
+      @raise Invalid_argument when [workers < 1]. *)
+
+  val submit : t -> (unit -> 'a) -> 'a task
+  (** Enqueue a task; returns immediately.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val await : t -> 'a task -> ('a, exn) result
+  (** Block until the task is terminal: [Ok v] on success, [Error e] when
+      the task raised [e] or was cancelled ([Error Cancelled]). *)
+
+  val cancel : t -> 'a task -> bool
+  (** Revoke a task that no worker has claimed yet; [true] when the
+      cancellation won (the task settles as [Error Cancelled]).  [false]
+      when the task already started or finished — in-flight work is only
+      stoppable cooperatively (see {!Cpla_serve.Token}). *)
+
+  val shutdown : ?drain:bool -> t -> unit
+  (** Stop the pool and join its domains.  [drain] (default [true]) runs
+      every pending task first; [~drain:false] discards pending tasks as
+      [Error Cancelled] and joins as soon as in-flight tasks finish.
+      Idempotent; awaiting any previously submitted task remains valid. *)
+end

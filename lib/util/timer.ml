@@ -1,13 +1,27 @@
-type t = float
+type clock = Cpu | Wall
 
-(* Unix.gettimeofday is unavailable without the unix library dependency in
-   every consumer; Sys.time measures CPU seconds which matches the paper's
-   CPU(s) column better than wall clock for a single-threaded run. *)
-let start () = Sys.time ()
+type t = { clock : clock; origin : float }
 
-let elapsed_s t = Sys.time () -. t
+(* Sys.time measures CPU seconds, which matches the paper's CPU(s) column
+   for a single-threaded run but overstates elapsed time as soon as several
+   domains are live (process CPU time advances once per running domain).
+   Wall stopwatches read Unix.gettimeofday; it is not a strictly monotonic
+   source, so elapsed readings are clamped non-negative rather than letting
+   a clock adjustment produce a negative duration. *)
+let read = function Cpu -> Sys.time () | Wall -> Unix.gettimeofday ()
+
+let start () = { clock = Cpu; origin = Sys.time () }
+
+let wall () = { clock = Wall; origin = Unix.gettimeofday () }
+
+let elapsed_s t = Float.max 0.0 (read t.clock -. t.origin)
 
 let time f =
   let t = start () in
+  let v = f () in
+  (v, elapsed_s t)
+
+let wall_time f =
+  let t = wall () in
   let v = f () in
   (v, elapsed_s t)

@@ -1,15 +1,32 @@
-(** Monotonic wall-clock timing for the runtime columns of the experiment
-    tables. *)
+(** Stopwatches for the runtime columns of the experiment tables.
+
+    Two clocks:
+    - {!start} measures CPU seconds ([Sys.time]).  This is the paper's
+      CPU(s) column and stays the right choice for single-threaded
+      optimisation runs.
+    - {!wall} measures elapsed wall-clock seconds.  Under the domain pool
+      CPU time advances once per running domain, so every parallel or
+      serve-side measurement (job wall times, deadlines, throughput
+      benchmarks) must use the wall stopwatch instead.
+
+    Elapsed readings are clamped non-negative, so a system clock step
+    never yields a negative duration. *)
 
 type t
-(** A running stopwatch. *)
+(** A running stopwatch (CPU or wall, fixed at creation). *)
 
 val start : unit -> t
-(** Start a stopwatch now. *)
+(** Start a CPU-seconds stopwatch now. *)
+
+val wall : unit -> t
+(** Start a wall-clock stopwatch now. *)
 
 val elapsed_s : t -> float
-(** Seconds since [start]. *)
+(** Seconds since the stopwatch started, on the stopwatch's own clock. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result together with the elapsed
-    seconds. *)
+(** [time f] runs [f ()] and returns its result with elapsed CPU seconds. *)
+
+val wall_time : (unit -> 'a) -> 'a * float
+(** [wall_time f] runs [f ()] and returns its result with elapsed
+    wall-clock seconds. *)

@@ -12,6 +12,7 @@ let () =
       ("timing", Test_timing.suite);
       ("timing-incremental", Test_timing_incremental.suite);
       ("pool", Test_pool.suite);
+      ("serve", Test_serve.suite);
       ("tila", Test_tila.suite);
       ("cpla", Test_cpla.suite);
       ("integration", Test_integration.suite);

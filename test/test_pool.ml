@@ -77,6 +77,105 @@ let test_more_workers_than_items () =
   let got = Pool.parallel_map ~workers:16 square xs in
   Alcotest.(check (array int)) "clamped worker count" [| 0; 1; 4 |] got
 
+(* ---- Pool.Persistent ------------------------------------------------------ *)
+
+let test_persistent_submit_await () =
+  let pool = Pool.Persistent.create ~workers:3 in
+  let tasks = List.init 30 (fun i -> Pool.Persistent.submit pool (fun () -> square i)) in
+  List.iteri
+    (fun i t ->
+      match Pool.Persistent.await pool t with
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "task %d result" i) (square i) v
+      | Error e -> Alcotest.failf "task %d failed: %s" i (Printexc.to_string e))
+    tasks;
+  Pool.Persistent.shutdown pool
+
+let test_persistent_exception_isolation () =
+  let pool = Pool.Persistent.create ~workers:2 in
+  let tasks =
+    List.init 20 (fun i ->
+        (i, Pool.Persistent.submit pool (fun () -> if i = 13 then raise (Boom i) else i)))
+  in
+  List.iter
+    (fun (i, t) ->
+      match (i, Pool.Persistent.await pool t) with
+      | 13, Error (Boom 13) -> ()
+      | 13, Ok _ -> Alcotest.fail "task 13 should have failed"
+      | 13, Error e -> Alcotest.failf "wrong payload: %s" (Printexc.to_string e)
+      | _, Ok v -> Alcotest.(check int) "neighbour unaffected" i v
+      | _, Error e -> Alcotest.failf "task %d poisoned by task 13: %s" i (Printexc.to_string e))
+    tasks;
+  Pool.Persistent.shutdown pool
+
+let test_persistent_cancel_pending () =
+  (* one worker held on a gate guarantees the second task is still queued
+     when we revoke it — no timing involved *)
+  let gate = Semaphore.Binary.make false in
+  let pool = Pool.Persistent.create ~workers:1 in
+  let t1 =
+    Pool.Persistent.submit pool (fun () ->
+        Semaphore.Binary.acquire gate;
+        1)
+  in
+  let t2 = Pool.Persistent.submit pool (fun () -> 2) in
+  Alcotest.(check bool) "pending task revocable" true (Pool.Persistent.cancel pool t2);
+  Semaphore.Binary.release gate;
+  (match Pool.Persistent.await pool t1 with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "running task unaffected by a neighbour's cancel");
+  (match Pool.Persistent.await pool t2 with
+  | Error Pool.Persistent.Cancelled -> ()
+  | Ok _ -> Alcotest.fail "revoked task must not run"
+  | Error e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e));
+  Alcotest.(check bool) "settled task not revocable" false (Pool.Persistent.cancel pool t1);
+  Pool.Persistent.shutdown pool
+
+let test_persistent_shutdown_drain () =
+  let pool = Pool.Persistent.create ~workers:2 in
+  let tasks = List.init 10 (fun i -> Pool.Persistent.submit pool (fun () -> i * 3)) in
+  Pool.Persistent.shutdown ~drain:true pool;
+  List.iteri
+    (fun i t ->
+      match Pool.Persistent.await pool t with
+      | Ok v -> Alcotest.(check int) "drained task ran" (i * 3) v
+      | Error e -> Alcotest.failf "drain dropped task %d: %s" i (Printexc.to_string e))
+    tasks;
+  match Pool.Persistent.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after shutdown must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_persistent_shutdown_abort () =
+  let started = Semaphore.Binary.make false in
+  let gate = Semaphore.Binary.make false in
+  let pool = Pool.Persistent.create ~workers:1 in
+  let t1 =
+    Pool.Persistent.submit pool (fun () ->
+        Semaphore.Binary.release started;
+        Semaphore.Binary.acquire gate;
+        1)
+  in
+  let pending = List.init 4 (fun i -> Pool.Persistent.submit pool (fun () -> i)) in
+  (* wait until the worker has claimed t1, then release the gate so
+     shutdown's join can complete; the worker may run a couple of pending
+     tasks in the race window, but an aborting shutdown must leave every
+     task terminal and never block *)
+  Semaphore.Binary.acquire started;
+  Semaphore.Binary.release gate;
+  Pool.Persistent.shutdown ~drain:false pool;
+  (match Pool.Persistent.await pool t1 with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "in-flight task completes across abort");
+  List.iteri
+    (fun i t ->
+      match Pool.Persistent.await pool t with
+      | Ok v -> Alcotest.(check int) "ran before abort" i v
+      | Error Pool.Persistent.Cancelled -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" (Printexc.to_string e))
+    pending;
+  match Pool.Persistent.submit pool (fun () -> 0) with
+  | _ -> Alcotest.fail "submit after abort must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "result order determinism" `Quick test_order_determinism;
@@ -85,4 +184,9 @@ let suite =
     Alcotest.test_case "sequential fast path" `Quick test_sequential_fast_path;
     Alcotest.test_case "singleton/empty input" `Quick test_single_item_stays_sequential;
     Alcotest.test_case "more workers than items" `Quick test_more_workers_than_items;
+    Alcotest.test_case "persistent: submit/await" `Quick test_persistent_submit_await;
+    Alcotest.test_case "persistent: exception isolation" `Quick test_persistent_exception_isolation;
+    Alcotest.test_case "persistent: cancel pending" `Quick test_persistent_cancel_pending;
+    Alcotest.test_case "persistent: shutdown drains" `Quick test_persistent_shutdown_drain;
+    Alcotest.test_case "persistent: shutdown abort" `Quick test_persistent_shutdown_abort;
   ]
