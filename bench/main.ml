@@ -27,7 +27,8 @@ let micro_fixture ~design () =
     with Not_found ->
       Printf.eprintf "unknown micro design %S; available: %s\n" design
         (String.concat ", " (List.map (fun b -> b.Cpla_expt.Suite.name) Cpla_expt.Suite.all));
-      exit 2
+      (* bench is its own entry point: a usage error exits like a CLI *)
+      (exit 2) [@cpla.allow "exit-scope"]
   in
   let prep = Cpla_expt.Suite.prepare bench in
   let released = Cpla_expt.Experiments.released_at prep ~ratio:0.005 in
@@ -298,5 +299,5 @@ let () =
           | _ ->
               Printf.eprintf "unknown section %s (available: %s)\n" name
                 (String.concat ", " (List.map fst sections));
-              exit 2))
+              (exit 2) [@cpla.allow "exit-scope"]))
     requested

@@ -1,0 +1,61 @@
+(* cpla_lint — static analyzer for the CPLA sources.
+
+   Parses every .ml under the given paths with ppxlib and enforces the
+   project's domain-safety / determinism / hygiene rules (see `--rules` or
+   DESIGN.md).  Exit status: 0 clean, 1 findings, 124 usage/IO error —
+   so CI can gate on it. *)
+
+open Cmdliner
+
+let run json list_rules paths =
+  if list_rules then begin
+    Cpla_lint.Report.rules Format.std_formatter;
+    0
+  end
+  else
+    match Cpla_lint.Engine.lint_paths paths with
+    | [] ->
+        if json then Cpla_lint.Report.json Format.std_formatter []
+        else Format.printf "cpla-lint: 0 findings@.";
+        0
+    | findings ->
+        if json then Cpla_lint.Report.json Format.std_formatter findings
+        else Cpla_lint.Report.human Format.std_formatter findings;
+        1
+    | exception Sys_error msg ->
+        Format.eprintf "cpla-lint: %s@." msg;
+        124
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as a JSON object.")
+
+let list_rules =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List the rule registry and exit.")
+
+let paths =
+  Arg.(
+    value
+    & pos_all string [ "lib"; "bin"; "bench" ]
+    & info [] ~docv:"PATH"
+        ~doc:"Files or directories to lint (default: lib bin bench).")
+
+let cmd =
+  let doc = "static analysis for the CPLA sources" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Enforces the project's domain-safety, determinism and hygiene \
+         invariants on every .ml file under $(i,PATH).  Suppress a single \
+         finding with a [\\@cpla.allow \"rule-id\"] attribute on the \
+         offending expression or let-binding, or a whole file with \
+         [\\@\\@\\@cpla.allow \"rule-id\"].";
+      `S Manpage.s_exit_status;
+      `P "0 on a clean tree, 1 when there are findings, 124 on IO errors.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cpla_lint" ~doc ~man ~exits:[])
+    Term.(const run $ json $ list_rules $ paths)
+
+let () = exit (Cmd.eval' cmd)

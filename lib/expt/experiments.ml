@@ -1,3 +1,8 @@
+(* This module's deliverable *is* its stdout: it renders the paper's figures
+   and tables for `cpla expt`, and is only ever driven from the CLI.  The
+   file-level allow documents stdout as its sanctioned sink. *)
+[@@@cpla.allow "stdout-print"]
+
 open Cpla_util
 open Cpla_timing
 

@@ -1,0 +1,430 @@
+open Ppxlib
+
+(* ---- scope ---------------------------------------------------------------- *)
+
+type area = Lib | Bin | Bench | Test | Other
+
+type scope = { path : string; segments : string list; area : area }
+
+let scope_of_path path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let segments =
+    String.split_on_char '/' path |> List.filter (fun s -> s <> "" && s <> ".")
+  in
+  let area =
+    match segments with
+    | "lib" :: _ -> Lib
+    | "bin" :: _ -> Bin
+    | "bench" :: _ -> Bench
+    | "test" :: _ -> Test
+    | _ -> Other
+  in
+  { path = String.concat "/" segments; segments; area }
+
+let under prefix scope =
+  let rec go p s =
+    match (p, s) with
+    | [], _ -> true
+    | ph :: pt, sh :: st -> String.equal ph sh && go pt st
+    | _ :: _, [] -> false
+  in
+  go prefix scope.segments
+
+(* ---- longident helpers ---------------------------------------------------- *)
+
+let rec flatten = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
+
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+let last = function [] -> "" | l -> List.nth l (List.length l - 1)
+
+(* ---- [@cpla.allow] -------------------------------------------------------- *)
+
+let allow_name = "cpla.allow"
+
+(* The payload is one or more string literals; each may itself hold several
+   whitespace/comma-separated rule ids. *)
+let rec strings_of_expr e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, loc, _)) ->
+      String.split_on_char ' ' s
+      |> List.concat_map (String.split_on_char ',')
+      |> List.filter_map (fun id ->
+             let id = String.trim id in
+             if id = "" then None else Some (id, loc))
+  | Pexp_tuple es -> List.concat_map strings_of_expr es
+  | Pexp_apply (f, args) ->
+      strings_of_expr f @ List.concat_map (fun (_, a) -> strings_of_expr a) args
+  | _ -> []
+
+(* [allow_ids ~malformed attrs] collects (rule-id, loc) pairs from every
+   [@cpla.allow] attribute, reporting attributes without a usable payload. *)
+let allow_ids ~malformed (attrs : attributes) =
+  List.concat_map
+    (fun (a : attribute) ->
+      if not (String.equal a.attr_name.txt allow_name) then []
+      else
+        let ids =
+          match a.attr_payload with
+          | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> strings_of_expr e
+          | _ -> []
+        in
+        if ids = [] then begin
+          malformed a.attr_loc;
+          []
+        end
+        else ids)
+    attrs
+
+let file_allows str =
+  List.concat_map
+    (fun (si : structure_item) ->
+      match si.pstr_desc with
+      | Pstr_attribute a -> List.map fst (allow_ids ~malformed:(fun _ -> ()) [ a ])
+      | _ -> [])
+    str
+
+(* ---- syntactic classifiers ------------------------------------------------ *)
+
+let float_ident = function
+  | [ ("nan" | "infinity" | "neg_infinity" | "epsilon_float" | "max_float" | "min_float") ]
+    ->
+      true
+  | _ -> false
+
+let float_fn = function
+  | [
+      ( "+." | "-." | "*." | "/." | "**" | "~-." | "~+." | "sqrt" | "exp" | "log"
+      | "log10" | "float_of_int" | "abs_float" | "ceil" | "floor" | "mod_float" );
+    ] ->
+      true
+  | "Float" :: _ -> true
+  | _ -> false
+
+(* Does this expression syntactically look float-valued?  A heuristic — the
+   linter has no type information — tuned to catch the idioms that matter
+   (comparison against a float literal, or against a float arithmetic
+   result) with no false positives on int code. *)
+let rec looks_float e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt; _ } -> float_ident (strip_stdlib (flatten txt))
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      float_fn (strip_stdlib (flatten txt))
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt = Lident "float"; _ }, []); _ })
+    ->
+      true
+  | Pexp_ifthenelse (_, a, Some b) -> looks_float a || looks_float b
+  | Pexp_open (_, a) | Pexp_sequence (_, a) | Pexp_let (_, _, a) -> looks_float a
+  | _ -> false
+
+let mutable_creator lid =
+  match strip_stdlib (flatten lid) with
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | _ -> None
+
+let print_ident = function
+  | [
+      ( "print_string" | "print_endline" | "print_newline" | "print_char" | "print_int"
+      | "print_float" | "print_bytes" );
+    ] ->
+      true
+  | [ "Printf"; "printf" ] -> true
+  | [ "Format"; f ] ->
+      List.mem f
+        [
+          "printf";
+          "print_string";
+          "print_newline";
+          "print_char";
+          "print_int";
+          "print_float";
+          "print_space";
+          "print_cut";
+          "print_flush";
+        ]
+  | _ -> false
+
+let clock_ident = function
+  | [ "Sys"; "time" ] | [ "Unix"; "gettimeofday" ] | [ "Unix"; "time" ] -> true
+  | _ -> false
+
+(* catch-all pattern of a [try] case: returns [Some (Some var)] when the
+   pattern binds the exception to [var], [Some None] for a wildcard. *)
+let rec catchall_var p =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var v -> Some (Some v.txt)
+  | Ppat_alias (inner, v) -> (
+      match catchall_var inner with Some _ -> Some (Some v.txt) | None -> None)
+  | Ppat_constraint (inner, _) -> catchall_var inner
+  | _ -> None
+
+(* Does [body] re-raise [var] (directly, or via Util.Exn.reraise_if_async)? *)
+let reraises var body =
+  let found = ref false in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, arg) :: _)
+          when List.mem (last (flatten txt))
+                 [ "raise"; "raise_notrace"; "raise_with_backtrace"; "reraise_if_async" ]
+          -> (
+            match (var, arg.pexp_desc) with
+            | Some v, Pexp_ident { txt = Lident v'; _ } when String.equal v v' ->
+                found := true
+            | _ -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  it#expression body;
+  !found
+
+(* ---- analysis ------------------------------------------------------------- *)
+
+let analyze ~scope str =
+  let findings = ref [] in
+  let file_allowed = file_allows str in
+  (* Mutable-record types declared in this file: their literals at top level
+     are shared mutable state just like a top-level [ref]. *)
+  let mutable_fields = Hashtbl.create 16 in
+  let collect_types =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! type_declaration td =
+        (match td.ptype_kind with
+        | Ptype_record lds ->
+            List.iter
+              (fun ld ->
+                if ld.pld_mutable = Mutable then
+                  Hashtbl.replace mutable_fields ld.pld_name.txt ())
+              lds
+        | _ -> ());
+        super#type_declaration td
+    end
+  in
+  collect_types#structure str;
+  (* suppression stack: one frame per attribute-bearing node on the spine *)
+  let stack = ref [] in
+  let suppressed rule =
+    List.mem rule file_allowed
+    || List.exists (List.exists (fun (id, _) -> String.equal id rule)) !stack
+  in
+  let emit rule loc msg =
+    if not (suppressed rule) then
+      findings := Finding.v ~file:scope.path ~loc ~rule ~msg :: !findings
+  in
+  let push attrs =
+    let malformed loc =
+      emit "unknown-allow" loc "[@cpla.allow] expects rule-id string literal(s)"
+    in
+    let ids = allow_ids ~malformed attrs in
+    stack := ids :: !stack;
+    (* validated after the push so [@cpla.allow "unknown-allow"] works *)
+    List.iter
+      (fun (id, loc) ->
+        if not (Rule.known id) then
+          emit "unknown-allow" loc
+            (Printf.sprintf "unknown rule id %S in [@cpla.allow]" id))
+      ids
+  in
+  let pop () = stack := List.tl !stack in
+  (* -- per-ident rules -- *)
+  let in_lib = scope.area = Lib in
+  let float_scope =
+    under [ "lib"; "numeric" ] scope
+    || under [ "lib"; "timing" ] scope
+    || under [ "lib"; "sdp" ] scope
+  in
+  let stdout_exempt =
+    String.equal scope.path "lib/util/table.ml"
+    || String.equal scope.path "lib/serve/report.ml"
+  in
+  let clock_exempt = String.equal scope.path "lib/util/timer.ml" in
+  let check_ident lid loc =
+    let p = strip_stdlib (flatten lid) in
+    let name = String.concat "." p in
+    (match p with
+    | "Random" :: _ ->
+        emit "ambient-random" loc
+          (name ^ " is ambient global PRNG state; use the seeded Util.Rng")
+    | _ -> ());
+    if clock_ident p && not clock_exempt then
+      emit "wall-clock" loc
+        (name ^ " is an ambient clock read; go through a Util.Timer stopwatch");
+    (match p with
+    | [ "Obj"; "magic" ] -> emit "obj-magic" loc "Obj.magic defeats the type system"
+    | _ -> ());
+    (match p with
+    | [ "exit" ] when scope.area <> Bin ->
+        emit "exit-scope" loc
+          "exit outside bin/ — raise instead so callers keep control"
+    | _ -> ());
+    if in_lib && (not stdout_exempt) && print_ident p then
+      emit "stdout-print" loc
+        (name ^ " writes to stdout from lib/; return a string or use Util.Table / Serve.Report")
+  in
+  (* A catch-all exception-handler case must re-raise asynchronous
+     exceptions.  [pat] is the handler pattern: the case pattern of a [try],
+     or the payload of an [exception p ->] case of a [match]. *)
+  let check_handler (pat : pattern) guard body =
+    (* an allow on the handler body suppresses the case's finding, so the
+       annotation can sit on the arm it is about *)
+    let body_allowed =
+      allow_ids ~malformed:(fun _ -> ()) body.pexp_attributes
+      |> List.exists (fun (id, _) -> String.equal id "catchall-async")
+    in
+    if (guard = None) && not body_allowed then
+      match catchall_var pat with
+      | Some var when not (reraises var body) ->
+          emit "catchall-async" pat.ppat_loc
+            (match var with
+            | None ->
+                "catch-all `_ ->` handler swallows Out_of_memory/Stack_overflow; \
+                 name the exception and call Util.Exn.reraise_if_async first"
+            | Some v ->
+                Printf.sprintf
+                  "catch-all handler must re-raise asynchronous exceptions: \
+                   call Util.Exn.reraise_if_async %s (or raise %s) first"
+                  v v)
+      | _ -> ()
+  in
+  let check_try cases =
+    List.iter (fun (c : case) -> check_handler c.pc_lhs c.pc_guard c.pc_rhs) cases
+  in
+  let check_match cases =
+    List.iter
+      (fun (c : case) ->
+        match c.pc_lhs.ppat_desc with
+        | Ppat_exception inner -> check_handler inner c.pc_guard c.pc_rhs
+        | _ -> ())
+      cases
+  in
+  let main =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        push e.pexp_attributes;
+        (match e.pexp_desc with
+        | Pexp_ident lid -> check_ident lid.txt lid.loc
+        | Pexp_apply
+            ( { pexp_desc = Pexp_ident { txt = Lident (("=" | "<>" | "==" | "!=") as op); _ }; _ },
+              [ (Nolabel, a); (Nolabel, b) ] )
+          when float_scope && (looks_float a || looks_float b) ->
+            emit "float-equality" e.pexp_loc
+              (Printf.sprintf
+                 "(%s) on float operands; use Util.Float_cmp.approx_eq / is_zero / nonzero"
+                 op)
+        | Pexp_try (_, cases) -> check_try cases
+        | Pexp_match (_, cases) -> check_match cases
+        | _ -> ());
+        super#expression e;
+        pop ()
+
+      method! value_binding vb =
+        push vb.pvb_attributes;
+        super#value_binding vb;
+        pop ()
+    end
+  in
+  main#structure str;
+  (* -- top-level mutable state (lib/ only) -- *)
+  let top_mutable () =
+    let exempt lid =
+      match strip_stdlib (flatten lid) with
+      | "Atomic" :: _ | "Mutex" :: _ | "Condition" :: _ | "Semaphore" :: _ -> true
+      | _ -> false
+    in
+    (* Walk a binding's right-hand side without crossing function or lazy
+       boundaries: whatever mutable values are created here exist once, at
+       module initialisation, and are then shared by every domain. *)
+    let rec scan_rhs (e : expression) =
+      push e.pexp_attributes;
+      (match e.pexp_desc with
+      | Pexp_function _ | Pexp_lazy _ -> ()
+      | Pexp_apply (({ pexp_desc = Pexp_ident { txt; _ }; _ } as f), args) ->
+          (match mutable_creator txt with
+          | Some name when not (exempt txt) ->
+              emit "top-mutable" e.pexp_loc
+                (name
+                ^ " at top level is cross-domain shared state; use Atomic, or \
+                   create it inside the function that owns it")
+          | _ -> ());
+          scan_rhs f;
+          List.iter (fun (_, a) -> scan_rhs a) args
+      | Pexp_record (fields, base) ->
+          if
+            List.exists
+              (fun (({ txt; _ } : Longident.t loc), _) ->
+                Hashtbl.mem mutable_fields (last (flatten txt)))
+              fields
+          then
+            emit "top-mutable" e.pexp_loc
+              "top-level literal of a mutable record type is cross-domain shared state";
+          List.iter (fun (_, fe) -> scan_rhs fe) fields;
+          Option.iter scan_rhs base
+      | Pexp_let (_, vbs, body) ->
+          List.iter (fun (vb : value_binding) -> scan_rhs vb.pvb_expr) vbs;
+          scan_rhs body
+      | Pexp_sequence (a, b) | Pexp_setfield (a, _, b) ->
+          scan_rhs a;
+          scan_rhs b
+      | Pexp_ifthenelse (c, a, b) ->
+          scan_rhs c;
+          scan_rhs a;
+          Option.iter scan_rhs b
+      | Pexp_tuple es | Pexp_array es -> List.iter scan_rhs es
+      | Pexp_construct (_, Some a)
+      | Pexp_variant (_, Some a)
+      | Pexp_constraint (a, _)
+      | Pexp_coerce (a, _, _)
+      | Pexp_open (_, a)
+      | Pexp_letmodule (_, _, a)
+      | Pexp_field (a, _) ->
+          scan_rhs a
+      | Pexp_match (a, cases) | Pexp_try (a, cases) ->
+          scan_rhs a;
+          List.iter (fun c -> scan_rhs c.pc_rhs) cases
+      | Pexp_apply (f, args) ->
+          scan_rhs f;
+          List.iter (fun (_, a) -> scan_rhs a) args
+      | _ -> ());
+      pop ()
+    in
+    let rec items is = List.iter item is
+    and item (si : structure_item) =
+      match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : value_binding) ->
+              push vb.pvb_attributes;
+              scan_rhs vb.pvb_expr;
+              pop ())
+            vbs
+      | Pstr_module mb -> module_expr mb.pmb_expr
+      | Pstr_recmodule mbs -> List.iter (fun mb -> module_expr mb.pmb_expr) mbs
+      | Pstr_include inc -> module_expr inc.pincl_mod
+      | _ -> ()
+    and module_expr me =
+      match me.pmod_desc with
+      | Pmod_structure is -> items is
+      | Pmod_constraint (me, _) -> module_expr me
+      | _ -> () (* functor bodies are instantiated per application *)
+    in
+    items str
+  in
+  if in_lib then top_mutable ();
+  List.rev !findings

@@ -1,0 +1,24 @@
+(** AST-level lint checks over one parsed implementation.
+
+    Scope decisions (which rules apply where) are made from the file's
+    normalized project-relative path: [lib/], [bin/], [bench/], [test/]. *)
+
+type area = Lib | Bin | Bench | Test | Other
+
+type scope = {
+  path : string;  (** normalized relative path, ['/'] separated *)
+  segments : string list;
+  area : area;
+}
+
+val scope_of_path : string -> scope
+
+val file_allows : Ppxlib.structure -> string list
+(** Rule ids suppressed for the whole file by floating
+    [[\@\@\@cpla.allow "rule-id"]] attributes. *)
+
+val analyze : scope:scope -> Ppxlib.structure -> Finding.t list
+(** Run every AST rule; returns unsuppressed findings in source order.
+    Findings inside the static extent of a [[\@cpla.allow "rule-id"]]
+    attribute (on an expression or a [let] binding) are dropped, as are
+    rule ids named by {!file_allows}. *)

@@ -1,0 +1,55 @@
+let parse ~filename contents =
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf filename;
+  Ppxlib.Parse.implementation lexbuf
+
+let lint_string ?(has_mli = true) ~filename contents =
+  let scope = Checks.scope_of_path filename in
+  match parse ~filename contents with
+  | str ->
+      let findings = Checks.analyze ~scope str in
+      let findings =
+        if
+          scope.Checks.area = Checks.Lib
+          && (not has_mli)
+          && not (List.mem "missing-mli" (Checks.file_allows str))
+        then
+          findings
+          @ [
+              Finding.file_level ~file:scope.Checks.path ~rule:"missing-mli"
+                ~msg:"no corresponding .mli; every lib/ module needs an interface";
+            ]
+        else findings
+      in
+      List.sort Finding.compare findings
+  | exception e ->
+      Cpla_util.Exn.reraise_if_async e;
+      [
+        Finding.file_level ~file:scope.Checks.path ~rule:"parse-error"
+          ~msg:(Printexc.to_string e);
+      ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file path =
+  let has_mli = Sys.file_exists (path ^ "i") in
+  lint_string ~has_mli ~filename:path (read_file path)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if String.length entry > 0 && entry.[0] = '.' then []
+           else if String.equal entry "_build" then []
+           else ml_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let lint_paths paths =
+  let files = List.concat_map ml_files paths in
+  let findings = List.concat_map lint_file files in
+  List.sort_uniq Finding.compare findings

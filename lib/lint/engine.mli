@@ -1,0 +1,17 @@
+(** Driving the lint: parsing sources, walking directories, applying the
+    file-level rules ([missing-mli], [parse-error]) on top of {!Checks}. *)
+
+val lint_string : ?has_mli:bool -> filename:string -> string -> Finding.t list
+(** Lint one implementation given as a string.  [filename] (a project-relative
+    path such as ["lib/numeric/mat.ml"]) decides which rules apply; it does
+    not have to exist on disk.  [has_mli] (default [true]) feeds the
+    [missing-mli] rule.  Findings are sorted. *)
+
+val lint_file : string -> Finding.t list
+(** Lint one [.ml] file from disk; [missing-mli] checks for a sibling
+    [.mli].  @raise Sys_error when the file cannot be read. *)
+
+val lint_paths : string list -> Finding.t list
+(** Lint every [.ml] file under the given files/directories (recursively,
+    skipping [_build] and dot-directories).  Findings are sorted and
+    de-duplicated.  @raise Sys_error on an unreadable path. *)

@@ -1,0 +1,22 @@
+type t = { file : string; line : int; col : int; rule : string; message : string }
+
+let v ~file ~(loc : Ppxlib.Location.t) ~rule ~msg =
+  let p = loc.loc_start in
+  { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; rule; message = msg }
+
+let file_level ~file ~rule ~msg = { file; line = 0; col = 0; rule; message = msg }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let pp fmt t =
+  if t.line = 0 then Format.fprintf fmt "%s: [%s] %s" t.file t.rule t.message
+  else Format.fprintf fmt "%s:%d: [%s] %s" t.file t.line t.rule t.message

@@ -1,0 +1,21 @@
+(** One lint diagnostic: a rule violation at a source location. *)
+
+type t = {
+  file : string;  (** normalized relative path, ['/'] separated *)
+  line : int;  (** 1-based; 0 when the finding is file-level *)
+  col : int;  (** 0-based column *)
+  rule : string;  (** id of the {!Rule} that fired *)
+  message : string;
+}
+
+val v : file:string -> loc:Ppxlib.Location.t -> rule:string -> msg:string -> t
+(** Build a finding from a parser location (start position). *)
+
+val file_level : file:string -> rule:string -> msg:string -> t
+(** A finding about the file as a whole (e.g. a missing [.mli]); [line = 0]. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, then rule id. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable [file:line: [rule-id] message] form. *)

@@ -1,0 +1,37 @@
+let human fmt findings =
+  List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) findings;
+  let n = List.length findings in
+  Format.fprintf fmt "cpla-lint: %d finding%s@." n (if n = 1 then "" else "s")
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json fmt findings =
+  Format.fprintf fmt "{\"findings\":[";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      Format.fprintf fmt "%s{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+        (if i = 0 then "" else ",")
+        (escape f.Finding.file) f.Finding.line f.Finding.col (escape f.Finding.rule)
+        (escape f.Finding.message))
+    findings;
+  Format.fprintf fmt "],\"count\":%d}@." (List.length findings)
+
+let rules fmt =
+  List.iter
+    (fun (r : Rule.t) ->
+      Format.fprintf fmt "%-16s %s@.%16s rationale: %s@." r.Rule.id r.Rule.synopsis ""
+        r.Rule.rationale)
+    Rule.all

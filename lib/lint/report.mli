@@ -1,0 +1,12 @@
+(** Rendering lint findings; all output goes through the caller's formatter,
+    so the library itself never writes to stdout. *)
+
+val human : Format.formatter -> Finding.t list -> unit
+(** One [file:line: [rule-id] message] line per finding, then a summary. *)
+
+val json : Format.formatter -> Finding.t list -> unit
+(** Machine-readable report:
+    [{"findings": [{"file", "line", "col", "rule", "message"}...], "count": n}]. *)
+
+val rules : Format.formatter -> unit
+(** Render the rule registry (id, synopsis, rationale). *)

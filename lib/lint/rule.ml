@@ -1,0 +1,106 @@
+type t = { id : string; synopsis : string; rationale : string }
+
+(* Kept as a plain list: the registry is tiny, and a top-level [Hashtbl]
+   would trip the very rule it registers. *)
+let all =
+  [
+    {
+      id = "top-mutable";
+      synopsis =
+        "top-level mutable state (ref / Hashtbl.create / Buffer.create / \
+         Queue.create / Stack.create / mutable-record literal) in lib/";
+      rationale =
+        "every lib/ module may run on Pool worker domains; top-level mutable \
+         state is shared across domains and breaks the byte-identical \
+         incremental-vs-scratch claim.  Use Atomic, or pass state explicitly.";
+    };
+    {
+      id = "ambient-random";
+      synopsis = "use of Stdlib.Random (including Random.self_init)";
+      rationale =
+        "Stdlib.Random is ambient per-domain global state; solver kernels \
+         must draw from the seeded, splittable Util.Rng so runs replay \
+         deterministically.";
+    };
+    {
+      id = "wall-clock";
+      synopsis = "Sys.time / Unix.gettimeofday / Unix.time outside Util.Timer";
+      rationale =
+        "ad-hoc clock reads leak nondeterminism into kernels and bypass the \
+         CPU-vs-wall discipline Util.Timer encodes (paper CPU(s) tables vs \
+         multi-domain wall timings).";
+    };
+    {
+      id = "float-equality";
+      synopsis =
+        "= / <> / == / != on float operands in lib/numeric, lib/timing, \
+         lib/sdp";
+      rationale =
+        "exact float comparison hides intent and breaks under reassociation; \
+         numeric kernels must name the comparison via Util.Float_cmp \
+         (approx_eq / is_zero / nonzero).";
+    };
+    {
+      id = "obj-magic";
+      synopsis = "use of Obj.magic";
+      rationale =
+        "Obj.magic defeats the type system; under multiple domains a \
+         mistyped value is a memory-safety bug, not just a wrong answer.";
+    };
+    {
+      id = "exit-scope";
+      synopsis = "exit called outside bin/";
+      rationale =
+        "library and bench code must raise so callers (the batch scheduler \
+         in particular) keep control; exit from a worker domain kills the \
+         whole service.";
+    };
+    {
+      id = "stdout-print";
+      synopsis =
+        "bare print_* / Printf.printf / Format.printf to stdout in lib/ \
+         outside Util.Table and Serve.Report";
+      rationale =
+        "stdout is the CLI's report channel; stray prints from kernels \
+         interleave across domains and corrupt machine-read output.  Return \
+         strings, or render via Util.Table / Serve.Report.";
+    };
+    {
+      id = "catchall-async";
+      synopsis =
+        "catch-all exception handler that can swallow Out_of_memory / \
+         Stack_overflow / Sys.Break";
+      rationale =
+        "converting asynchronous exceptions into ordinary failure values \
+         (e.g. a Job.Failed string) leaves the process running in an \
+         unreliable state; name the exception and pass it to \
+         Util.Exn.reraise_if_async (or re-raise it) first.";
+    };
+    {
+      id = "missing-mli";
+      synopsis = "a lib/ .ml compilation unit without a sibling .mli";
+      rationale =
+        "an .mli is the enforced boundary that keeps representation types \
+         and helper state private, which is what makes the domain-safety \
+         audit tractable.";
+    };
+    {
+      id = "unknown-allow";
+      synopsis =
+        "[@cpla.allow] naming an unknown rule id, or with a malformed payload";
+      rationale =
+        "a typo in a suppression silently re-enables nothing and leaves the \
+         real finding suppressed-in-intent only.";
+    };
+    {
+      id = "parse-error";
+      synopsis = "source file that does not parse";
+      rationale =
+        "an unparseable file cannot be audited; surfacing it as a finding \
+         keeps the lint gate conservative.";
+    };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+
+let known id = find id <> None

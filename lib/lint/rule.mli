@@ -1,0 +1,19 @@
+(** Registry of the project lint rules.
+
+    Every diagnostic produced by {!Engine} carries the [id] of one of these
+    rules; the same ids are what a [[@cpla.allow "rule-id"]] annotation names
+    to suppress a finding at one site. *)
+
+type t = {
+  id : string;  (** stable kebab-case identifier, e.g. ["top-mutable"] *)
+  synopsis : string;  (** one-line description of what the rule forbids *)
+  rationale : string;  (** which project invariant the rule protects *)
+}
+
+val all : t list
+(** Every rule, in documentation order. *)
+
+val known : string -> bool
+(** [known id] is true when [id] names a rule in {!all}. *)
+
+val find : string -> t option

@@ -1,3 +1,5 @@
+module Float_cmp = Cpla_util.Float_cmp
+
 let off_diagonal_norm a =
   let n = a.Mat.rows in
   let acc = ref 0.0 in
@@ -11,7 +13,8 @@ let off_diagonal_norm a =
 (* One Jacobi rotation zeroing a.(p).(q), accumulating the rotation in v. *)
 let rotate a v p q =
   let apq = Mat.get a p q in
-  if Float.abs apq > 0.0 then begin
+  (* a rotation is only needed (or defined) for a truly nonzero pivot *)
+  if Float_cmp.nonzero ~atol:0.0 apq then begin
     let app = Mat.get a p p and aqq = Mat.get a q q in
     let theta = (aqq -. app) /. (2.0 *. apq) in
     let t =

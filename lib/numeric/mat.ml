@@ -1,3 +1,5 @@
+module Float_cmp = Cpla_util.Float_cmp
+
 type t = { rows : int; cols : int; data : float array array }
 
 let create rows cols = { rows; cols; data = Array.make_matrix rows cols 0.0 }
@@ -22,7 +24,8 @@ let mul a b =
     let ai = a.data.(i) and ci = c.data.(i) in
     for k = 0 to a.cols - 1 do
       let aik = ai.(k) in
-      if aik <> 0.0 then begin
+      (* exact sparse skip: only a true zero may be dropped *)
+      if Float_cmp.nonzero ~atol:0.0 aik then begin
         let bk = b.data.(k) in
         for j = 0 to b.cols - 1 do
           ci.(j) <- ci.(j) +. (aik *. bk.(j))
@@ -41,7 +44,7 @@ let mul_tvec a x =
   let y = Array.make a.cols 0.0 in
   for i = 0 to a.rows - 1 do
     let xi = x.(i) in
-    if xi <> 0.0 then begin
+    if Float_cmp.nonzero ~atol:0.0 xi then begin
       let ai = a.data.(i) in
       for j = 0 to a.cols - 1 do
         y.(j) <- y.(j) +. (xi *. ai.(j))
@@ -84,7 +87,8 @@ let is_symmetric ?(tol = 1e-9) a =
   let ok = ref true in
   for i = 0 to a.rows - 1 do
     for j = i + 1 to a.cols - 1 do
-      if Float.abs (a.data.(i).(j) -. a.data.(j).(i)) > tol then ok := false
+      if not (Float_cmp.approx_eq ~rtol:0.0 ~atol:tol a.data.(i).(j) a.data.(j).(i)) then
+        ok := false
     done
   done;
   !ok

@@ -1,6 +1,7 @@
 open Cpla_route
 open Cpla_timing
 module Pool = Cpla_util.Pool
+module Exn = Cpla_util.Exn
 
 type event =
   | Started of Job.spec
@@ -119,7 +120,16 @@ let run_job (spec : Job.spec) token =
         in
         Job.Failed { error; partial = Some metrics })
   with e -> (
-    let partial = try !partial () with _ -> None in
+    (* Out_of_memory / Stack_overflow must not be laundered into a
+       Job.Failed string: the pool transports them to [wait], which
+       re-raises on the caller's domain. *)
+    Exn.reraise_if_async e;
+    let partial =
+      try !partial ()
+      with pe ->
+        Exn.reraise_if_async pe;
+        None
+    in
     match root_cause e with
     | Token.Cancelled Token.Deadline ->
         Job.Timed_out { limit_s = Option.value spec.Job.deadline_s ~default:0.0; partial }
@@ -204,7 +214,10 @@ let wait batch =
             (spec, terminal)
         | Error e ->
             (* the pool isolates task exceptions and [run_job] catches its
-               own, so this is unreachable; classify defensively *)
+               own, so only an asynchronous exception that run_job re-raised
+               can land here: surface it on the caller's domain.  Anything
+               else is unreachable; classify defensively. *)
+            Exn.reraise_if_async e;
             (spec, Job.Failed { error = Printexc.to_string e; partial = None }))
       batch.results
   in

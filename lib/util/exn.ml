@@ -1,0 +1,6 @@
+let is_async = function
+  | Out_of_memory | Stack_overflow | Sys.Break -> true
+  | _ -> false
+
+let reraise_if_async e =
+  if is_async e then Printexc.raise_with_backtrace e (Printexc.get_raw_backtrace ())

@@ -1,0 +1,15 @@
+(** Asynchronous-exception discipline.
+
+    [Out_of_memory], [Stack_overflow] and [Sys.Break] can surface at almost
+    any allocation, call or signal point; a catch-all handler that converts
+    them into an ordinary failure value leaves the process running in an
+    unreliable state.  Every catch-all handler in this codebase must hand
+    the exception to {!reraise_if_async} before classifying it (the
+    [catchall-async] lint rule enforces this). *)
+
+val is_async : exn -> bool
+(** True for [Out_of_memory], [Stack_overflow] and [Sys.Break]. *)
+
+val reraise_if_async : exn -> unit
+(** Re-raise (preserving the backtrace) when {!is_async}; otherwise return
+    unit so the handler can continue classifying the exception. *)

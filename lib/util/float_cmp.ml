@@ -1,0 +1,18 @@
+let check_tol name t =
+  if not (t >= 0.0) then
+    invalid_arg (Printf.sprintf "Float_cmp: %s must be a non-negative float" name)
+
+let approx_eq ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  check_tol "rtol" rtol;
+  check_tol "atol" atol;
+  if Float.is_finite a && Float.is_finite b then
+    Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+  else
+    (* infinities only match exactly; NaN matches nothing *)
+    a = b
+
+let is_zero ?(atol = 1e-12) x =
+  check_tol "atol" atol;
+  Float.abs x <= atol
+
+let nonzero ?atol x = not (is_zero ?atol x)

@@ -1,0 +1,21 @@
+(** Named float comparison.
+
+    The solver kernels must never compare floats with bare [=] / [<>] (the
+    [float-equality] lint rule forbids it in [lib/numeric], [lib/timing] and
+    [lib/sdp]): exact comparison hides whether a tolerance was intended, and
+    silently breaks under reassociation.  These helpers make the intent —
+    approximate, or deliberately exact ([~atol:0.0]) — explicit at the call
+    site.  NaN compares unequal to everything, including itself. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_eq ?rtol ?atol a b] is [|a - b| <= atol + rtol * max |a| |b|],
+    with an exact short-circuit so equal infinities compare equal.
+    Defaults: [rtol = 1e-9], [atol = 1e-12].
+    @raise Invalid_argument when a tolerance is negative or NaN. *)
+
+val is_zero : ?atol:float -> float -> bool
+(** [is_zero ?atol x] is [|x| <= atol] (default [atol = 1e-12]).
+    [~atol:0.0] is the deliberate exact test ([x] is [+0.] or [-0.]). *)
+
+val nonzero : ?atol:float -> float -> bool
+(** [not (is_zero ?atol x)]; NaN counts as nonzero. *)

@@ -17,7 +17,11 @@ let parallel_map ~workers f xs =
         else begin
           match f xs.(i) with
           | v -> results.(i) <- Some v
-          | exception e -> ignore (Atomic.compare_and_set failure None (Some e))
+          | exception e ->
+              (* not laundered: the first failure (async included) is
+                 re-raised as Worker_failure after the domains join *)
+              (ignore (Atomic.compare_and_set failure None (Some e)))
+              [@cpla.allow "catchall-async"]
         end
       done
     in
@@ -91,7 +95,15 @@ module Persistent = struct
           else begin
             t.claimed <- true;
             Mutex.unlock p.m;
-            let r = match f () with v -> Ok v | exception e -> Error e in
+            let r =
+              match f () with
+              | v -> Ok v
+              | exception e ->
+                  (* not laundered: the worker domain must survive, and the
+                     exception reaches the caller via [await]'s [Error]
+                     (Scheduler.wait re-raises asynchronous ones there) *)
+                  (Error e) [@cpla.allow "catchall-async"]
+            in
             Mutex.lock p.m;
             t.cell <- Some r;
             Condition.broadcast p.settled;

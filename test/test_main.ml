@@ -22,4 +22,5 @@ let () =
       ("route-edge", Test_route_edge.suite);
       ("misc", Test_misc.suite);
       ("steiner", Test_steiner.suite);
+      ("lint", Test_lint.suite);
     ]

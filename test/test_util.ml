@@ -108,9 +108,38 @@ let test_heap_random =
       let popped = drain [] in
       popped = List.sort compare keys)
 
+let test_float_cmp () =
+  Alcotest.(check bool) "equal" true (Float_cmp.approx_eq 1.0 1.0);
+  Alcotest.(check bool) "within atol" true (Float_cmp.approx_eq 0.0 1e-13);
+  Alcotest.(check bool) "within rtol" true (Float_cmp.approx_eq 1e9 (1e9 +. 0.5));
+  Alcotest.(check bool) "outside tolerance" false (Float_cmp.approx_eq 1.0 1.001);
+  Alcotest.(check bool) "explicit atol" true (Float_cmp.approx_eq ~rtol:0.0 ~atol:0.1 1.0 1.05);
+  Alcotest.(check bool) "infinities equal" true (Float_cmp.approx_eq infinity infinity);
+  Alcotest.(check bool) "opposite infinities" false
+    (Float_cmp.approx_eq infinity neg_infinity);
+  Alcotest.(check bool) "nan never equal" false (Float_cmp.approx_eq nan nan);
+  Alcotest.(check bool) "is_zero default" true (Float_cmp.is_zero 1e-13);
+  Alcotest.(check bool) "is_zero exact rejects" false (Float_cmp.is_zero ~atol:0.0 1e-300);
+  Alcotest.(check bool) "is_zero exact neg zero" true (Float_cmp.is_zero ~atol:0.0 (-0.0));
+  Alcotest.(check bool) "nonzero nan" true (Float_cmp.nonzero nan);
+  Alcotest.check_raises "negative tolerance"
+    (Invalid_argument "Float_cmp: atol must be a non-negative float") (fun () ->
+      ignore (Float_cmp.is_zero ~atol:(-1.0) 0.0))
+
+let test_exn_async () =
+  Alcotest.(check bool) "oom is async" true (Exn.is_async Out_of_memory);
+  Alcotest.(check bool) "stack overflow is async" true (Exn.is_async Stack_overflow);
+  Alcotest.(check bool) "break is async" true (Exn.is_async Sys.Break);
+  Alcotest.(check bool) "failure is not" false (Exn.is_async (Failure "x"));
+  Alcotest.check_raises "reraises async" Stack_overflow (fun () ->
+      Exn.reraise_if_async Stack_overflow);
+  Exn.reraise_if_async Not_found (* returns unit for ordinary exceptions *)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "float_cmp" `Quick test_float_cmp;
+    Alcotest.test_case "exn async discipline" `Quick test_exn_async;
     Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
     Alcotest.test_case "rng invalid bound" `Quick test_rng_invalid;
