@@ -196,7 +196,14 @@ let solve_leaves_parallel config eng asg ?check leaves =
             (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
                ?check f)
   in
-  let solutions = Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve formulations in
+  (* sanctioned impurity: the ILP branch-and-bound inside [solve] polls a
+     wall-clock budget (Solver.elapsed_s).  The budget only caps node count
+     — the incumbent it returns is still a function of the formulation, and
+     per-leaf determinism is covered by the scratch-vs-incremental tests *)
+  let solutions =
+    (Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve formulations
+    [@cpla.allow "impure-kernel"])
+  in
   Array.iteri
     (fun i f ->
       match solutions.(i) with

@@ -79,6 +79,40 @@ let allow_ids ~malformed (attrs : attributes) =
         else ids)
     attrs
 
+(* Every [@cpla.allow] in the file, paired with the source span of the node
+   it annotates.  Whole-program rules report findings long after the
+   per-file walk, so suppression for them is a containment test against
+   these spans rather than a live attribute stack. *)
+let allow_spans str =
+  let spans = ref [] in
+  let note (span : Location.t) attrs =
+    List.iter
+      (fun (id, _) -> spans := (id, span) :: !spans)
+      (allow_ids ~malformed:(fun _ -> ()) attrs)
+  in
+  let it =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        note e.pexp_loc e.pexp_attributes;
+        super#expression e
+
+      method! value_binding vb =
+        note vb.pvb_loc vb.pvb_attributes;
+        super#value_binding vb
+
+      method! structure_item si =
+        (match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter (fun (vb : value_binding) -> note si.pstr_loc vb.pvb_attributes) vbs
+        | _ -> ());
+        super#structure_item si
+    end
+  in
+  it#structure str;
+  !spans
+
 let file_allows str =
   List.concat_map
     (fun (si : structure_item) ->
@@ -252,12 +286,16 @@ let analyze ~scope str =
     String.equal scope.path "lib/util/table.ml"
     || String.equal scope.path "lib/serve/report.ml"
   in
-  let clock_exempt = String.equal scope.path "lib/util/timer.ml" in
+  (* test/ sources get the hygiene rules only: tests legitimately seed ad-hoc
+     PRNGs and time themselves, and the determinism rules are about solver
+     kernels, not harnesses. *)
+  let clock_exempt = String.equal scope.path "lib/util/timer.ml" || scope.area = Test in
+  let determinism_scope = scope.area <> Test in
   let check_ident lid loc =
     let p = strip_stdlib (flatten lid) in
     let name = String.concat "." p in
     (match p with
-    | "Random" :: _ ->
+    | "Random" :: _ when determinism_scope ->
         emit "ambient-random" loc
           (name ^ " is ambient global PRNG state; use the seeded Util.Rng")
     | _ -> ());

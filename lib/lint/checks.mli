@@ -13,6 +13,29 @@ type scope = {
 
 val scope_of_path : string -> scope
 
+val under : string list -> scope -> bool
+(** [under ["lib"; "numeric"] scope] — is the file below that directory? *)
+
+val flatten : Longident.t -> string list
+(** Path components of a longident ([Lapply] flattens to [[]]). *)
+
+val strip_stdlib : string list -> string list
+
+val last : string list -> string
+(** Last component, [""] on the empty list. *)
+
+val allow_ids :
+  malformed:(Ppxlib.Location.t -> unit) ->
+  Ppxlib.attributes ->
+  (string * Ppxlib.Location.t) list
+(** Rule ids named by [\@cpla.allow] attributes, with the location of each;
+    [malformed] is called for an attribute without a usable payload. *)
+
+val allow_spans : Ppxlib.structure -> (string * Ppxlib.Location.t) list
+(** Every [\@cpla.allow]-named rule id with the span of the annotated node
+    (expression, [let] binding, or whole structure item).  Whole-program
+    rules use a containment test on these to honour suppressions. *)
+
 val file_allows : Ppxlib.structure -> string list
 (** Rule ids suppressed for the whole file by floating
     [[\@\@\@cpla.allow "rule-id"]] attributes. *)

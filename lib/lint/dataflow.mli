@@ -1,0 +1,32 @@
+(** Mutable-flow analysis behind the [domain-race] rule.
+
+    Tracks values with shared-mutable contents (ref, Hashtbl, Buffer, Queue,
+    Stack, array, bytes, mutable-record literals) as they flow through
+    let-bindings and aliases, get captured by closures, and cross function
+    and module boundaries as arguments, until one reaches code that runs on
+    another domain ([Pool.parallel_map] / [Pool.Persistent.submit] /
+    [Domain.spawn] kernels).
+
+    Interprocedural flows use escape summaries: a parameter of a top-level
+    definition is marked [Captured] when some closure built inside captures
+    it into a parallel primitive, or [Kernel] when it is itself used as the
+    parallel kernel.  Summaries are computed to a fixpoint so chains like
+    "caller allocates -> helper forwards -> worker captures" are reported
+    with the complete hop-by-hop story.
+
+    Arrays and bytes only race once a domain writes them, so read-only
+    captures of those kinds are not reported; the other kinds fire on any
+    cross-domain sharing. *)
+
+open Ppxlib
+
+type race = {
+  r_path : string;  (** unit (project-relative path) the finding is reported in *)
+  r_loc : Location.t;  (** the parallel call / capture site *)
+  r_msg : string;  (** full capture chain, creation site through kernel *)
+  r_origin : (string * Location.t) option;
+      (** creation site, so [[\@cpla.allow]] works there too *)
+}
+
+val analyze : Symtab.t -> race list
+(** Deterministic: results are sorted by (path, position, message). *)

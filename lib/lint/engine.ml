@@ -1,33 +1,250 @@
-let parse ~filename contents =
-  let lexbuf = Lexing.from_string contents in
-  Lexing.set_filename lexbuf filename;
-  Ppxlib.Parse.implementation lexbuf
+(* Two-phase driver.  Phase 1 parses every source into a {!Symtab},
+   builds the {!Callgraph} (purity + references) and runs the {!Dataflow}
+   mutable-flow analysis.  Phase 2 re-walks each linted unit with the
+   file-local {!Checks} and then reports the whole-program rules
+   ([domain-race], [impure-kernel], [unused-export], [check-not-threaded])
+   against the phase-1 results. *)
+
+type source = Symtab.source = { src_path : string; contents : string; linted : bool }
+
+(* ---- whole-program suppression -------------------------------------------- *)
+
+(* [@cpla.allow] handling for findings produced outside the per-file walk:
+   a finding is suppressed when a same-rule annotation's span contains its
+   location, or the rule is allowed file-wide. *)
+let within (span : Ppxlib.Location.t) (loc : Ppxlib.Location.t) =
+  loc.loc_start.pos_cnum >= span.loc_start.pos_cnum
+  && loc.loc_end.pos_cnum <= span.loc_end.pos_cnum
+
+let build_allows symtab =
+  let tbl : (string, string list * (string * Ppxlib.Location.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  for uid = 0 to Symtab.n_units symtab - 1 do
+    let u = Symtab.unit symtab uid in
+    Hashtbl.replace tbl u.Symtab.path (Checks.file_allows u.Symtab.str, Checks.allow_spans u.Symtab.str)
+  done;
+  fun rule path (loc : Ppxlib.Location.t) ->
+    match Hashtbl.find_opt tbl path with
+    | None -> false
+    | Some (file_allowed, spans) ->
+        List.mem rule file_allowed
+        || List.exists (fun (id, span) -> String.equal id rule && within span loc) spans
+
+(* ---- whole-program rules --------------------------------------------------- *)
+
+let domain_race ~allowed symtab =
+  List.filter_map
+    (fun (r : Dataflow.race) ->
+      let suppressed =
+        allowed "domain-race" r.Dataflow.r_path r.Dataflow.r_loc
+        ||
+        match r.Dataflow.r_origin with
+        | Some (path, loc) -> allowed "domain-race" path loc
+        | None -> false
+      in
+      if suppressed then None
+      else
+        Some
+          (Finding.v ~file:r.Dataflow.r_path ~loc:r.Dataflow.r_loc ~rule:"domain-race"
+             ~msg:r.Dataflow.r_msg))
+    (Dataflow.analyze symtab)
+
+let impure_kernel ~allowed symtab cg =
+  let kernels =
+    List.filter_map
+      (fun (k : Callgraph.kernel_site) ->
+        let u = Symtab.unit symtab k.Callgraph.k_unit in
+        match k.Callgraph.k_target with
+        | Some key
+          when u.Symtab.linted
+               && u.Symtab.area <> Checks.Test
+               && not (allowed "impure-kernel" u.Symtab.path k.Callgraph.k_loc) -> (
+            match
+              List.sort compare
+                (List.filter_map
+                   (fun (kind, _) -> Callgraph.describe_kind cg key kind)
+                   (Callgraph.kinds cg key))
+            with
+            | [] -> None
+            | msgs ->
+                Some
+                  (Finding.v ~file:u.Symtab.path ~loc:k.Callgraph.k_loc ~rule:"impure-kernel"
+                     ~msg:
+                       (Printf.sprintf "parallel kernel %s is impure: %s"
+                          (Callgraph.pretty_key cg key)
+                          (String.concat "; also " msgs))))
+        | _ -> None)
+      (Callgraph.kernels cg)
+  in
+  (* impure calls from solver inner loops: same determinism budget as a
+     kernel — these run thousands of times inside numeric iteration *)
+  let loops =
+    List.concat_map
+      (fun (f : Callgraph.fn) ->
+        let u = Symtab.unit symtab (fst f.Callgraph.fn_key) in
+        let scope = Checks.scope_of_path u.Symtab.path in
+        if
+          u.Symtab.linted
+          && (Checks.under [ "lib"; "numeric" ] scope || Checks.under [ "lib"; "sdp" ] scope)
+        then
+          List.filter_map
+            (fun (c : Callgraph.call) ->
+              match c.Callgraph.callee with
+              | Symtab.Sym (cuid, cpath)
+                when c.Callgraph.in_loop
+                     && not (allowed "impure-kernel" u.Symtab.path c.Callgraph.call_loc) -> (
+                  match
+                    List.sort compare
+                      (List.filter_map
+                         (fun (kind, _) -> Callgraph.describe_kind cg (cuid, cpath) kind)
+                         (Callgraph.kinds cg (cuid, cpath)))
+                  with
+                  | [] -> None
+                  | msgs ->
+                      Some
+                        (Finding.v ~file:u.Symtab.path ~loc:c.Callgraph.call_loc
+                           ~rule:"impure-kernel"
+                           ~msg:
+                             (Printf.sprintf "impure call in a solver inner loop: %s"
+                                (String.concat "; also " msgs))))
+              | _ -> None)
+            f.Callgraph.fn_calls
+        else [])
+      (Callgraph.fns cg)
+  in
+  kernels @ loops
+
+let unused_export symtab cg =
+  let findings = ref [] in
+  for uid = 0 to Symtab.n_units symtab - 1 do
+    let u = Symtab.unit symtab uid in
+    if u.Symtab.linted && not (Callgraph.included cg uid) then
+      match u.Symtab.intf_path with
+      | Some intf ->
+          List.iter
+            (fun (e : Symtab.export) ->
+              if
+                (not e.Symtab.exp_suppressed)
+                && not (Callgraph.referenced cg (uid, e.Symtab.exp_path))
+              then
+                findings :=
+                  Finding.v ~file:intf ~loc:e.Symtab.exp_loc ~rule:"unused-export"
+                    ~msg:
+                      (Printf.sprintf
+                         "`%s` is exported but never used outside %s; delete it or mark \
+                          the extension point with [@@cpla.allow \"unused-export\"]"
+                         (Symtab.string_of_path e.Symtab.exp_path)
+                         u.Symtab.modname)
+                  :: !findings)
+            u.Symtab.exports
+      | None -> ()
+  done;
+  !findings
+
+let has_check labels =
+  List.exists (function Ppxlib.Optional "check" -> true | _ -> false) labels
+
+let passes_check labels =
+  List.exists
+    (function Ppxlib.Optional "check" | Ppxlib.Labelled "check" -> true | _ -> false)
+    labels
+
+let check_not_threaded ~allowed symtab cg =
+  List.concat_map
+    (fun (f : Callgraph.fn) ->
+      let u = Symtab.unit symtab (fst f.Callgraph.fn_key) in
+      if u.Symtab.linted && has_check f.Callgraph.fn_params then
+        List.filter_map
+          (fun (c : Callgraph.call) ->
+            match c.Callgraph.callee with
+            | Symtab.Sym (cuid, cpath) -> (
+                match Symtab.find_def (Symtab.unit symtab cuid) cpath with
+                | Some d
+                  when has_check d.Symtab.def_params
+                       && (not (passes_check c.Callgraph.arg_labels))
+                       && not (allowed "check-not-threaded" u.Symtab.path c.Callgraph.call_loc)
+                  ->
+                    Some
+                      (Finding.v ~file:u.Symtab.path ~loc:c.Callgraph.call_loc
+                         ~rule:"check-not-threaded"
+                         ~msg:
+                           (Printf.sprintf
+                              "%s takes the ?check cancellation hook but this call from \
+                               %s does not pass it on; the callee's work cannot be \
+                               cancelled"
+                              (Callgraph.pretty_key cg (cuid, cpath))
+                              (Callgraph.pretty_key cg f.Callgraph.fn_key)))
+                | _ -> None)
+            | _ -> None)
+          f.Callgraph.fn_calls
+      else [])
+    (Callgraph.fns cg)
+
+(* ---- phase-2 driver -------------------------------------------------------- *)
+
+let lint_sources sources =
+  let symtab = Symtab.build sources in
+  let cg = Callgraph.build symtab in
+  let allowed = build_allows symtab in
+  let findings = ref [] in
+  let add fs = findings := fs @ !findings in
+  for uid = 0 to Symtab.n_units symtab - 1 do
+    let u = Symtab.unit symtab uid in
+    if u.Symtab.linted then begin
+      (match u.Symtab.parse_exn with
+      | Some msg -> add [ Finding.file_level ~file:u.Symtab.path ~rule:"parse-error" ~msg ]
+      | None ->
+          add (Checks.analyze ~scope:(Checks.scope_of_path u.Symtab.path) u.Symtab.str));
+      if
+        u.Symtab.parsed
+        && u.Symtab.area = Checks.Lib
+        && (not u.Symtab.has_intf)
+        && not (List.mem "missing-mli" (Checks.file_allows u.Symtab.str))
+      then
+        add
+          [
+            Finding.file_level ~file:u.Symtab.path ~rule:"missing-mli"
+              ~msg:"no corresponding .mli; every lib/ module needs an interface";
+          ];
+      (match (u.Symtab.intf_path, u.Symtab.intf_parse_exn) with
+      | Some intf, Some msg ->
+          add [ Finding.file_level ~file:intf ~rule:"parse-error" ~msg ]
+      | _ -> ());
+      match u.Symtab.intf_path with
+      | Some intf ->
+          add
+            (List.map
+               (fun (id, loc) ->
+                 Finding.v ~file:intf ~loc ~rule:"unknown-allow"
+                   ~msg:
+                     (match id with
+                     | Some id -> Printf.sprintf "unknown rule id %S in [@cpla.allow]" id
+                     | None -> "[@cpla.allow] expects rule-id string literal(s)"))
+               u.Symtab.intf_bad_allows)
+      | None -> ()
+    end
+  done;
+  add (domain_race ~allowed symtab);
+  add (impure_kernel ~allowed symtab cg);
+  add (unused_export symtab cg);
+  add (check_not_threaded ~allowed symtab cg);
+  List.sort_uniq Finding.compare !findings
 
 let lint_string ?(has_mli = true) ~filename contents =
-  let scope = Checks.scope_of_path filename in
-  match parse ~filename contents with
-  | str ->
-      let findings = Checks.analyze ~scope str in
-      let findings =
-        if
-          scope.Checks.area = Checks.Lib
-          && (not has_mli)
-          && not (List.mem "missing-mli" (Checks.file_allows str))
-        then
-          findings
-          @ [
-              Finding.file_level ~file:scope.Checks.path ~rule:"missing-mli"
-                ~msg:"no corresponding .mli; every lib/ module needs an interface";
-            ]
-        else findings
-      in
-      List.sort Finding.compare findings
-  | exception e ->
-      Cpla_util.Exn.reraise_if_async e;
-      [
-        Finding.file_level ~file:scope.Checks.path ~rule:"parse-error"
-          ~msg:(Printexc.to_string e);
-      ]
+  let path = (Checks.scope_of_path filename).Checks.path in
+  let sources =
+    { src_path = path; contents; linted = true }
+    ::
+    (if has_mli && Filename.check_suffix path ".ml" then
+       (* the interface exists but is not part of the analysis: satisfies
+          [missing-mli] without inventing exports to audit *)
+       [ { src_path = path ^ "i"; contents = ""; linted = false } ]
+     else [])
+  in
+  lint_sources sources
+
+(* ---- filesystem ------------------------------------------------------------ *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -35,21 +252,30 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file path =
-  let has_mli = Sys.file_exists (path ^ "i") in
-  lint_string ~has_mli ~filename:path (read_file path)
-
-let rec ml_files path =
+let rec source_files path =
   if Sys.is_directory path then
     Sys.readdir path |> Array.to_list |> List.sort String.compare
     |> List.concat_map (fun entry ->
            if String.length entry > 0 && entry.[0] = '.' then []
            else if String.equal entry "_build" then []
-           else ml_files (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
+           else source_files (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then [ path ]
   else []
 
-let lint_paths paths =
-  let files = List.concat_map ml_files paths in
-  let findings = List.concat_map lint_file files in
-  List.sort_uniq Finding.compare findings
+
+let default_roots = [ "lib"; "bin"; "bench"; "test" ]
+
+let lint_paths ?(context = default_roots) paths =
+  let norm p = (Checks.scope_of_path p).Checks.path in
+  let files = List.concat_map source_files paths in
+  let seen = Hashtbl.create 256 in
+  List.iter (fun p -> Hashtbl.replace seen (norm p) ()) files;
+  let ctx =
+    context
+    |> List.filter (fun r -> Sys.file_exists r && Sys.is_directory r)
+    |> List.concat_map source_files
+    |> List.filter (fun p -> not (Hashtbl.mem seen (norm p)))
+  in
+  let src linted p = { src_path = norm p; contents = read_file p; linted } in
+  lint_sources (List.map (src true) files @ List.map (src false) ctx)
+

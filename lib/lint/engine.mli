@@ -1,17 +1,34 @@
-(** Driving the lint: parsing sources, walking directories, applying the
-    file-level rules ([missing-mli], [parse-error]) on top of {!Checks}. *)
+(** Driving the lint.
+
+    Phase 1 builds the project-wide {!Symtab}, {!Callgraph} and {!Dataflow}
+    results from {e every} source handed in; phase 2 applies the file-local
+    {!Checks} to each [linted] unit and layers the whole-program rules
+    ([domain-race], [impure-kernel], [unused-export], [check-not-threaded])
+    on top.  Sources with [linted = false] participate in resolution,
+    reference counting and flow analysis but produce no findings — so a
+    partial lint of one directory still sees the rest of the project. *)
+
+type source = Symtab.source = {
+  src_path : string;  (** project-relative path; [.ml] or [.mli] *)
+  contents : string;
+  linted : bool;
+}
+
+val lint_sources : source list -> Finding.t list
+(** Run both phases over an in-memory project.  Findings are sorted and
+    de-duplicated; whole-program findings honour [[\@cpla.allow]] spans at
+    the reporting site (and, for [domain-race], at the creation site). *)
 
 val lint_string : ?has_mli:bool -> filename:string -> string -> Finding.t list
-(** Lint one implementation given as a string.  [filename] (a project-relative
-    path such as ["lib/numeric/mat.ml"]) decides which rules apply; it does
-    not have to exist on disk.  [has_mli] (default [true]) feeds the
-    [missing-mli] rule.  Findings are sorted. *)
+(** Lint one implementation given as a string.  [filename] (a
+    project-relative path such as ["lib/numeric/mat.ml"]) decides which
+    rules apply; it does not have to exist on disk.  [has_mli] (default
+    [true]) feeds the [missing-mli] rule.  Findings are sorted. *)
 
-val lint_file : string -> Finding.t list
-(** Lint one [.ml] file from disk; [missing-mli] checks for a sibling
-    [.mli].  @raise Sys_error when the file cannot be read. *)
-
-val lint_paths : string list -> Finding.t list
-(** Lint every [.ml] file under the given files/directories (recursively,
-    skipping [_build] and dot-directories).  Findings are sorted and
-    de-duplicated.  @raise Sys_error on an unreadable path. *)
+val lint_paths : ?context:string list -> string list -> Finding.t list
+(** Lint every [.ml]/[.mli] under the given files/directories (recursively,
+    skipping [_build] and dot-directories).  Directories in [context]
+    (default [["lib"; "bin"; "bench"; "test"]]) are loaded as non-linted
+    resolution context so partial lints resolve cross-module references.
+    Findings are sorted and de-duplicated.  @raise Sys_error on an
+    unreadable path. *)

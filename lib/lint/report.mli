@@ -8,5 +8,14 @@ val json : Format.formatter -> Finding.t list -> unit
 (** Machine-readable report:
     [{"findings": [{"file", "line", "col", "rule", "message"}...], "count": n}]. *)
 
+val github : Format.formatter -> Finding.t list -> unit
+(** GitHub Actions workflow commands ([::error file=..::msg]), one
+    annotation per finding, then the human summary line. *)
+
+val sarif : Format.formatter -> Finding.t list -> unit
+(** SARIF 2.1.0 log with rule metadata for the rules that fired; suitable
+    for [upload-sarif] / code-scanning ingestion. *)
+
 val rules : Format.formatter -> unit
-(** Render the rule registry (id, synopsis, rationale). *)
+(** Render the rule registry (id, [file]/[program] analysis tier, synopsis,
+    rationale). *)

@@ -1,10 +1,13 @@
-type t = { id : string; synopsis : string; rationale : string }
+type analysis = File_local | Whole_program
+
+type t = { id : string; synopsis : string; rationale : string; analysis : analysis }
 
 (* Kept as a plain list: the registry is tiny, and a top-level [Hashtbl]
    would trip the very rule it registers. *)
 let all =
   [
     {
+      analysis = File_local;
       id = "top-mutable";
       synopsis =
         "top-level mutable state (ref / Hashtbl.create / Buffer.create / \
@@ -15,6 +18,7 @@ let all =
          incremental-vs-scratch claim.  Use Atomic, or pass state explicitly.";
     };
     {
+      analysis = File_local;
       id = "ambient-random";
       synopsis = "use of Stdlib.Random (including Random.self_init)";
       rationale =
@@ -23,6 +27,7 @@ let all =
          deterministically.";
     };
     {
+      analysis = File_local;
       id = "wall-clock";
       synopsis = "Sys.time / Unix.gettimeofday / Unix.time outside Util.Timer";
       rationale =
@@ -31,6 +36,7 @@ let all =
          multi-domain wall timings).";
     };
     {
+      analysis = File_local;
       id = "float-equality";
       synopsis =
         "= / <> / == / != on float operands in lib/numeric, lib/timing, \
@@ -41,6 +47,7 @@ let all =
          (approx_eq / is_zero / nonzero).";
     };
     {
+      analysis = File_local;
       id = "obj-magic";
       synopsis = "use of Obj.magic";
       rationale =
@@ -48,6 +55,7 @@ let all =
          mistyped value is a memory-safety bug, not just a wrong answer.";
     };
     {
+      analysis = File_local;
       id = "exit-scope";
       synopsis = "exit called outside bin/";
       rationale =
@@ -56,6 +64,7 @@ let all =
          whole service.";
     };
     {
+      analysis = File_local;
       id = "stdout-print";
       synopsis =
         "bare print_* / Printf.printf / Format.printf to stdout in lib/ \
@@ -66,6 +75,7 @@ let all =
          strings, or render via Util.Table / Serve.Report.";
     };
     {
+      analysis = File_local;
       id = "catchall-async";
       synopsis =
         "catch-all exception handler that can swallow Out_of_memory / \
@@ -77,6 +87,7 @@ let all =
          Util.Exn.reraise_if_async (or re-raise it) first.";
     };
     {
+      analysis = File_local;
       id = "missing-mli";
       synopsis = "a lib/ .ml compilation unit without a sibling .mli";
       rationale =
@@ -85,6 +96,7 @@ let all =
          audit tractable.";
     };
     {
+      analysis = File_local;
       id = "unknown-allow";
       synopsis =
         "[@cpla.allow] naming an unknown rule id, or with a malformed payload";
@@ -93,14 +105,60 @@ let all =
          real finding suppressed-in-intent only.";
     };
     {
+      analysis = File_local;
       id = "parse-error";
       synopsis = "source file that does not parse";
       rationale =
         "an unparseable file cannot be audited; surfacing it as a finding \
          keeps the lint gate conservative.";
     };
+    {
+      analysis = Whole_program;
+      id = "domain-race";
+      synopsis =
+        "a mutable value (ref / Hashtbl / Buffer / Queue / Stack / mutable \
+         record / written array or bytes) captured by code that runs on \
+         another domain";
+      rationale =
+        "unsynchronized shared mutable state is the one bug class OCaml 5 \
+         cannot type away; the diagnostic reports the full flow — creation, \
+         aliases, argument hops — so the race is auditable.  Use Atomic / \
+         Mutex, or keep the state domain-local.";
+    };
+    {
+      analysis = Whole_program;
+      id = "impure-kernel";
+      synopsis =
+        "an impure function (I/O, clock, ambient PRNG, top-level mutation) \
+         used as a parallel-map kernel, or called from a lib/numeric / \
+         lib/sdp solver inner loop";
+      rationale =
+        "kernels replayed across domains and solver iterations must be \
+         deterministic functions of their arguments or the incremental and \
+         from-scratch runs diverge; the witness chain in the message shows \
+         where the impurity enters.";
+    };
+    {
+      analysis = Whole_program;
+      id = "unused-export";
+      synopsis = ".mli value never referenced outside its own module";
+      rationale =
+        "a dead export widens the audited API surface for nothing; delete \
+         it, or mark deliberate extension points with \
+         [@@cpla.allow \"unused-export\"].";
+    };
+    {
+      analysis = Whole_program;
+      id = "check-not-threaded";
+      synopsis =
+        "a function taking the ?check cancellation hook calls another \
+         ?check-taking function without passing it on";
+      rationale =
+        "a dropped ?check makes the callee's work uncancellable, so \
+         deadline-bounded batch jobs overrun exactly when the subproblem is \
+         expensive — the case cancellation exists for.";
+    };
   ]
 
-let find id = List.find_opt (fun r -> r.id = id) all
 
-let known id = find id <> None
+let known id = List.exists (fun r -> r.id = id) all

@@ -4,10 +4,15 @@
     rules; the same ids are what a [[@cpla.allow "rule-id"]] annotation names
     to suppress a finding at one site. *)
 
+type analysis =
+  | File_local  (** decided from one file's AST alone *)
+  | Whole_program  (** needs the project-wide symbol table / call graph *)
+
 type t = {
   id : string;  (** stable kebab-case identifier, e.g. ["top-mutable"] *)
   synopsis : string;  (** one-line description of what the rule forbids *)
   rationale : string;  (** which project invariant the rule protects *)
+  analysis : analysis;
 }
 
 val all : t list
@@ -15,5 +20,3 @@ val all : t list
 
 val known : string -> bool
 (** [known id] is true when [id] names a rule in {!all}. *)
-
-val find : string -> t option

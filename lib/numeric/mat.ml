@@ -53,15 +53,6 @@ let mul_tvec a x =
   done;
   y
 
-let add a b =
-  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: dimension mismatch";
-  init a.rows a.cols (fun i j -> a.data.(i).(j) +. b.data.(i).(j))
-
-let scale alpha a =
-  for i = 0 to a.rows - 1 do
-    Vec.scale alpha a.data.(i)
-  done
-
 let frobenius a =
   let acc = ref 0.0 in
   for i = 0 to a.rows - 1 do
@@ -92,14 +83,3 @@ let is_symmetric ?(tol = 1e-9) a =
     done
   done;
   !ok
-
-let pp fmt a =
-  Format.fprintf fmt "@[<v>";
-  for i = 0 to a.rows - 1 do
-    Format.fprintf fmt "@[<h>";
-    for j = 0 to a.cols - 1 do
-      Format.fprintf fmt "%10.4f " a.data.(i).(j)
-    done;
-    Format.fprintf fmt "@]@,"
-  done;
-  Format.fprintf fmt "@]"

@@ -30,11 +30,6 @@ val mul_vec : t -> Vec.t -> Vec.t
 val mul_tvec : t -> Vec.t -> Vec.t
 (** [mul_tvec a x] is [aᵀ x] without materialising the transpose. *)
 
-val add : t -> t -> t
-
-val scale : float -> t -> unit
-(** In place. *)
-
 val frobenius : t -> float
 (** Frobenius norm. *)
 
@@ -42,5 +37,3 @@ val symmetrize : t -> unit
 (** [a <- (a + aᵀ)/2] in place; requires a square matrix. *)
 
 val is_symmetric : ?tol:float -> t -> bool
-
-val pp : Format.formatter -> t -> unit

@@ -2,8 +2,6 @@ type t = float array
 
 let create n = Array.make n 0.0
 
-let init = Array.init
-
 let copy = Array.copy
 
 let check_len a b name =
@@ -32,14 +30,7 @@ let scale alpha x =
     x.(i) <- alpha *. x.(i)
   done
 
-let add x y =
-  check_len x y "add";
-  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
-
 let sub x y =
   check_len x y "sub";
   Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
 
-let map2 f x y =
-  check_len x y "map2";
-  Array.init (Array.length x) (fun i -> f x.(i) y.(i))

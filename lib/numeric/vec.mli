@@ -9,8 +9,6 @@ type t = float array
 val create : int -> t
 (** Zero vector of the given length. *)
 
-val init : int -> (int -> float) -> t
-
 val copy : t -> t
 
 val dot : t -> t -> float
@@ -28,10 +26,5 @@ val axpy : alpha:float -> t -> t -> unit
 val scale : float -> t -> unit
 (** In-place scalar multiply. *)
 
-val add : t -> t -> t
-(** Fresh [x + y]. *)
-
 val sub : t -> t -> t
 (** Fresh [x - y]. *)
-
-val map2 : (float -> float -> float) -> t -> t -> t

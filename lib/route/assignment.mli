@@ -58,6 +58,7 @@ val pin_layers_at : t -> net:int -> node:int -> int list
 (** Layers of the net's pins located at the given tree node's tile. *)
 
 val node_span : t -> net:int -> node:int -> (int * int) option
+  [@@cpla.allow "unused-export"]
 (** Current via span at a node: min/max over incident assigned segment
     layers and pin layers; [None] when fewer than one layer is present or
     the span is degenerate at a single layer with no via. *)
@@ -68,3 +69,4 @@ val check_usage : t -> (unit, string) result
     preserve.  For tests. *)
 
 val iter_assigned : t -> (net:int -> seg:int -> layer:int -> unit) -> unit
+  [@@cpla.allow "unused-export"]

@@ -33,6 +33,7 @@ type result = {
 val solve : ?options:options -> Problem.t -> result
 
 val x_entry : result -> int -> int -> float
+  [@@cpla.allow "unused-export"]
 (** Any entry of X = VVᵀ (e.g. the y_ijpq off-diagonals). *)
 
 val x_matrix : result -> Cpla_numeric.Mat.t

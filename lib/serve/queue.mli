@@ -11,12 +11,14 @@ type 'a t
 val create : unit -> 'a t
 
 val length : 'a t -> int
+  [@@cpla.allow "unused-export"]
 
 val is_empty : 'a t -> bool
 
 val add : 'a t -> priority:int -> cost:float -> 'a -> unit
 
 val pop : 'a t -> 'a option
+  [@@cpla.allow "unused-export"]
 (** Remove and return the next job by the policy above. *)
 
 val drain : 'a t -> 'a list

@@ -1,6 +1,7 @@
 (** Result-line and summary formatting for the serve subcommand. *)
 
 val metrics_string : Job.metrics -> string
+  [@@cpla.allow "unused-export"]
 
 val line : Job.spec -> Job.terminal -> string
 (** One streaming result line, e.g.

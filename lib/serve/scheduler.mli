@@ -57,5 +57,6 @@ val run_one : Job.spec -> Job.terminal
     compared against in tests. *)
 
 val expected_cost : Job.spec -> float
+  [@@cpla.allow "unused-export"]
 (** The scheduling cost proxy (net count for specs and suite names, scaled
     byte size for files); exposed for tests. *)

@@ -38,3 +38,4 @@ val check : t -> unit
     pass as the driver's [check] hook. *)
 
 val reason_to_string : reason -> string
+  [@@cpla.allow "unused-export"]

@@ -22,6 +22,7 @@ type report = {
 }
 
 val budget_of_net : Cpla_route.Assignment.t -> budget -> int -> float
+  [@@cpla.allow "unused-export"]
 (** The required arrival time assigned to one net. *)
 
 val analyze : Cpla_route.Assignment.t -> budget -> report

@@ -5,8 +5,10 @@ type 'a t
 val create : unit -> 'a t
 
 val is_empty : 'a t -> bool
+  [@@cpla.allow "unused-export"]
 
 val size : 'a t -> int
+  [@@cpla.allow "unused-export"]
 
 val push : 'a t -> float -> 'a -> unit
 (** Insert a value with the given priority. *)

@@ -25,7 +25,12 @@ let parallel_map ~workers f xs =
         end
       done
     in
-    let domains = List.init (min workers n) (fun _ -> Domain.spawn worker) in
+    (* sanctioned sharing: each index is written by exactly one worker
+       (fetch_and_add hands out disjoint slots) and [results] is only read
+       after every domain joins *)
+    let domains =
+      List.init (min workers n) (fun _ -> Domain.spawn worker [@cpla.allow "domain-race"])
+    in
     List.iter Domain.join domains;
     (match Atomic.get failure with
     | Some e -> raise (Worker_failure e)
@@ -111,7 +116,10 @@ module Persistent = struct
             worker ()
           end
     in
-    p.domains <- List.init workers (fun _ -> Domain.spawn worker);
+    (* sanctioned sharing: every access to [p]'s mutable fields inside
+       [worker] happens with [p.m] held (or between lock/unlock pairs) *)
+    p.domains <-
+      List.init workers (fun _ -> Domain.spawn worker [@cpla.allow "domain-race"]);
     p
 
   let submit p f =

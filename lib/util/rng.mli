@@ -28,12 +28,14 @@ val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)
 
 val bool : t -> bool
+  [@@cpla.allow "unused-export"]
 (** A fair coin flip. *)
 
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller). *)
 
 val shuffle : t -> 'a array -> unit
+  [@@cpla.allow "unused-export"]
 (** In-place Fisher–Yates shuffle. *)
 
 val choose : t -> 'a array -> 'a

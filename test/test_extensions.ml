@@ -30,7 +30,7 @@ let test_pool_propagates_exception () =
          (fun x -> if x = 5 then failwith "boom" else x)
          (Array.init 10 (fun i -> i))
      with
-    | exception _ -> true
+    | exception Cpla_util.Pool.Worker_failure (Failure _) -> true
     | _ -> false)
 
 let pool_property =

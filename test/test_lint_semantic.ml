@@ -1,0 +1,305 @@
+(* Fixture tests for the whole-program rules: each gets a small in-memory
+   multi-file project proving it fires (cross-module where that is the
+   point), that [@cpla.allow] silences it at the documented sites, and that
+   the diagnostic carries the evidence chain a reader needs. *)
+
+module Engine = Cpla_lint.Engine
+module Finding = Cpla_lint.Finding
+module Report = Cpla_lint.Report
+
+let src ?(linted = true) src_path contents = { Engine.src_path; contents; linted }
+
+(* Findings for one rule over an in-memory project, as (path, line, message). *)
+let hits rule sources =
+  Engine.lint_sources sources
+  |> List.filter (fun (f : Finding.t) -> String.equal f.Finding.rule rule)
+  |> List.map (fun (f : Finding.t) -> (f.Finding.file, f.Finding.line, f.Finding.message))
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let check_msg name msg subs =
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "%s: message mentions %S" name sub) true
+        (contains msg sub))
+    subs
+
+(* ---- domain-race ----------------------------------------------------------- *)
+
+let test_domain_race_local () =
+  match
+    hits "domain-race"
+      [
+        src "lib/fixture/acc.ml"
+          "let run xs =\n\
+          \  let total = ref 0 in\n\
+          \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> total := !total + x; x) xs\n";
+        src "lib/fixture/acc.mli" "val run : int array -> int array\n";
+      ]
+  with
+  | [ (file, line, msg) ] ->
+      Alcotest.(check string) "file" "lib/fixture/acc.ml" file;
+      Alcotest.(check int) "line" 3 line;
+      check_msg "local race" msg
+        [ "mutable state shared across domains"; "`total` (ref)"; "Pool.parallel_map" ]
+  | fs -> Alcotest.failf "expected exactly one race, got %d" (List.length fs)
+
+let test_domain_race_array_needs_write () =
+  (* reading a captured array in the kernel is the sanctioned pattern
+     (workers read shared inputs); only a write makes it a race *)
+  let project write =
+    [
+      src "lib/fixture/acc.ml"
+        (Printf.sprintf
+           "let run xs =\n\
+           \  let buf = Array.make 4 0 in\n\
+           \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> %s) xs\n"
+           (if write then "buf.(0) <- x; x + buf.(1)" else "x + buf.(1)"));
+      src "lib/fixture/acc.mli" "val run : int array -> int array\n";
+    ]
+  in
+  Alcotest.(check int) "read-only capture is clean" 0 (List.length (hits "domain-race" (project false)));
+  Alcotest.(check int) "written capture fires" 1 (List.length (hits "domain-race" (project true)))
+
+let test_domain_race_cross_module () =
+  (* the regression the issue calls out: the ref lives in one module, the
+     kernel that captures it in another — the chain must name both files *)
+  match
+    hits "domain-race"
+      [
+        src "lib/fixture/store.ml" "let hits = ref 0\nlet bump n = hits := !hits + n\n";
+        src "lib/fixture/store.mli" "val hits : int ref\nval bump : int -> unit\n";
+        src "lib/fixture/worker.ml"
+          "let run xs =\n\
+          \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> Store.hits := x; x) xs\n";
+        src "lib/fixture/worker.mli" "val run : int array -> int array\n";
+      ]
+  with
+  | [ (file, _, msg) ] ->
+      Alcotest.(check string) "reported in the capturing module" "lib/fixture/worker.ml" file;
+      check_msg "cross-module race" msg
+        [
+          "top-level `Store.hits` (ref) defined at lib/fixture/store.ml:1";
+          "Pool.parallel_map";
+        ]
+  | fs -> Alcotest.failf "expected exactly one race, got %d" (List.length fs)
+
+let test_domain_race_chain_through_helper () =
+  (* the closure is let-bound first and only then handed to the pool: the
+     diagnostic must walk the whole path, not just the immediate argument *)
+  match
+    hits "domain-race"
+      [
+        src "lib/fixture/acc.ml"
+          "let run xs =\n\
+          \  let seen = Hashtbl.create 8 in\n\
+          \  let kernel x = Hashtbl.replace seen x (); x in\n\
+          \  Cpla_util.Pool.parallel_map ~workers:2 kernel xs\n";
+        src "lib/fixture/acc.mli" "val run : int array -> int array\n";
+      ]
+  with
+  | [ (_, _, msg) ] ->
+      check_msg "chain" msg [ "`seen` (Hashtbl)"; "`kernel`"; "Pool.parallel_map" ]
+  | fs -> Alcotest.failf "expected exactly one race, got %d" (List.length fs)
+
+let test_domain_race_allow () =
+  (* suppressible at the capture site... *)
+  let capture_site =
+    [
+      src "lib/fixture/acc.ml"
+        "let run xs =\n\
+        \  let total = ref 0 in\n\
+        \  (Cpla_util.Pool.parallel_map ~workers:2 (fun x -> total := x; x) xs)\n\
+        \  [@cpla.allow \"domain-race\"]\n";
+      src "lib/fixture/acc.mli" "val run : int array -> int array\n";
+    ]
+  in
+  (* ...and at the creation site, for values whose sharing discipline is
+     documented where they are defined *)
+  let creation_site =
+    [
+      src "lib/fixture/store.ml" "let[@cpla.allow \"domain-race\"] hits = ref 0\n";
+      src "lib/fixture/store.mli" "val hits : int ref\n";
+      src "lib/fixture/worker.ml"
+        "let run xs =\n\
+        \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> Store.hits := x; x) xs\n";
+      src "lib/fixture/worker.mli" "val run : int array -> int array\n";
+    ]
+  in
+  Alcotest.(check int) "capture-site allow" 0 (List.length (hits "domain-race" capture_site));
+  Alcotest.(check int) "creation-site allow" 0 (List.length (hits "domain-race" creation_site))
+
+let test_domain_race_test_area_exempt () =
+  Alcotest.(check int) "test/ may share freely" 0
+    (List.length
+       (hits "domain-race"
+          [
+            src "test/test_fixture.ml"
+              "let run xs =\n\
+              \  let total = ref 0 in\n\
+              \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> total := x; x) xs\n";
+          ]))
+
+(* ---- impure-kernel --------------------------------------------------------- *)
+
+let test_impure_kernel_direct () =
+  match
+    hits "impure-kernel"
+      [
+        src "lib/fixture/jitter.ml"
+          "let run xs = Cpla_util.Pool.parallel_map ~workers:2 (fun x -> x + Random.int 3) xs\n";
+        src "lib/fixture/jitter.mli" "val run : int array -> int array\n";
+      ]
+  with
+  | [ (file, _, msg) ] ->
+      Alcotest.(check string) "file" "lib/fixture/jitter.ml" file;
+      check_msg "direct impurity" msg [ "is impure"; "Random" ]
+  | fs -> Alcotest.failf "expected exactly one impure kernel, got %d" (List.length fs)
+
+let test_impure_kernel_via_callee () =
+  (* the impurity is two modules away; the witness chain must say how the
+     kernel reaches it *)
+  match
+    hits "impure-kernel"
+      [
+        src "lib/fixture/noise.ml" "let sample () = Random.int 100\n";
+        src "lib/fixture/noise.mli" "val sample : unit -> int\n";
+        src "lib/fixture/jitter.ml"
+          "let run xs =\n\
+          \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> x + Noise.sample ()) xs\n";
+        src "lib/fixture/jitter.mli" "val run : int array -> int array\n";
+      ]
+  with
+  | [ (file, _, msg) ] ->
+      Alcotest.(check string) "file" "lib/fixture/jitter.ml" file;
+      check_msg "witness chain" msg [ "is impure"; "Noise.sample" ]
+  | fs -> Alcotest.failf "expected exactly one impure kernel, got %d" (List.length fs)
+
+let test_impure_kernel_pure_and_allow () =
+  Alcotest.(check int) "pure kernel is clean" 0
+    (List.length
+       (hits "impure-kernel"
+          [
+            src "lib/fixture/jitter.ml"
+              "let run xs = Cpla_util.Pool.parallel_map ~workers:2 (fun x -> x * x) xs\n";
+            src "lib/fixture/jitter.mli" "val run : int array -> int array\n";
+          ]));
+  Alcotest.(check int) "allow at the call" 0
+    (List.length
+       (hits "impure-kernel"
+          [
+            src "lib/fixture/jitter.ml"
+              "let run xs =\n\
+              \  (Cpla_util.Pool.parallel_map ~workers:2 (fun x -> x + Random.int 3) xs)\n\
+              \  [@cpla.allow \"impure-kernel\"]\n";
+            src "lib/fixture/jitter.mli" "val run : int array -> int array\n";
+          ]))
+
+(* ---- unused-export --------------------------------------------------------- *)
+
+let test_unused_export () =
+  let project ~referenced ~allowed =
+    [
+      src "lib/fixture/store.ml" "let hits () = 0\nlet misses () = 1\n";
+      src "lib/fixture/store.mli"
+        (Printf.sprintf "val hits : unit -> int\nval misses : unit -> int%s\n"
+           (if allowed then "\n  [@@cpla.allow \"unused-export\"]" else ""));
+      src "lib/fixture/worker.ml"
+        (if referenced then "let total () = Store.hits () + Store.misses ()\n"
+         else "let total () = Store.hits ()\n");
+      src "lib/fixture/worker.mli" "val total : unit -> int\n";
+    ]
+  in
+  (* worker.mli's own export is deliberately unused too; the assertions are
+     about the store interface *)
+  let store_hits project =
+    List.filter (fun (file, _, _) -> file = "lib/fixture/store.mli") (hits "unused-export" project)
+  in
+  (match store_hits (project ~referenced:false ~allowed:false) with
+  | [ (file, line, msg) ] ->
+      Alcotest.(check string) "reported against the interface" "lib/fixture/store.mli" file;
+      Alcotest.(check int) "on the val" 2 line;
+      check_msg "names the symbol" msg [ "`misses`" ]
+  | fs -> Alcotest.failf "expected exactly one unused export, got %d" (List.length fs));
+  Alcotest.(check int) "cross-module reference clears it" 0
+    (List.length (store_hits (project ~referenced:true ~allowed:false)));
+  Alcotest.(check int) "[@@cpla.allow] marks an extension point" 0
+    (List.length (store_hits (project ~referenced:false ~allowed:true)))
+
+(* ---- check-not-threaded ---------------------------------------------------- *)
+
+let test_check_not_threaded () =
+  let project threaded =
+    [
+      src "lib/fixture/solver.ml"
+        "let solve ?check n =\n  (match check with Some f -> f () | None -> ());\n  n * 2\n";
+      src "lib/fixture/solver.mli" "val solve : ?check:(unit -> unit) -> int -> int\n";
+      src "lib/fixture/driver.ml"
+        (Printf.sprintf "let run ?check n =\n  ignore check;\n  Solver.solve %sn\n"
+           (if threaded then "?check " else ""));
+      src "lib/fixture/driver.mli" "val run : ?check:(unit -> unit) -> int -> int\n";
+    ]
+  in
+  (match hits "check-not-threaded" (project false) with
+  | [ (file, line, msg) ] ->
+      Alcotest.(check string) "at the dropping call" "lib/fixture/driver.ml" file;
+      Alcotest.(check int) "line" 3 line;
+      check_msg "names both ends" msg [ "Solver.solve"; "?check"; "Driver.run" ]
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  Alcotest.(check int) "threading the hook clears it" 0
+    (List.length (hits "check-not-threaded" (project true)))
+
+(* ---- reporters ------------------------------------------------------------- *)
+
+let sample_findings () =
+  Engine.lint_string ~filename:"lib/fixture/snippet.ml" "let f x = Obj.magic x\n"
+
+let test_github_format () =
+  let s = Format.asprintf "%a" (fun fmt -> Report.github fmt) (sample_findings ()) in
+  Alcotest.(check bool) "workflow command" true
+    (contains s "::error file=lib/fixture/snippet.ml,line=1,col=11,title=cpla-lint obj-magic::");
+  (* messages with newlines/percents must be escaped, not break the command *)
+  let esc =
+    Format.asprintf "%a" (fun fmt -> Report.github fmt)
+      [
+        Cpla_lint.Finding.file_level ~file:"lib/a.ml" ~rule:"parse-error"
+          ~msg:"bad\nline with 100%";
+      ]
+  in
+  Alcotest.(check bool) "newline escaped" true (contains esc "bad%0Aline");
+  Alcotest.(check bool) "percent escaped" true (contains esc "100%25")
+
+let test_sarif_format () =
+  let s = Format.asprintf "%a" (fun fmt -> Report.sarif fmt) (sample_findings ()) in
+  List.iter
+    (fun sub -> Alcotest.(check bool) sub true (contains s sub))
+    [
+      "\"version\":\"2.1.0\"";
+      "\"name\":\"cpla-lint\"";
+      "\"id\":\"obj-magic\"";
+      "\"uri\":\"lib/fixture/snippet.ml\"";
+      "\"startLine\":1";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "domain-race: same-module capture" `Quick test_domain_race_local;
+    Alcotest.test_case "domain-race: array needs a write" `Quick
+      test_domain_race_array_needs_write;
+    Alcotest.test_case "domain-race: cross-module chain" `Quick test_domain_race_cross_module;
+    Alcotest.test_case "domain-race: via let-bound kernel" `Quick
+      test_domain_race_chain_through_helper;
+    Alcotest.test_case "domain-race: allow sites" `Quick test_domain_race_allow;
+    Alcotest.test_case "domain-race: test area exempt" `Quick
+      test_domain_race_test_area_exempt;
+    Alcotest.test_case "impure-kernel: direct" `Quick test_impure_kernel_direct;
+    Alcotest.test_case "impure-kernel: via callee" `Quick test_impure_kernel_via_callee;
+    Alcotest.test_case "impure-kernel: pure/allow" `Quick test_impure_kernel_pure_and_allow;
+    Alcotest.test_case "unused-export" `Quick test_unused_export;
+    Alcotest.test_case "check-not-threaded" `Quick test_check_not_threaded;
+    Alcotest.test_case "github reporter" `Quick test_github_format;
+    Alcotest.test_case "sarif reporter" `Quick test_sarif_format;
+  ]

@@ -23,4 +23,5 @@ let () =
       ("misc", Test_misc.suite);
       ("steiner", Test_steiner.suite);
       ("lint", Test_lint.suite);
+      ("lint-semantic", Test_lint_semantic.suite);
     ]

@@ -62,7 +62,9 @@ let test_sequential_fast_path () =
     match Pool.parallel_map ~workers:0 (fun _ -> raise (Boom 0)) xs with
     | _ -> false
     | exception Boom 0 -> true
-    | exception _ -> false
+    (* a wrapped exception here would mean the sequential path took the
+       parallel contract; exactly that regression is what this guards *)
+    | exception Pool.Worker_failure _ -> false
   in
   Alcotest.(check bool) "sequential path raises raw exception" true raw
 

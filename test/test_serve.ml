@@ -93,7 +93,7 @@ let test_token () =
   (match Token.check t with
   | () -> Alcotest.fail "check must raise after cancel"
   | exception Token.Cancelled Token.User -> ()
-  | exception _ -> Alcotest.fail "wrong exception");
+  | exception Token.Cancelled _ -> Alcotest.fail "wrong cancellation reason");
   let d = Token.create ~deadline_s:0.0 () in
   (match Token.check d with
   | () -> Alcotest.fail "0s deadline must fire on first poll"
