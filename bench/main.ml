@@ -264,6 +264,63 @@ let run_serve () =
     ];
   Cpla_util.Table.print t
 
+(* ---- observability overhead ------------------------------------------------ *)
+
+(* The instrumentation contract: with the global switch off, a span per
+   per-net timing query (the densest realistic placement — the pipeline
+   spans cells, not inner loops) costs at most 2% over the bare kernel.
+   Min-of-N wall times so scheduler noise cannot manufacture a failure;
+   the bench FAILS when the bound is broken, making the contract a gate
+   rather than a dashboard number. *)
+let run_obs_overhead () =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "obs/overhead — instrumented (switch off) vs seed kernel\n";
+  Printf.printf "==================================================================\n%!";
+  Cpla_obs.Obs.set_enabled false;
+  let design = default_micro_design () in
+  let asg, released, _, _, _, _ = micro_fixture ~design () in
+  let seed () =
+    Array.iter (fun net -> ignore (Cpla_timing.Critical.path_info asg net)) released
+  in
+  let instrumented () =
+    Array.iter
+      (fun net ->
+        Cpla_obs.Span.with_ ~name:"bench/path-info"
+          ~args:[ ("net", Cpla_obs.Event.Int net) ]
+          (fun () -> ignore (Cpla_timing.Critical.path_info asg net)))
+      released
+  in
+  let time_min ~reps ~inner f =
+    (* warm-up takes the allocation of both closures and any lazy state out
+       of the measured window *)
+    f ();
+    f ();
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Cpla_util.Timer.now_ns () in
+      for _ = 1 to inner do
+        f ()
+      done;
+      let dt = Int64.to_float (Int64.sub (Cpla_util.Timer.now_ns ()) t0) in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let reps = 7 and inner = 20 in
+  let t_seed = time_min ~reps ~inner seed in
+  let t_instr = time_min ~reps ~inner instrumented in
+  let overhead = (t_instr /. t_seed) -. 1.0 in
+  let t = Cpla_util.Table.create ~headers:[ "kernel"; "min wall"; "overhead" ] in
+  let cell ns = Printf.sprintf "%.2f ms" (ns /. 1e6) in
+  Cpla_util.Table.add_row t [ "seed"; cell t_seed; "-" ];
+  Cpla_util.Table.add_row t
+    [ "instrumented (off)"; cell t_instr; Printf.sprintf "%+.2f%%" (100.0 *. overhead) ];
+  Cpla_util.Table.print t;
+  if overhead > 0.02 then
+    failwith
+      (Printf.sprintf "obs/overhead: disabled instrumentation costs %.2f%% (budget 2%%)"
+         (100.0 *. overhead))
+
 (* ---- entry ----------------------------------------------------------------- *)
 
 let sections =
@@ -278,6 +335,7 @@ let sections =
     ("steiner", Cpla_expt.Experiments.steiner);
     ("ablations", Cpla_expt.Experiments.ablations);
     ("serve", run_serve);
+    ("obs", run_obs_overhead);
     ("micro", fun () -> run_micro ());
   ]
 

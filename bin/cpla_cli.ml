@@ -80,6 +80,41 @@ let positive_float =
   in
   Arg.conv ~docv:"SECONDS" (parse, Format.pp_print_float)
 
+(* ---- observability ------------------------------------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Record spans and write a Chrome trace-event JSON file to $(docv) (loadable at \
+     ui.perfetto.dev or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let metrics_arg =
+  let doc = "Print the observability metrics registry after the run." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Flip observability on around [f] when either export was requested, and
+   export in a [finally] so a failed run still leaves its trace behind.
+   Draining is safe here: both the driver's parallel map and the serve pool
+   join their domains before returning (including on the exception path). *)
+let with_obs ~trace ~metrics f =
+  let on = trace <> None || metrics in
+  if not on then f ()
+  else begin
+    Cpla_obs.Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Cpla_obs.Obs.set_enabled false;
+        (match trace with
+        | None -> ()
+        | Some path ->
+            write_file path (Cpla_obs.Trace.json (Cpla_obs.Sink.drain ()));
+            Printf.printf "trace written to %s\n" path);
+        if metrics then print_endline (Cpla_obs.Metrics.dump ());
+        Cpla_obs.Obs.reset ())
+      f
+  end
+
 (* ---- synth -------------------------------------------------------------- *)
 
 let synth_cmd =
@@ -155,7 +190,8 @@ let optimize_cmd =
     let doc = "Domains solving partitions concurrently (SDP/ILP methods)." in
     Arg.(value & opt positive_int 1 & info [ "w"; "workers" ] ~docv:"N" ~doc)
   in
-  let run file bench_name ratio method_ dump steiner workers =
+  let run file bench_name ratio method_ dump steiner workers trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     Result.bind (load ~file ~bench_name) (fun (graph, nets) ->
         let routed = Router.route_all ~steiner ~graph nets in
         let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
@@ -210,7 +246,7 @@ let optimize_cmd =
     Term.(
       term_result
         (const run $ file_arg $ bench_arg $ ratio_arg $ method_arg $ dump_arg $ steiner_arg
-       $ workers_arg))
+       $ workers_arg $ trace_arg $ metrics_arg))
 
 (* ---- serve ----------------------------------------------------------------- *)
 
@@ -240,7 +276,8 @@ let serve_cmd =
     let doc = "Suppress per-job start notices (result lines still stream)." in
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
   in
-  let run manifest workers deadline quiet =
+  let run manifest workers deadline quiet trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     match
       Cpla_serve.Job.parse_manifest ?default_deadline_s:deadline (read_file manifest)
     with
@@ -269,7 +306,10 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Batch-optimise a manifest of designs over a pool of worker domains")
-    Term.(term_result (const run $ manifest_arg $ workers_arg $ deadline_arg $ quiet_arg))
+    Term.(
+      term_result
+        (const run $ manifest_arg $ workers_arg $ deadline_arg $ quiet_arg $ trace_arg
+       $ metrics_arg))
 
 (* ---- density -------------------------------------------------------------- *)
 

@@ -92,7 +92,17 @@ let local_refine asg (f : Formulation.t) =
     incr rounds
   done
 
-let solve_leaf config eng asg ?check (leaf : Partition.leaf) =
+(* Span payload for one partition-cell solve: where the cell sits in the
+   quadtree and how much work it carries. *)
+let cell_args (leaf : Partition.leaf) =
+  [
+    ("x0", Cpla_obs.Event.Int leaf.Partition.x0);
+    ("y0", Cpla_obs.Event.Int leaf.Partition.y0);
+    ("depth", Cpla_obs.Event.Int leaf.Partition.depth);
+    ("segments", Cpla_obs.Event.Int (List.length leaf.Partition.items));
+  ]
+
+let solve_leaf_body config eng asg ?check (leaf : Partition.leaf) =
   (* Freeze the coefficients of the nets touching this partition at the
      current assignment so later partitions see the effect of earlier ones
      within the same sweep (Section 3.2: "newly updated assignment results
@@ -143,6 +153,10 @@ let solve_leaf config eng asg ?check (leaf : Partition.leaf) =
              with uniform fractional values (capacity-driven greedy) *)
           Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
 
+let solve_leaf config eng asg ?check leaf =
+  Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () ->
+      solve_leaf_body config eng asg ?check leaf)
+
 (* Parallel sweep (the paper's OpenMP scheme): freeze coefficients once,
    release every partition's segments, build all subproblems against the
    others-only capacity view, solve them concurrently on a domain pool
@@ -169,11 +183,12 @@ let solve_leaves_parallel config eng asg ?check leaves =
     Array.of_list
       (List.map
          (fun leaf ->
-           Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg
-             ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items)
+           ( leaf,
+             Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg
+               ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items ))
          leaves)
   in
-  let solve (f : Formulation.t) =
+  let solve_one (f : Formulation.t) =
     if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
       (* uncoupled: exact per-segment argmin, same fast path as sequential *)
       `Layers
@@ -196,6 +211,10 @@ let solve_leaves_parallel config eng asg ?check leaves =
             (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
                ?check f)
   in
+  let solve (leaf, f) =
+    (* spanned on the worker domain that runs it, nested under pool/task *)
+    Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () -> solve_one f)
+  in
   (* sanctioned impurity: the ILP branch-and-bound inside [solve] polls a
      wall-clock budget (Solver.elapsed_s).  The budget only caps node count
      — the incumbent it returns is still a function of the formulation, and
@@ -205,7 +224,7 @@ let solve_leaves_parallel config eng asg ?check leaves =
     [@cpla.allow "impure-kernel"])
   in
   Array.iteri
-    (fun i f ->
+    (fun i (_, f) ->
       match solutions.(i) with
       | `Fractional x ->
           Post_map.run asg ~vars:f.Formulation.vars ~x;
@@ -242,46 +261,55 @@ let optimize_released ?(config = Config.default) ?engine ?check asg ~released =
     let stop = ref false in
     while (not !stop) && !iterations < config.Config.max_outer_iters do
       poll ();
-      let snap = snapshot asg released in
-      (* Cancellation (or any solver failure) mid-iteration can leave
-         released segments between unassign and re-assign; restoring the
-         iteration-entry snapshot before re-raising hands the caller a
-         consistent state it can still measure (partial metrics). *)
-      (try
-         let items =
-           Array.to_list released
-           |> List.concat_map (fun net ->
-                  Array.to_list
-                    (Array.mapi
-                       (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
-                       (Assignment.segments asg net)))
-         in
-         let leaves =
-           Partition.build ~width ~height ~k:config.Config.k_div
-             ~max_segments:config.Config.max_segments_per_partition items
-         in
-         if config.Config.workers > 1 then begin
-           solve_leaves_parallel config eng asg ?check leaves;
-           partitions := !partitions + List.length leaves
-         end
-         else
-           List.iter
-             (fun leaf ->
-               poll ();
-               solve_leaf config eng asg ?check leaf;
-               incr partitions)
-             leaves
-       with e ->
-         restore asg snap;
-         raise e);
-      incr iterations;
-      (* only nets the leaves actually moved are re-analysed here *)
-      let s = score eng released in
-      if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
-      else begin
-        if s > !best_score then restore asg snap;
-        stop := true
-      end
+      Cpla_obs.Span.with_ ~name:"driver/iteration"
+        ~args:[ ("iter", Cpla_obs.Event.Int !iterations) ]
+        (fun () ->
+          let snap = snapshot asg released in
+          (* Cancellation (or any solver failure) mid-iteration can leave
+             released segments between unassign and re-assign; restoring the
+             iteration-entry snapshot before re-raising hands the caller a
+             consistent state it can still measure (partial metrics). *)
+          (try
+             let items =
+               Array.to_list released
+               |> List.concat_map (fun net ->
+                      Array.to_list
+                        (Array.mapi
+                           (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
+                           (Assignment.segments asg net)))
+             in
+             let leaves =
+               Cpla_obs.Span.with_ ~name:"driver/partition"
+                 ~args:[ ("items", Cpla_obs.Event.Int (List.length items)) ]
+                 (fun () ->
+                   Partition.build ~width ~height ~k:config.Config.k_div
+                     ~max_segments:config.Config.max_segments_per_partition items)
+             in
+             Cpla_obs.Metrics.incr ~by:(List.length leaves) "driver/cells";
+             if config.Config.workers > 1 then begin
+               solve_leaves_parallel config eng asg ?check leaves;
+               partitions := !partitions + List.length leaves
+             end
+             else
+               List.iter
+                 (fun leaf ->
+                   poll ();
+                   solve_leaf config eng asg ?check leaf;
+                   incr partitions)
+                 leaves
+           with e ->
+             restore asg snap;
+             raise e);
+          incr iterations;
+          Cpla_obs.Metrics.incr "driver/iterations";
+          (* only nets the leaves actually moved are re-analysed here *)
+          let s = score eng released in
+          Cpla_obs.Metrics.set "driver/score" s;
+          if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
+          else begin
+            if s > !best_score then restore asg snap;
+            stop := true
+          end)
     done;
     let avg_tcp, max_tcp = Incremental.avg_max_tcp eng released in
     { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }

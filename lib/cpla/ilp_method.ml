@@ -107,7 +107,11 @@ let build_model ~alpha (f : Formulation.t) =
 
 let solve ~options ~alpha ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then Some [||]
-  else begin
+  else
+    Cpla_obs.Span.with_ ~name:"ilp/solve"
+      ~args:[ ("vars", Cpla_obs.Event.Int (Array.length f.Formulation.vars)) ]
+    @@ fun () ->
+    Cpla_obs.Metrics.incr "ilp/solves";
     check ();
     let model = build_model ~alpha f in
     check ();
@@ -131,4 +135,3 @@ let solve ~options ~alpha ?(check = fun () -> ()) (f : Formulation.t) =
             f.Formulation.vars
         in
         Some choice
-  end

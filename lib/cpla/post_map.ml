@@ -17,7 +17,7 @@ let fallback_layer asg (v : Formulation.var) =
     v.Formulation.cands;
   !best
 
-let run asg ~vars ~x =
+let run_body asg ~vars ~x =
   let tech = Assignment.tech asg in
   let nl = Tech.num_layers tech in
   let assigned = Array.make (Array.length vars) false in
@@ -33,7 +33,24 @@ let run asg ~vars ~x =
             (fun ci l -> if l = layer then ranked := (x vi ci, vi) :: !ranked)
             v.Formulation.cands)
       vars;
-    let ranked = List.sort (fun (a, _) (b, _) -> compare b a) !ranked in
+    (* Alg. 1 line 5 ranks by descending fractional value.  Float.compare is
+       a total order, so a NaN x (degenerate solver output) cannot leave the
+       sort order unspecified — NaN ranks last, after every real value — and
+       ties break on ascending variable index instead of the reversed
+       construction order the polymorphic compare happened to produce. *)
+    let ranked =
+      List.sort
+        (fun (a, va) (b, vb) ->
+          let nan_a = Float.is_nan a and nan_b = Float.is_nan b in
+          if nan_a || nan_b then
+            if nan_a && nan_b then Int.compare va vb
+            else if nan_a then 1
+            else -1
+          else
+            let c = Float.compare b a in
+            if c <> 0 then c else Int.compare va vb)
+        !ranked
+    in
     List.iter
       (fun (_, vi) ->
         if not assigned.(vi) then begin
@@ -55,3 +72,8 @@ let run asg ~vars ~x =
         assigned.(vi) <- true
       end)
     vars
+
+let run asg ~vars ~x =
+  Cpla_obs.Span.with_ ~name:"post_map/run"
+    ~args:[ ("vars", Cpla_obs.Event.Int (Array.length vars)) ]
+    (fun () -> run_body asg ~vars ~x)

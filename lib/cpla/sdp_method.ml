@@ -84,12 +84,15 @@ let build_problem (f : Formulation.t) =
 
 let solve ~options ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then fun _ _ -> 0.0
-  else begin
-    check ();
-    let problem, index = build_problem f in
-    check ();
-    let result = Solver.solve ~options problem in
-    fun vi ci ->
-      let v = result.Solver.x_diag.(index vi ci) in
-      Float.max 0.0 (Float.min 1.0 v)
-  end
+  else
+    Cpla_obs.Span.with_ ~name:"sdp/solve"
+      ~args:[ ("vars", Cpla_obs.Event.Int (Array.length f.Formulation.vars)) ]
+      (fun () ->
+        Cpla_obs.Metrics.incr "sdp/solves";
+        check ();
+        let problem, index = build_problem f in
+        check ();
+        let result = Solver.solve ~options problem in
+        fun vi ci ->
+          let v = result.Solver.x_diag.(index vi ci) in
+          Float.max 0.0 (Float.min 1.0 v))

@@ -1,0 +1,11 @@
+(* The global observability switch.  A single Atomic read guards every hot
+   path in the instrumented pipeline: with the switch off, spans and metric
+   updates reduce to one load and a branch, which is what keeps the
+   instrumented build within the 2% overhead budget of the seed kernels
+   (bench section obs/overhead). *)
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+
+let set_enabled v = Atomic.set on v

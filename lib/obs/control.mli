@@ -1,0 +1,11 @@
+(** Global observability switch (disabled by default).
+
+    Prefer {!Obs.set_enabled}, which also installs the pool probe; this
+    module only owns the atomic flag so that {!Span} and {!Metrics} can
+    poll it without a dependency cycle. *)
+
+val enabled : unit -> bool
+(** One atomic load; the guard on every instrumentation hot path. *)
+
+val set_enabled : bool -> unit
+(** Flip the switch.  Takes effect immediately on all domains. *)

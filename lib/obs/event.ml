@@ -1,0 +1,11 @@
+type arg = Int of int | Float of float | Str of string
+
+type phase = Begin | End | Instant
+
+type t = {
+  name : string;
+  ph : phase;
+  ts_ns : int64;  (* Util.Timer.now_ns: the serve-deadline monotonic clock *)
+  dom : int;      (* Domain.self of the recording domain = trace track id *)
+  args : (string * arg) list;
+}

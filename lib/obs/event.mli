@@ -1,0 +1,18 @@
+(** Trace events, the unit of the span buffers and the Chrome exporter. *)
+
+type arg = Int of int | Float of float | Str of string
+
+type phase =
+  | Begin  (** span opened ([ph:"B"]) *)
+  | End  (** span closed ([ph:"E"]) *)
+  | Instant  (** point event ([ph:"i"]) *)
+
+type t = {
+  name : string;
+  ph : phase;
+  ts_ns : int64;
+      (** monotonic nanoseconds ({!Cpla_util.Timer.now_ns}) — the same
+          clock the serve deadlines run on *)
+  dom : int;  (** recording domain's id; one trace track per domain *)
+  args : (string * arg) list;
+}

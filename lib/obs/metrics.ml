@@ -1,0 +1,105 @@
+(* Named counters, gauges and histograms.
+
+   The registry is an Atomic association list grown by compare-and-set:
+   consistent with the top-mutable rule (no top-level Hashtbl), and cheap
+   because a pipeline registers a dozen metrics, not thousands.  Counters
+   and gauges are Atomics (any domain may bump them); histograms reuse the
+   range-audited Util.Histogram behind a mutex, since observations are per
+   leaf or per job, never in a solver inner loop.
+
+   Every mutating entry point is gated on Control.enabled: a disabled run
+   registers nothing and records nothing, so its dump is byte-identical to
+   a run that never loaded this module (the obs-disabled equivalence
+   test). *)
+
+type value =
+  | Counter of int Atomic.t
+  | Gauge of float Atomic.t
+  | Hist of { m : Mutex.t; h : Cpla_util.Histogram.t }
+
+let registry : (string * value) list Atomic.t = Atomic.make []
+
+let rec intern name make =
+  let cur = Atomic.get registry in
+  match List.assoc_opt name cur with
+  | Some v -> v
+  | None ->
+      let v = make () in
+      if Atomic.compare_and_set registry cur ((name, v) :: cur) then v
+      else intern name make
+
+let kind_error name =
+  invalid_arg (Printf.sprintf "Obs.Metrics: %s already registered with another kind" name)
+
+let incr ?(by = 1) name =
+  if Control.enabled () then
+    match intern name (fun () -> Counter (Atomic.make 0)) with
+    | Counter c -> ignore (Atomic.fetch_and_add c by)
+    | Gauge _ | Hist _ -> kind_error name
+
+let set name v =
+  if Control.enabled () then
+    match intern name (fun () -> Gauge (Atomic.make 0.0)) with
+    | Gauge g -> Atomic.set g v
+    | Counter _ | Hist _ -> kind_error name
+
+let observe ?(lo = 0.0) ?(hi = 1000.0) ?(bins = 20) name v =
+  if Control.enabled () then
+    match
+      intern name (fun () ->
+          Hist { m = Mutex.create (); h = Cpla_util.Histogram.create ~lo ~hi ~bins })
+    with
+    | Hist { m; h } ->
+        Mutex.lock m;
+        Cpla_util.Histogram.add h v;
+        Mutex.unlock m
+    | Counter _ | Gauge _ -> kind_error name
+
+let counter_value name =
+  match List.assoc_opt name (Atomic.get registry) with
+  | Some (Counter c) -> Some (Atomic.get c)
+  | _ -> None
+
+let gauge_value name =
+  match List.assoc_opt name (Atomic.get registry) with
+  | Some (Gauge g) -> Some (Atomic.get g)
+  | _ -> None
+
+let dump () =
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) (Atomic.get registry)
+  in
+  let t = Cpla_util.Table.create ~headers:[ "metric"; "kind"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      let kind, cell =
+        match v with
+        | Counter c -> ("counter", string_of_int (Atomic.get c))
+        | Gauge g -> ("gauge", Printf.sprintf "%.3f" (Atomic.get g))
+        | Hist { m; h } ->
+            Mutex.lock m;
+            let cell =
+              Printf.sprintf "n=%d under=%d over=%d nan=%d" (Cpla_util.Histogram.total h)
+                (Cpla_util.Histogram.underflow h)
+                (Cpla_util.Histogram.overflow h)
+                (Cpla_util.Histogram.nan_count h)
+            in
+            Mutex.unlock m;
+            ("histogram", cell)
+      in
+      Cpla_util.Table.add_row t [ name; kind; cell ])
+    entries;
+  let hists =
+    List.filter_map
+      (function
+        | name, Hist { m; h } ->
+            Mutex.lock m;
+            let r = Cpla_util.Histogram.render ~label:name h in
+            Mutex.unlock m;
+            Some r
+        | _ -> None)
+      entries
+  in
+  String.concat "\n" (Cpla_util.Table.render t :: hists)
+
+let reset () = Atomic.set registry []

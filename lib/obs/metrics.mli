@@ -1,0 +1,34 @@
+(** Named metrics registry: counters, gauges and histograms.
+
+    Metrics are addressed by name at the call site ([incr "driver/iters"]);
+    the first use of a name registers it.  Every mutating entry point is a
+    no-op while observability is disabled, so instrumented code records
+    nothing — and registers nothing — unless the run opted in.
+
+    A name is permanently bound to the kind of its first use; using it with
+    another kind raises [Invalid_argument]. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter (default [by = 1]). *)
+
+val set : string -> float -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : ?lo:float -> ?hi:float -> ?bins:int -> string -> float -> unit
+(** Record one sample into a histogram.  [lo]/[hi]/[bins] shape the
+    histogram when this observation registers it (defaults [0, 1000) in 20
+    bins) and are ignored afterwards. *)
+
+val counter_value : string -> int option
+(** Current counter reading, [None] if the name is unregistered or not a
+    counter. *)
+
+val gauge_value : string -> float option
+(** Current gauge reading, [None] if unregistered or not a gauge. *)
+
+val dump : unit -> string
+(** Render every registered metric: a name/kind/value table followed by an
+    ASCII render of each histogram. *)
+
+val reset : unit -> unit
+(** Forget every registered metric (tests and between serve batches). *)

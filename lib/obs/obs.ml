@@ -1,0 +1,15 @@
+(* Facade: the one switch callers flip, plus lifecycle plumbing.
+
+   Enabling also installs the pool probe so tasks executed on worker
+   domains are spanned from the domain that runs them — the pool itself
+   cannot depend on this library, so the wiring happens here. *)
+
+let set_enabled v =
+  Cpla_util.Pool.set_probe (if v then Span.pool_probe else Cpla_util.Pool.null_probe);
+  Control.set_enabled v
+
+let enabled = Control.enabled
+
+let reset () =
+  Sink.reset ();
+  Metrics.reset ()

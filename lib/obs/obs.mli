@@ -1,0 +1,17 @@
+(** Observability switchboard.
+
+    Disabled by default: every span and metric call in the pipeline reduces
+    to one atomic load.  [set_enabled true] turns recording on and installs
+    the pool-task probe so worker-domain execution shows up as per-domain
+    trace tracks.  Spans live in {!Span}, metrics in {!Metrics}, export in
+    {!Trace} / {!Metrics.dump}. *)
+
+val set_enabled : bool -> unit
+(** Flip the global switch (and the {!Cpla_util.Pool} probe with it). *)
+
+val enabled : unit -> bool
+(** Current state of the switch. *)
+
+val reset : unit -> unit
+(** Drop all buffered events and registered metrics.  Only safe once
+    recording domains have joined (see {!Sink}). *)

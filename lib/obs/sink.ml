@@ -1,0 +1,59 @@
+(* Per-domain event buffers.
+
+   The recording hot path takes no lock: each domain appends to its own
+   chunk, reached through domain-local storage, so concurrent partition
+   solves and pool tasks never contend (and never interleave their writes).
+   A chunk registers itself once, through a compare-and-set loop on the
+   global Atomic registry list — the one cross-domain handshake, off the
+   recording path.
+
+   Draining reads every registered chunk from the calling domain.  That is
+   only safe when no other domain is still recording; the pipeline
+   guarantees it because every instrumented parallel section (Pool's
+   spawned workers, the serve pool after shutdown) has joined before a
+   report is assembled.  [drain] is documented accordingly. *)
+
+type chunk = {
+  dom : int;
+  mutable evs : Event.t array;
+  mutable len : int;
+}
+
+let dummy = { Event.name = ""; ph = Event.Instant; ts_ns = 0L; dom = -1; args = [] }
+
+let registry : chunk list Atomic.t = Atomic.make []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let c = { dom = (Domain.self () :> int); evs = Array.make 256 dummy; len = 0 } in
+      let rec register () =
+        let cur = Atomic.get registry in
+        if not (Atomic.compare_and_set registry cur (c :: cur)) then register ()
+      in
+      register ();
+      c)
+
+let record ev =
+  let c = Domain.DLS.get key in
+  if c.len = Array.length c.evs then begin
+    let bigger = Array.make (2 * c.len) dummy in
+    Array.blit c.evs 0 bigger 0 c.len;
+    c.evs <- bigger
+  end;
+  c.evs.(c.len) <- ev;
+  c.len <- c.len + 1
+
+let drain () =
+  let chunks = Atomic.get registry in
+  let evs =
+    List.concat_map
+      (fun c ->
+        let out = Array.to_list (Array.sub c.evs 0 c.len) in
+        c.len <- 0;
+        out)
+      chunks
+  in
+  List.stable_sort (fun (a : Event.t) (b : Event.t) -> Int64.compare a.ts_ns b.ts_ns) evs
+
+let reset () =
+  List.iter (fun c -> c.len <- 0) (Atomic.get registry)

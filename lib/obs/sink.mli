@@ -1,0 +1,18 @@
+(** Per-domain span buffers: lock-free recording, merge on drain.
+
+    Recording appends to the calling domain's own buffer (domain-local
+    storage), so the hot path takes no lock and worker domains never
+    contend.  {!drain} and {!reset} walk every domain's buffer and are only
+    safe once the recording domains have been joined — which the pipeline
+    guarantees by reporting strictly after parallel sections complete. *)
+
+val record : Event.t -> unit
+(** Append one event to the calling domain's buffer.  Callers gate on
+    {!Control.enabled}; [record] itself is unconditional. *)
+
+val drain : unit -> Event.t list
+(** All buffered events from every domain, sorted by timestamp; buffers are
+    emptied.  Call only after recording domains have joined. *)
+
+val reset : unit -> unit
+(** Discard all buffered events (same joining caveat as {!drain}). *)

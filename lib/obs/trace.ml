@@ -1,0 +1,64 @@
+(* Chrome trace-event JSON (the "JSON Array Format" with a traceEvents
+   wrapper, as loaded by Perfetto and chrome://tracing).
+
+   Timestamps are microseconds; we normalise to the earliest event so the
+   trace starts at t=0 instead of at an arbitrary monotonic-clock origin.
+   Each OCaml domain becomes one track: pid 0, tid = domain id, with a
+   thread_name metadata event so Perfetto labels the track. *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let arg_json = function
+  | Event.Int i -> string_of_int i
+  | Event.Float f ->
+      (* JSON has no NaN/Infinity literals; degrade to a string *)
+      if Float.is_finite f then Printf.sprintf "%.6g" f
+      else Printf.sprintf "\"%s\"" (string_of_float f)
+  | Event.Str s -> Printf.sprintf "\"%s\"" (escape s)
+
+let args_json = function
+  | [] -> ""
+  | args ->
+      let fields =
+        List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (arg_json v)) args
+      in
+      Printf.sprintf ",\"args\":{%s}" (String.concat "," fields)
+
+let phase_str = function Event.Begin -> "B" | Event.End -> "E" | Event.Instant -> "i"
+
+let event_json ~origin (e : Event.t) =
+  let ts = Int64.to_float (Int64.sub e.ts_ns origin) /. 1e3 in
+  let scope = match e.ph with Event.Instant -> ",\"s\":\"t\"" | _ -> "" in
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d%s%s}"
+    (escape e.name) (phase_str e.ph) ts e.dom scope (args_json e.args)
+
+let thread_meta dom =
+  Printf.sprintf
+    "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+    dom dom
+
+let json (events : Event.t list) =
+  let origin =
+    List.fold_left (fun acc (e : Event.t) -> min acc e.ts_ns) Int64.max_int events
+  in
+  let origin = if origin = Int64.max_int then 0L else origin in
+  let doms =
+    List.sort_uniq Int.compare (List.map (fun (e : Event.t) -> e.dom) events)
+  in
+  let lines =
+    List.map thread_meta doms @ List.map (event_json ~origin) events
+  in
+  Printf.sprintf "{\"traceEvents\":[%s]}\n" (String.concat ",\n" lines)

@@ -1,0 +1,9 @@
+(** Chrome trace-event JSON exporter.
+
+    The output loads in Perfetto (ui.perfetto.dev) and chrome://tracing:
+    one process (pid 0), one named track per OCaml domain, timestamps in
+    microseconds normalised to the earliest event. *)
+
+val json : Event.t list -> string
+(** Render events (as returned by {!Sink.drain}) to a trace-event JSON
+    document.  Pure: writing the file is the caller's business. *)

@@ -57,6 +57,21 @@ let rec root_cause = function
   | Pool.Worker_failure e -> root_cause e
   | e -> e
 
+let terminal_label = function
+  | Job.Done _ -> "done"
+  | Job.Failed _ -> "failed"
+  | Job.Timed_out _ -> "timed-out"
+  | Job.Cancelled _ -> "cancelled"
+
+(* One instant per terminal state plus an outcome counter, shared by the
+   worker path and the revoked-before-claim path in [wait]. *)
+let observe_terminal (spec : Job.spec) terminal =
+  let label = terminal_label terminal in
+  Cpla_obs.Span.instant ~name:"serve/terminal"
+    ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id); ("state", Cpla_obs.Event.Str label) ]
+    ();
+  Cpla_obs.Metrics.incr ("serve/jobs-" ^ label)
+
 (* Capacity overflow is a *metric* in the paper (Table 2's OV# column): the
    formulation itself relaxes via capacity through V_o, so overflow left
    behind is reported, not treated as failure.  A job fails its audit only
@@ -158,6 +173,10 @@ let submit ?(workers = Pool.recommended_workers ()) ?on_event specs =
     (fun (s : Job.spec) ->
       if Hashtbl.mem tokens s.Job.id then
         invalid_arg (Printf.sprintf "Scheduler.submit: duplicate job id %d" s.Job.id);
+      Cpla_obs.Span.instant ~name:"serve/submit"
+        ~args:[ ("job", Cpla_obs.Event.Int s.Job.id) ]
+        ();
+      Cpla_obs.Metrics.incr "serve/jobs-submitted";
       Hashtbl.replace tokens s.Job.id (Token.create ?deadline_s:s.Job.deadline_s ()))
     specs;
   let pool = Pool.Persistent.create ~workers:(min workers (List.length specs)) in
@@ -176,7 +195,12 @@ let submit ?(workers = Pool.recommended_workers ()) ?on_event specs =
       let task =
         Pool.Persistent.submit pool (fun () ->
             emit (Started s);
-            let terminal = run_job s token in
+            let terminal =
+              Cpla_obs.Span.with_ ~name:"serve/job"
+                ~args:[ ("job", Cpla_obs.Event.Int s.Job.id) ]
+                (fun () -> run_job s token)
+            in
+            observe_terminal s terminal;
             emit (Finished (s, terminal));
             terminal)
       in
@@ -210,6 +234,7 @@ let wait batch =
             (* revoked before any worker claimed it: the job never ran, so
                its terminal event is emitted here, exactly once *)
             let terminal = Job.Cancelled { partial = None } in
+            observe_terminal spec terminal;
             batch.emit (Finished (spec, terminal));
             (spec, terminal)
         | Error e ->

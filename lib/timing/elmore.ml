@@ -166,4 +166,10 @@ let analyze_with ws asg net_idx =
         total_cap;
       }
 
-let analyze asg net_idx = analyze_with (make_workspace ()) asg net_idx
+(* Spanned here, on the workspace-allocating entry, rather than in
+   [analyze_with]: the batch paths (Incremental.refresh) call the latter
+   per net in a tight loop where even a disabled-probe check is waste. *)
+let analyze asg net_idx =
+  Cpla_obs.Span.with_ ~name:"elmore/analyze"
+    ~args:[ ("net", Cpla_obs.Event.Int net_idx) ]
+    (fun () -> analyze_with (make_workspace ()) asg net_idx)

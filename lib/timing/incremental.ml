@@ -59,6 +59,7 @@ let path_info t i =
       p
 
 let refresh ?(workers = 1) t =
+  Cpla_obs.Span.with_ ~name:"timing/refresh" @@ fun () ->
   let n = Array.length t.entries in
   let dirty = ref [] in
   for i = n - 1 downto 0 do
@@ -66,6 +67,7 @@ let refresh ?(workers = 1) t =
   done;
   let dirty = Array.of_list !dirty in
   let nd = Array.length dirty in
+  Cpla_obs.Metrics.incr ~by:nd "timing/dirty_nets";
   (* below ~2 nets per worker the domain spawn cost dominates *)
   if workers <= 1 || nd < 2 * workers then
     Array.iter (fun i -> ignore (detail t i)) dirty

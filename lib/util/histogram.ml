@@ -2,27 +2,49 @@ type t = {
   lo : float;
   hi : float;
   counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable nan : int;
   mutable total : int;
 }
 
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; counts = Array.make bins 0; total = 0 }
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; nan = 0; total = 0 }
 
+(* Out-of-range samples used to be clamped into the end bins and NaN fell
+   into bin 0 through int_of_float's unspecified conversion — both silently
+   distorted the tails of Fig. 1.  They are now accounted separately: NaN is
+   skipped (and counted), underflow/overflow keep their own counters and
+   never touch the in-range bins. *)
 let add t x =
-  let bins = Array.length t.counts in
-  let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
-  let i = int_of_float (Float.floor raw) in
-  let i = if i < 0 then 0 else if i >= bins then bins - 1 else i in
-  t.counts.(i) <- t.counts.(i) + 1;
-  t.total <- t.total + 1
+  if Float.is_nan x then t.nan <- t.nan + 1
+  else begin
+    let bins = Array.length t.counts in
+    if x < t.lo then t.underflow <- t.underflow + 1
+    else if x >= t.hi then t.overflow <- t.overflow + 1
+    else begin
+      let raw = (x -. t.lo) /. (t.hi -. t.lo) *. float_of_int bins in
+      let i = int_of_float (Float.floor raw) in
+      (* rounding at the upper edge of the last bin can produce i = bins *)
+      let i = if i >= bins then bins - 1 else i in
+      t.counts.(i) <- t.counts.(i) + 1
+    end;
+    t.total <- t.total + 1
+  end
 
 let add_all t xs = Array.iter (add t) xs
 
 let counts t = Array.copy t.counts
 
 let total t = t.total
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let nan_count t = t.nan
 
 let bin_center t i =
   let bins = float_of_int (Array.length t.counts) in
@@ -42,4 +64,10 @@ let render ?(width = 50) ?(label = "") t =
       Buffer.add_string buf
         (Printf.sprintf "%12.1f | %-*s %d\n" (bin_center t i) width (String.make bar '#') c))
     t.counts;
+  if t.underflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "%12s | %d below range\n" "< lo" t.underflow);
+  if t.overflow > 0 then
+    Buffer.add_string buf (Printf.sprintf "%12s | %d above range\n" ">= hi" t.overflow);
+  if t.nan > 0 then
+    Buffer.add_string buf (Printf.sprintf "%12s | %d skipped\n" "nan" t.nan);
   Buffer.contents buf

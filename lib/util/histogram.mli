@@ -1,12 +1,14 @@
 (** Fixed-bin histograms with an ASCII rendering, used for the pin-delay
-    distribution plots of Fig. 1. *)
+    distribution plots of Fig. 1 and the observability metrics registry. *)
 
 type t
 
 val create : lo:float -> hi:float -> bins:int -> t
 (** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins.
-    Samples outside the range are clamped into the first/last bin.
-    Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+    Samples outside the range are counted in the {!underflow} / {!overflow}
+    tallies (not clamped into the end bins); NaN samples are skipped and
+    counted by {!nan_count}.  Raises [Invalid_argument] if [bins <= 0] or
+    [hi <= lo]. *)
 
 val add : t -> float -> unit
 (** Record one sample. *)
@@ -15,14 +17,24 @@ val add_all : t -> float array -> unit
 (** Record many samples. *)
 
 val counts : t -> int array
-(** A copy of the per-bin counts. *)
+(** A copy of the per-bin (in-range) counts. *)
 
 val total : t -> int
-(** Number of recorded samples. *)
+(** Number of recorded non-NaN samples, including under/overflow. *)
+
+val underflow : t -> int
+(** Samples below [lo]. *)
+
+val overflow : t -> int
+(** Samples at or above [hi]. *)
+
+val nan_count : t -> int
+(** NaN samples seen by {!add}; skipped, never binned, not in {!total}. *)
 
 val bin_center : t -> int -> float
 (** Mid-point value of bin [i]. *)
 
 val render : ?width:int -> ?label:string -> t -> string
 (** Log-scale horizontal bar chart (counts grow exponentially in the paper's
-    Fig. 1 y-axis), one line per bin. *)
+    Fig. 1 y-axis), one line per bin, with trailing under/overflow and NaN
+    lines when those tallies are non-zero. *)

@@ -1,5 +1,18 @@
 let recommended_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Observability probe.  The pool sits below lib/obs in the dependency
+   order, so task spans are injected from above: Obs.set_enabled installs a
+   wrapper here, and workers run each task through it on their own domain.
+   The default probe is the identity, so an uninstrumented (or disabled)
+   build pays one Atomic read per task. *)
+type probe = { wrap : 'a. name:string -> index:int -> (unit -> 'a) -> 'a }
+
+let null_probe = { wrap = (fun ~name:_ ~index:_ f -> f ()) }
+
+let probe = Atomic.make null_probe
+
+let set_probe p = Atomic.set probe p
+
 exception Worker_failure of exn
 
 let parallel_map ~workers f xs =
@@ -15,7 +28,7 @@ let parallel_map ~workers f xs =
         let i = Atomic.fetch_and_add next 1 in
         if i >= n || Atomic.get failure <> None then continue := false
         else begin
-          match f xs.(i) with
+          match (Atomic.get probe).wrap ~name:"pool/task" ~index:i (fun () -> f xs.(i)) with
           | v -> results.(i) <- Some v
           | exception e ->
               (* not laundered: the first failure (async included) is
@@ -55,7 +68,8 @@ module Persistent = struct
     mutable claimed : bool;   (* a worker is (or was) running it *)
   }
 
-  type entry = Entry : 'a task * (unit -> 'a) -> entry
+  type entry = Entry : 'a task * (unit -> 'a) * int -> entry
+  (* the int is the submission sequence number, threaded to the probe *)
 
   type t = {
     m : Mutex.t;
@@ -63,6 +77,7 @@ module Persistent = struct
     settled : Condition.t;  (* some task reached a terminal state *)
     q : entry Queue.t;
     mutable mode : mode;
+    mutable seq : int;      (* submissions so far, under [m] *)
     mutable domains : unit Domain.t list;
   }
 
@@ -75,6 +90,7 @@ module Persistent = struct
         settled = Condition.create ();
         q = Queue.create ();
         mode = Accepting;
+        seq = 0;
         domains = [];
       }
     in
@@ -92,7 +108,7 @@ module Persistent = struct
       in
       match next () with
       | None -> Mutex.unlock p.m
-      | Some (Entry (t, f)) ->
+      | Some (Entry (t, f, seq)) ->
           if t.revoked then begin
             Mutex.unlock p.m;
             worker ()
@@ -101,7 +117,7 @@ module Persistent = struct
             t.claimed <- true;
             Mutex.unlock p.m;
             let r =
-              match f () with
+              match (Atomic.get probe).wrap ~name:"pool/exec" ~index:seq f with
               | v -> Ok v
               | exception e ->
                   (* not laundered: the worker domain must survive, and the
@@ -127,7 +143,8 @@ module Persistent = struct
     Mutex.lock p.m;
     (match p.mode with
     | Accepting ->
-        Queue.add (Entry (t, f)) p.q;
+        Queue.add (Entry (t, f, p.seq)) p.q;
+        p.seq <- p.seq + 1;
         Condition.signal p.work;
         Mutex.unlock p.m
     | Draining | Aborting ->
@@ -170,7 +187,7 @@ module Persistent = struct
       if drain then p.mode <- Draining
       else begin
         p.mode <- Aborting;
-        Queue.iter (fun (Entry (t, _)) -> ignore (revoke_locked p t)) p.q;
+        Queue.iter (fun (Entry (t, _, _)) -> ignore (revoke_locked p t)) p.q;
         Queue.clear p.q
       end;
       Condition.broadcast p.work;

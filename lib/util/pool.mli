@@ -21,6 +21,21 @@ val parallel_map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count - 1], at least 1. *)
 
+type probe = { wrap : 'a. name:string -> index:int -> (unit -> 'a) -> 'a }
+(** Task-execution hook.  [wrap ~name ~index f] must run [f] exactly once
+    (on the calling — i.e. worker — domain) and return its result,
+    re-raising its exceptions unchanged.  [index] is the task's input index
+    ({!parallel_map}) or submission sequence number ({!Persistent}). *)
+
+val set_probe : probe -> unit
+(** Install the hook every pool task runs through.  The pool sits below
+    the observability library in the dependency order, so span wrapping is
+    injected here by [Cpla_obs.Obs.set_enabled] rather than called
+    directly. *)
+
+val null_probe : probe
+(** The identity hook (default): runs the task bare. *)
+
 (** Persistent fixed-size worker pool.
 
     Unlike {!parallel_map} — which spawns domains per call and fails the

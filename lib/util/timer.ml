@@ -5,16 +5,21 @@ type t = { clock : clock; origin : float }
 (* Sys.time measures CPU seconds, which matches the paper's CPU(s) column
    for a single-threaded run but overstates elapsed time as soon as several
    domains are live (process CPU time advances once per running domain).
-   Wall stopwatches read Unix.gettimeofday; it is not a strictly monotonic
-   source, so elapsed readings are clamped non-negative rather than letting
-   a clock adjustment produce a negative duration. *)
-let read = function Cpu -> Sys.time () | Wall -> Unix.gettimeofday ()
+   Wall stopwatches read CLOCK_MONOTONIC (via the noalloc bechamel stub —
+   OCaml 5.1's Unix module has no clock_gettime): immune to NTP steps and
+   manual clock adjustments, so serve deadlines and span timestamps cannot
+   run backwards and no negative-elapsed clamp is needed. *)
+let now_ns () = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let read = function Cpu -> Sys.time () | Wall -> now_s ()
 
 let start () = { clock = Cpu; origin = Sys.time () }
 
-let wall () = { clock = Wall; origin = Unix.gettimeofday () }
+let wall () = { clock = Wall; origin = now_s () }
 
-let elapsed_s t = Float.max 0.0 (read t.clock -. t.origin)
+let elapsed_s t = read t.clock -. t.origin
 
 let time f =
   let t = start () in

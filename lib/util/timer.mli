@@ -4,13 +4,15 @@
     - {!start} measures CPU seconds ([Sys.time]).  This is the paper's
       CPU(s) column and stays the right choice for single-threaded
       optimisation runs.
-    - {!wall} measures elapsed wall-clock seconds.  Under the domain pool
-      CPU time advances once per running domain, so every parallel or
-      serve-side measurement (job wall times, deadlines, throughput
-      benchmarks) must use the wall stopwatch instead.
+    - {!wall} measures elapsed wall-clock seconds on [CLOCK_MONOTONIC].
+      Under the domain pool CPU time advances once per running domain, so
+      every parallel or serve-side measurement (job wall times, deadlines,
+      throughput benchmarks) must use the wall stopwatch instead.  The
+      monotonic source cannot step backwards, so elapsed readings are
+      non-negative by construction (no clamping).
 
-    Elapsed readings are clamped non-negative, so a system clock step
-    never yields a negative duration. *)
+    {!now_ns} exposes the same monotonic clock as raw nanoseconds for event
+    timestamps (observability spans). *)
 
 type t
 (** A running stopwatch (CPU or wall, fixed at creation). *)
@@ -19,10 +21,17 @@ val start : unit -> t
 (** Start a CPU-seconds stopwatch now. *)
 
 val wall : unit -> t
-(** Start a wall-clock stopwatch now. *)
+(** Start a monotonic wall-clock stopwatch now. *)
 
 val elapsed_s : t -> float
 (** Seconds since the stopwatch started, on the stopwatch's own clock. *)
+
+val now_ns : unit -> int64
+(** Current [CLOCK_MONOTONIC] reading in nanoseconds.  Only differences are
+    meaningful; the origin is unspecified (typically boot time). *)
+
+val now_s : unit -> float
+(** [now_ns] scaled to seconds. *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with elapsed CPU seconds. *)

@@ -297,6 +297,64 @@ let test_post_map_prefers_high_x () =
   Alcotest.(check bool) "most vars on their top candidate" true
     (float_of_int !on_top >= 0.7 *. float_of_int total)
 
+(* Regression for the ranking comparator: polymorphic [compare b a] left the
+   order unspecified under NaN and broke value-ties by reversed construction
+   order.  The total order must (a) survive NaN fractional values and still
+   assign every variable, and (b) be a pure function of (value, index) so
+   two identical designs map identically. *)
+let test_post_map_nan_and_ties_deterministic () =
+  let solve () =
+    let asg = build_design ~nets:200 () in
+    let released = Critical.select asg ~ratio:0.01 in
+    let infos = build_infos asg released in
+    let items = released_items asg released in
+    List.iter
+      (fun it -> Assignment.unassign asg ~net:it.Partition.net ~seg:it.Partition.seg)
+      items;
+    let f = Formulation.build asg ~infos ~items in
+    (* every value is a NaN or a shared constant: worst case for the sort *)
+    Post_map.run asg ~vars:f.Formulation.vars ~x:(fun vi _ ->
+        if vi mod 3 = 0 then Float.nan else 0.5);
+    Array.map
+      (fun (v : Formulation.var) ->
+        Assignment.layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg)
+      f.Formulation.vars
+  in
+  let a = solve () and b = solve () in
+  Alcotest.(check bool) "every variable assigned despite NaN" true
+    (Array.for_all (fun l -> l >= 0) a);
+  Alcotest.(check bool) "identical runs map identically" true (a = b)
+
+let test_post_map_nan_ranks_last () =
+  (* same two-segment contention as the capacity test, but net 0's value is
+     NaN: net 1 must win the contested top layer *)
+  let tech = Cpla_grid.Tech.default ~num_layers:4 () in
+  let graph =
+    Cpla_grid.Graph.create ~tech ~width:8 ~height:8 ~layer_capacity:(Array.make 4 1)
+  in
+  let n0 = Net.create ~id:0 ~name:"a" ~pins:[| pin 0 0; pin 4 0 |] in
+  let n1 = Net.create ~id:1 ~name:"b" ~pins:[| pin 0 0; pin 4 0 |] in
+  let t () = Stree.of_edges ~root:(0, 0) [ ((0, 0), (4, 0)) ] in
+  let asg = Assignment.create ~graph ~nets:[| n0; n1 |] ~trees:[| Some (t ()); Some (t ()) |] in
+  let infos = Hashtbl.create 4 in
+  Assignment.set_layer asg ~net:0 ~seg:0 ~layer:0;
+  Assignment.set_layer asg ~net:1 ~seg:0 ~layer:2;
+  Hashtbl.replace infos 0 (Critical.path_info asg 0);
+  Hashtbl.replace infos 1 (Critical.path_info asg 1);
+  Assignment.unassign asg ~net:0 ~seg:0;
+  Assignment.unassign asg ~net:1 ~seg:0;
+  let items =
+    [ { Partition.net = 0; seg = 0; mid = (2, 0) }; { Partition.net = 1; seg = 0; mid = (2, 0) } ]
+  in
+  let f = Formulation.build asg ~infos:(Hashtbl.find infos) ~items in
+  let x vi _ =
+    if f.Formulation.vars.(vi).Formulation.net = 0 then Float.nan else 0.9
+  in
+  Post_map.run asg ~vars:f.Formulation.vars ~x;
+  let l0 = Assignment.layer asg ~net:0 ~seg:0 and l1 = Assignment.layer asg ~net:1 ~seg:0 in
+  Alcotest.(check bool) "both assigned" true (l0 >= 0 && l1 >= 0);
+  Alcotest.(check bool) "real value outranks NaN on the contested layer" true (l1 > l0)
+
 let test_fallback_layer_picks_freest () =
   let asg = build_design ~nets:50 () in
   let released = Critical.select asg ~ratio:0.02 in
@@ -396,6 +454,9 @@ let suite =
     Alcotest.test_case "sdp x values in range" `Slow test_sdp_x_values_in_range;
     Alcotest.test_case "post-map respects capacity" `Quick test_post_map_respects_capacity;
     Alcotest.test_case "post-map prefers high x" `Quick test_post_map_prefers_high_x;
+    Alcotest.test_case "post-map nan+tie determinism" `Quick
+      test_post_map_nan_and_ties_deterministic;
+    Alcotest.test_case "post-map nan ranks last" `Quick test_post_map_nan_ranks_last;
     Alcotest.test_case "fallback layer is a candidate" `Quick test_fallback_layer_picks_freest;
     Alcotest.test_case "driver sdp improves timing" `Slow test_driver_sdp_improves;
     Alcotest.test_case "driver ilp improves timing" `Slow test_driver_ilp_improves;

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "cpla"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("numeric", Test_numeric.suite);
       ("numeric-props", Test_numeric_props.suite);
       ("ilp", Test_ilp.suite);

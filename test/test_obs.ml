@@ -1,0 +1,238 @@
+(* Observability: monotonic clock, spans, metrics, trace export, and the
+   disabled-is-free contract.
+
+   Obs state is global (one switch, per-domain buffers, one registry), so
+   every test that enables it must tear down with [teardown] — including on
+   failure — or later tests would see stale events. *)
+
+module Obs = Cpla_obs.Obs
+module Span = Cpla_obs.Span
+module Event = Cpla_obs.Event
+module Sink = Cpla_obs.Sink
+module Metrics = Cpla_obs.Metrics
+module Trace = Cpla_obs.Trace
+module Timer = Cpla_util.Timer
+
+let teardown () =
+  Obs.set_enabled false;
+  Obs.reset ()
+
+let contains haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i = i + n <= m && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect ~finally:teardown f
+
+(* ---- timer ---------------------------------------------------------------- *)
+
+let test_timer_monotonic () =
+  let a = Timer.now_ns () in
+  let sa = Timer.now_s () in
+  (* burn a little time so the clock visibly advances *)
+  let junk = ref 0 in
+  for i = 0 to 200_000 do
+    junk := !junk + i
+  done;
+  ignore (Sys.opaque_identity !junk);
+  let b = Timer.now_ns () in
+  let sb = Timer.now_s () in
+  Alcotest.(check bool) "now_ns non-decreasing" true (Int64.compare b a >= 0);
+  Alcotest.(check bool) "now_s non-decreasing" true (sb >= sa);
+  let w = Timer.wall () in
+  let e1 = Timer.elapsed_s w in
+  let e2 = Timer.elapsed_s w in
+  Alcotest.(check bool) "wall elapsed non-negative" true (e1 >= 0.0);
+  Alcotest.(check bool) "wall elapsed monotone" true (e2 >= e1)
+
+(* ---- spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      let r =
+        Span.with_ ~name:"outer"
+          ~args:[ ("k", Event.Int 7) ]
+          (fun () ->
+            Span.with_ ~name:"inner" (fun () -> ());
+            Span.instant ~name:"tick" ();
+            42)
+      in
+      Alcotest.(check int) "span returns body value" 42 r;
+      let evs = Sink.drain () in
+      let names = List.map (fun (e : Event.t) -> (e.name, e.ph)) evs in
+      Alcotest.(check bool) "LIFO nesting order" true
+        (names
+        = [
+            ("outer", Event.Begin);
+            ("inner", Event.Begin);
+            ("inner", Event.End);
+            ("tick", Event.Instant);
+            ("outer", Event.End);
+          ]);
+      let ts = List.map (fun (e : Event.t) -> e.ts_ns) evs in
+      Alcotest.(check bool) "timestamps sorted" true (List.sort Int64.compare ts = ts);
+      match evs with
+      | { Event.args = [ ("k", Event.Int 7) ]; _ } :: _ -> ()
+      | _ -> Alcotest.fail "args lost on Begin event")
+
+let test_span_exception () =
+  with_obs (fun () ->
+      (match Span.with_ ~name:"boom" (fun () -> failwith "no") with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure m -> Alcotest.(check string) "re-raised unchanged" "no" m);
+      match Sink.drain () with
+      | [ { Event.ph = Event.Begin; _ }; { Event.ph = Event.End; args; _ } ] ->
+          Alcotest.(check bool) "End carries the exception" true
+            (match List.assoc_opt "exn" args with
+            | Some (Event.Str s) -> String.length s > 0
+            | _ -> false)
+      | evs -> Alcotest.failf "unbalanced events (%d)" (List.length evs))
+
+let test_span_balanced_per_domain () =
+  (* pool tasks are spanned on the worker domains that execute them *)
+  with_obs (fun () ->
+      let xs = Array.init 16 (fun i -> i) in
+      let ys = Cpla_util.Pool.parallel_map ~workers:2 (fun i -> i * i) xs in
+      Alcotest.(check bool) "map result intact" true (ys = Array.map (fun i -> i * i) xs);
+      let evs = Sink.drain () in
+      let tasks = List.filter (fun (e : Event.t) -> e.name = "pool/task") evs in
+      Alcotest.(check int) "one B and one E per task" (2 * Array.length xs)
+        (List.length tasks);
+      let by_dom = Hashtbl.create 4 in
+      List.iter
+        (fun (e : Event.t) ->
+          let st = try Hashtbl.find by_dom e.dom with Not_found -> [] in
+          match e.ph with
+          | Event.Begin -> Hashtbl.replace by_dom e.dom (e.name :: st)
+          | Event.End -> (
+              match st with
+              | top :: rest when top = e.name -> Hashtbl.replace by_dom e.dom rest
+              | _ -> Alcotest.fail "unbalanced End on a domain track")
+          | Event.Instant -> ())
+        tasks;
+      Hashtbl.iter
+        (fun dom st ->
+          Alcotest.(check (list string)) (Printf.sprintf "domain %d drained" dom) [] st)
+        by_dom;
+      Alcotest.(check bool) "tasks ran off the main domain" true
+        (List.exists (fun (e : Event.t) -> e.dom <> (Domain.self () :> int)) tasks))
+
+(* ---- disabled is free ------------------------------------------------------ *)
+
+let test_disabled_records_nothing () =
+  teardown ();
+  Alcotest.(check bool) "switch reads off" false (Obs.enabled ());
+  let r = Span.with_ ~name:"ghost" (fun () -> 7) in
+  Span.instant ~name:"ghost" ();
+  Metrics.incr "ghost";
+  Metrics.set "ghost-g" 1.0;
+  Metrics.observe "ghost-h" 1.0;
+  Alcotest.(check int) "span still runs its body" 7 r;
+  Alcotest.(check int) "no events buffered" 0 (List.length (Sink.drain ()));
+  Alcotest.(check bool) "no metrics registered" true (Metrics.counter_value "ghost" = None);
+  (* the pipeline behaves identically with the switch off: same report *)
+  let run () =
+    let spec =
+      { Cpla_route.Synth.default_spec with Cpla_route.Synth.width = 24; height = 24;
+        num_nets = 200; capacity = 8; seed = 11 }
+    in
+    let graph, nets = Cpla_route.Synth.generate spec in
+    let routed = Cpla_route.Router.route_all ~graph nets in
+    let asg = Cpla_route.Assignment.create ~graph ~nets ~trees:routed.Cpla_route.Router.trees in
+    Cpla_route.Init_assign.run asg;
+    let released = Cpla_timing.Critical.select asg ~ratio:0.01 in
+    Cpla.Driver.optimize_released asg ~released
+  in
+  let off = run () in
+  let on = with_obs (fun () -> run ()) in
+  Alcotest.(check (float 1e-9)) "same avg_tcp with obs on" on.Cpla.Driver.avg_tcp
+    off.Cpla.Driver.avg_tcp;
+  Alcotest.(check int) "same iteration count" on.Cpla.Driver.iterations
+    off.Cpla.Driver.iterations
+
+(* ---- metrics --------------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  with_obs (fun () ->
+      Metrics.incr "jobs";
+      Metrics.incr ~by:4 "jobs";
+      Metrics.set "score" 2.5;
+      Metrics.observe ~lo:0.0 ~hi:10.0 ~bins:5 "delay" 3.0;
+      Metrics.observe "delay" Float.nan;
+      Metrics.observe "delay" 99.0;
+      Alcotest.(check (option int)) "counter" (Some 5) (Metrics.counter_value "jobs");
+      Alcotest.(check (option (float 1e-12))) "gauge" (Some 2.5) (Metrics.gauge_value "score");
+      Alcotest.(check (option int)) "kind lookup is checked" None (Metrics.counter_value "score");
+      let dump = Metrics.dump () in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " in dump") true (contains dump needle))
+        [ "jobs"; "score"; "delay"; "counter"; "gauge"; "histogram"; "nan=1"; "over=1" ];
+      Alcotest.(check bool) "kind clash raises" true
+        (match Metrics.incr "score" with
+        | exception Invalid_argument _ -> true
+        | () -> false))
+
+(* ---- trace export ----------------------------------------------------------- *)
+
+let mk ?(args = []) name ph ts dom = { Event.name; ph; ts_ns = ts; dom; args }
+
+let test_trace_json_golden () =
+  let evs =
+    [
+      mk "a" Event.Begin 1000L 0 ~args:[ ("n", Event.Int 3); ("s", Event.Str "x\"y") ];
+      mk "b" Event.Begin 1500L 1;
+      mk "b" Event.End 2500L 1 ~args:[ ("v", Event.Float 0.5) ];
+      mk "a" Event.End 4000L 0;
+    ]
+  in
+  let expected =
+    "{\"traceEvents\":[\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"domain 0\"}},\n\
+     {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"domain 1\"}},\n\
+     {\"name\":\"a\",\"ph\":\"B\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{\"n\":3,\"s\":\"x\\\"y\"}},\n\
+     {\"name\":\"b\",\"ph\":\"B\",\"ts\":0.500,\"pid\":0,\"tid\":1},\n\
+     {\"name\":\"b\",\"ph\":\"E\",\"ts\":1.500,\"pid\":0,\"tid\":1,\"args\":{\"v\":0.5}},\n\
+     {\"name\":\"a\",\"ph\":\"E\",\"ts\":3.000,\"pid\":0,\"tid\":0}]}\n"
+  in
+  Alcotest.(check string) "golden trace document" expected (Trace.json evs)
+
+let test_trace_json_degenerate () =
+  Alcotest.(check string) "empty trace still a document" "{\"traceEvents\":[]}\n"
+    (Trace.json []);
+  (* non-finite float args must not produce bare NaN tokens (invalid JSON) *)
+  let doc = Trace.json [ mk "x" Event.Instant 0L 0 ~args:[ ("v", Event.Float Float.nan) ] ] in
+  Alcotest.(check bool) "nan quoted" true (contains doc "\"nan\"")
+
+let test_trace_roundtrip_from_spans () =
+  with_obs (fun () ->
+      Span.with_ ~name:"outer" (fun () -> Span.with_ ~name:"inner" (fun () -> ()));
+      let doc = Trace.json (Sink.drain ()) in
+      (* cheap structural checks: one B and one E per span, wrapper present *)
+      let count needle =
+        let n = String.length needle and m = String.length doc in
+        let c = ref 0 in
+        for i = 0 to m - n do
+          if String.sub doc i n = needle then incr c
+        done;
+        !c
+      in
+      Alcotest.(check int) "two Begin events" 2 (count "\"ph\":\"B\"");
+      Alcotest.(check int) "two End events" 2 (count "\"ph\":\"E\"");
+      Alcotest.(check bool) "traceEvents wrapper" true (count "\"traceEvents\"" = 1))
+
+let suite =
+  [
+    Alcotest.test_case "timer monotonic" `Quick test_timer_monotonic;
+    Alcotest.test_case "span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "span exception" `Quick test_span_exception;
+    Alcotest.test_case "span per-domain balance" `Quick test_span_balanced_per_domain;
+    Alcotest.test_case "disabled records nothing" `Quick test_disabled_records_nothing;
+    Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "trace json golden" `Quick test_trace_json_golden;
+    Alcotest.test_case "trace json degenerate" `Quick test_trace_json_degenerate;
+    Alcotest.test_case "trace roundtrip from spans" `Quick test_trace_roundtrip_from_spans;
+  ]

@@ -69,13 +69,40 @@ let test_histogram_counts () =
   Histogram.add h 0.5;
   Histogram.add h 9.5;
   Histogram.add h 100.0;
-  (* clamped into last bin *)
+  (* counted as overflow, not clamped into the last bin *)
   Histogram.add h (-3.0);
-  (* clamped into first bin *)
+  (* counted as underflow, not clamped into the first bin *)
   let c = Histogram.counts h in
-  Alcotest.(check int) "first bin" 2 c.(0);
-  Alcotest.(check int) "last bin" 2 c.(9);
+  Alcotest.(check int) "first bin" 1 c.(0);
+  Alcotest.(check int) "last bin" 1 c.(9);
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Histogram.overflow h);
   Alcotest.(check int) "total" 4 (Histogram.total h)
+
+let test_histogram_nan_and_render () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4 in
+  Histogram.add_all h [| 1.0; Float.nan; 20.0; -1.0; Float.nan |];
+  Alcotest.(check int) "nan samples skipped, counted" 2 (Histogram.nan_count h);
+  Alcotest.(check int) "nan not in total" 3 (Histogram.total h);
+  Alcotest.(check int) "in-range bins unpolluted" 1
+    (Array.fold_left ( + ) 0 (Histogram.counts h));
+  let r = Histogram.render ~label:"t" h in
+  let has needle =
+    let n = String.length needle and m = String.length r in
+    let rec go i = i + n <= m && (String.sub r i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render shows underflow tail" true (has "below range");
+  Alcotest.(check bool) "render shows overflow tail" true (has "above range");
+  Alcotest.(check bool) "render shows nan tail" true (has "skipped");
+  (* a fully in-range histogram keeps the old, tail-free rendering *)
+  let h2 = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:4 in
+  Histogram.add h2 5.0;
+  let r2 = Histogram.render ~label:"t" h2 in
+  Alcotest.(check bool) "no tails when tallies are zero" false
+    (let n = String.length r2 in
+     let rec go i = i + 5 <= n && (String.sub r2 i 5 = "range" || go (i + 1)) in
+     go 0)
 
 let test_histogram_centers () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
@@ -149,7 +176,8 @@ let suite =
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
     Alcotest.test_case "stats geometric mean" `Quick test_stats_geomean;
     Alcotest.test_case "table render" `Quick test_table_render;
-    Alcotest.test_case "histogram counts+clamp" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram counts+range" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram nan+render" `Quick test_histogram_nan_and_render;
     Alcotest.test_case "histogram centers" `Quick test_histogram_centers;
     Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
     QCheck_alcotest.to_alcotest test_heap_random;
