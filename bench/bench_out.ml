@@ -1,0 +1,113 @@
+(* Machine-readable benchmark trajectory output.
+
+   Every bench/main.exe run — whatever subset of sections it executes —
+   writes a BENCH_micro.json next to the working directory (override with
+   CPLA_BENCH_OUT) describing each measured kernel: section, kernel name,
+   ns/op, minor allocation per run, fixture design and the git revision the
+   numbers were taken at.  Committed snapshots of this file under
+   bench/baselines/ form the repo's perf trajectory; CI validates the
+   schema on every push so the emission can't silently rot. *)
+
+type entry = {
+  section : string;
+  kernel : string;
+  design : string;
+  ns_per_op : float;
+  minor_words_per_run : float option;
+}
+
+(* bench is a single-shot executable, not library code: this collector is
+   only ever touched from the main domain's section loop *)
+let entries : entry list ref = ref []
+
+let record ~section ~kernel ~design ~ns_per_op ?minor_words_per_run () =
+  entries := { section; kernel; design; ns_per_op; minor_words_per_run } :: !entries
+
+(* Best-effort revision: resolve .git/HEAD one level (symbolic ref or
+   detached hash) without shelling out.  "unknown" when not in a checkout. *)
+let git_rev () =
+  let read_line path =
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> match input_line ic with s -> Some (String.trim s) | exception End_of_file -> None)
+  in
+  let rec find_git dir depth =
+    if depth > 6 then None
+    else if Sys.file_exists (Filename.concat dir ".git") then Some (Filename.concat dir ".git")
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_git parent (depth + 1)
+  in
+  match find_git (Sys.getcwd ()) 0 with
+  | None -> "unknown"
+  | Some git -> (
+      match read_line (Filename.concat git "HEAD") with
+      | None -> "unknown"
+      | Some head ->
+          let hash =
+            if String.length head > 5 && String.sub head 0 5 = "ref: " then
+              let refname = String.sub head 5 (String.length head - 5) in
+              Option.value ~default:"unknown" (read_line (Filename.concat git refname))
+            else head
+          in
+          if String.length hash >= 12 then String.sub hash 0 12 else hash)
+
+let json_float f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let default_path = "BENCH_micro.json"
+
+let write () =
+  let path = Option.value ~default:default_path (Sys.getenv_opt "CPLA_BENCH_OUT") in
+  let rev = git_rev () in
+  let es =
+    List.sort
+      (fun a b ->
+        match compare a.section b.section with 0 -> compare a.kernel b.kernel | c -> c)
+      !entries
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b "  \"schema\": \"cpla-bench-micro/1\",\n";
+      Buffer.add_string b (Printf.sprintf "  \"git_rev\": %s,\n" (json_string rev));
+      Buffer.add_string b "  \"entries\": [";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b "\n    {";
+          Buffer.add_string b (Printf.sprintf "\"section\": %s, " (json_string e.section));
+          Buffer.add_string b (Printf.sprintf "\"kernel\": %s, " (json_string e.kernel));
+          Buffer.add_string b (Printf.sprintf "\"design\": %s, " (json_string e.design));
+          Buffer.add_string b (Printf.sprintf "\"ns_per_op\": %s, " (json_float e.ns_per_op));
+          Buffer.add_string b
+            (Printf.sprintf "\"minor_words_per_run\": %s}"
+               (match e.minor_words_per_run with None -> "null" | Some w -> json_float w)))
+        es;
+      if es <> [] then Buffer.add_string b "\n  ";
+      Buffer.add_string b "]\n}\n";
+      Buffer.output_buffer oc b);
+  Printf.printf "\n[bench] wrote %s (%d entries, rev %s)\n%!" path (List.length es) rev

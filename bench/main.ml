@@ -170,28 +170,28 @@ let micro_tests ~design () =
       incr_path_info;
     ]
 
-let run_micro ?design () =
-  let design = match design with Some d -> d | None -> default_micro_design () in
-  Printf.printf "\n==================================================================\n";
-  Printf.printf "Micro-benchmarks (Bechamel) — kernel behind each table/figure (%s)\n"
-    design;
-  Printf.printf "==================================================================\n%!";
-  let tests = micro_tests ~design () in
+(* Run a grouped Bechamel test set, print the human table and record every
+   kernel into the machine-readable trajectory output (Bench_out).  Shared
+   by the `micro` and `batch` sections. *)
+let run_bechamel ~section ~design tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock; minor_allocated ] tests in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some ols_result -> (
+        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | _ -> nan)
+    | None -> nan
+  in
   let rows = ref [] in
   Hashtbl.iter
-    (fun name ols_result ->
-      let ns_per_run =
-        match Analyze.OLS.estimates ols_result with Some (v :: _) -> v | _ -> nan
-      in
-      rows := (name, ns_per_run) :: !rows)
+    (fun name _ -> rows := (name, estimate results name, estimate allocs name) :: !rows)
     results;
-  let t = Cpla_util.Table.create ~headers:[ "kernel"; "time/run" ] in
+  let t = Cpla_util.Table.create ~headers:[ "kernel"; "time/run"; "minor w/run" ] in
   List.sort compare !rows
-  |> List.iter (fun (name, ns) ->
+  |> List.iter (fun (name, ns, words) ->
          let cell =
            if Float.is_nan ns then "n/a"
            else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
@@ -199,8 +199,25 @@ let run_micro ?design () =
            else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
            else Printf.sprintf "%.0f ns" ns
          in
-         Cpla_util.Table.add_row t [ name; cell ]);
+         let acell =
+           if Float.is_nan words then "n/a"
+           else if words > 1e6 then Printf.sprintf "%.2fM" (words /. 1e6)
+           else if words > 1e3 then Printf.sprintf "%.1fk" (words /. 1e3)
+           else Printf.sprintf "%.0f" words
+         in
+         Cpla_util.Table.add_row t [ name; cell; acell ];
+         Bench_out.record ~section ~kernel:name ~design ~ns_per_op:ns
+           ?minor_words_per_run:(if Float.is_nan words then None else Some words)
+           ());
   Cpla_util.Table.print t
+
+let run_micro ?design () =
+  let design = match design with Some d -> d | None -> default_micro_design () in
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "Micro-benchmarks (Bechamel) — kernel behind each table/figure (%s)\n"
+    design;
+  Printf.printf "==================================================================\n%!";
+  run_bechamel ~section:"micro" ~design (micro_tests ~design ())
 
 (* ---- serve throughput ------------------------------------------------------ *)
 
@@ -253,6 +270,12 @@ let run_serve () =
   in
   let t1 = time_with 1 in
   let tk = time_with workers_hi in
+  Bench_out.record ~section:"serve" ~kernel:"serve/throughput-1w" ~design:"synth-24x24"
+    ~ns_per_op:(t1 *. 1e9 /. float_of_int n) ();
+  Bench_out.record ~section:"serve"
+    ~kernel:(Printf.sprintf "serve/throughput-%dw" workers_hi)
+    ~design:"synth-24x24"
+    ~ns_per_op:(tk *. 1e9 /. float_of_int n) ();
   let t = Cpla_util.Table.create ~headers:[ "workers"; "jobs"; "wall(s)"; "speedup" ] in
   Cpla_util.Table.add_row t [ "1"; string_of_int n; Printf.sprintf "%.2f" t1; "1.00x" ];
   Cpla_util.Table.add_row t
@@ -310,6 +333,10 @@ let run_obs_overhead () =
   let t_seed = time_min ~reps ~inner seed in
   let t_instr = time_min ~reps ~inner instrumented in
   let overhead = (t_instr /. t_seed) -. 1.0 in
+  Bench_out.record ~section:"obs" ~kernel:"obs/path-info-seed" ~design
+    ~ns_per_op:(t_seed /. float_of_int inner) ();
+  Bench_out.record ~section:"obs" ~kernel:"obs/path-info-instrumented-off" ~design
+    ~ns_per_op:(t_instr /. float_of_int inner) ();
   let t = Cpla_util.Table.create ~headers:[ "kernel"; "min wall"; "overhead" ] in
   let cell ns = Printf.sprintf "%.2f ms" (ns /. 1e6) in
   Cpla_util.Table.add_row t [ "seed"; cell t_seed; "-" ];
@@ -345,6 +372,9 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ -> List.map fst sections
   in
+  (* the trajectory JSON is written even when a gate (e.g. obs/overhead)
+     fails the run: partial numbers still locate the regression *)
+  Fun.protect ~finally:Bench_out.write @@ fun () ->
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
