@@ -219,6 +219,65 @@ let run_micro ?design () =
   Printf.printf "==================================================================\n%!";
   run_bechamel ~section:"micro" ~design (micro_tests ~design ())
 
+(* ---- batched kernel engine ------------------------------------------------- *)
+
+(* Steady-state cost of the structure-of-arrays solver kernels: the same
+   partition subproblem solved through a reused per-domain workspace (the
+   batched driver's inner loop — compile/build once, zero allocation per
+   solve) versus through a fresh workspace per solve (the cost the batch
+   engine amortises away).  The reused variants are the numbers a batch of
+   same-bucket partitions pays per cell after the first. *)
+let batch_tests ~design () =
+  let _, _, _, f, _, _ = micro_fixture ~design () in
+  let sdp_options = Cpla.Config.default.Cpla.Config.sdp_options in
+  let problem, _ = Cpla.Sdp_method.build_problem f in
+  let compiled = Cpla_sdp.Kernel.compile ~rank:sdp_options.Cpla_sdp.Solver.rank problem in
+  let dim, _ = Cpla_sdp.Kernel.dims compiled in
+  let kopts =
+    {
+      Cpla_sdp.Kernel.max_outer = sdp_options.Cpla_sdp.Solver.max_outer;
+      inner_iters = sdp_options.Cpla_sdp.Solver.inner_iters;
+      sigma0 = sdp_options.Cpla_sdp.Solver.sigma0;
+      sigma_growth = sdp_options.Cpla_sdp.Solver.sigma_growth;
+      feas_tol = sdp_options.Cpla_sdp.Solver.feas_tol;
+      seed = sdp_options.Cpla_sdp.Solver.seed;
+    }
+  in
+  let sdp_ws = Cpla_sdp.Kernel.ws_create () in
+  let x_diag = Array.make dim 0.0 in
+  let sdp_reused =
+    Test.make ~name:"batch/sdp-kernel-reused-ws"
+      (Staged.stage (fun () ->
+           Cpla_sdp.Kernel.solve_into sdp_ws compiled ~options:kopts ~x_diag))
+  in
+  let sdp_fresh =
+    Test.make ~name:"batch/sdp-kernel-fresh-ws"
+      (Staged.stage (fun () ->
+           Cpla_sdp.Kernel.solve_into (Cpla_sdp.Kernel.ws_create ()) compiled
+             ~options:kopts ~x_diag))
+  in
+  let ilp_options =
+    { Cpla_ilp.Solver.default_options with Cpla_ilp.Solver.time_limit_s = 5.0 }
+  in
+  let model = Cpla.Ilp_method.build_model ~alpha:2000.0 f in
+  let ilp_ws = Cpla_ilp.Solver.ws_create () in
+  let ilp_reused =
+    Test.make ~name:"batch/ilp-bnb-reused-ws"
+      (Staged.stage (fun () -> Cpla_ilp.Solver.solve ~options:ilp_options ~ws:ilp_ws model))
+  in
+  let ilp_fresh =
+    Test.make ~name:"batch/ilp-bnb-fresh-ws"
+      (Staged.stage (fun () -> Cpla_ilp.Solver.solve ~options:ilp_options model))
+  in
+  Test.make_grouped ~name:"batch" [ sdp_reused; sdp_fresh; ilp_reused; ilp_fresh ]
+
+let run_batch ?design () =
+  let design = match design with Some d -> d | None -> default_micro_design () in
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "Batched SoA kernels — reused vs fresh workspaces (%s)\n" design;
+  Printf.printf "==================================================================\n%!";
+  run_bechamel ~section:"batch" ~design (batch_tests ~design ())
+
 (* ---- serve throughput ------------------------------------------------------ *)
 
 (* The batch-service scaling claim: N independent synthetic jobs drained by
@@ -364,6 +423,7 @@ let sections =
     ("serve", run_serve);
     ("obs", run_obs_overhead);
     ("micro", fun () -> run_micro ());
+    ("batch", fun () -> run_batch ());
   ]
 
 let () =
@@ -384,6 +444,8 @@ let () =
           match String.index_opt name '=' with
           | Some i when String.sub name 0 i = "micro" ->
               run_micro ~design:(String.sub name (i + 1) (String.length name - i - 1)) ()
+          | Some i when String.sub name 0 i = "batch" ->
+              run_batch ~design:(String.sub name (i + 1) (String.length name - i - 1)) ()
           | _ ->
               Printf.eprintf "unknown section %s (available: %s)\n" name
                 (String.concat ", " (List.map fst sections));

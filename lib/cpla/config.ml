@@ -10,6 +10,7 @@ type t = {
   local_refinement : bool;
   boundary_coupling : bool;
   workers : int;
+  batch_size : int;
   ilp_options : Cpla_ilp.Solver.options;
   sdp_options : Cpla_sdp.Solver.options;
 }
@@ -25,6 +26,7 @@ let default =
     local_refinement = true;
     boundary_coupling = true;
     workers = 1;
+    batch_size = 8;
     ilp_options = { Cpla_ilp.Solver.default_options with Cpla_ilp.Solver.time_limit_s = 10.0 };
     (* tuned: post-mapping plus the local refinement only need a reliable
        *ranking* from the relaxation, which survives a smaller rank and

@@ -27,6 +27,12 @@ type t = {
           coefficients once per iteration instead of per partition, so
           results can differ slightly from sequential runs (both are valid
           fixed points of the same outer loop). *)
+  batch_size : int;
+      (** partition subproblems solved per pool task in parallel sweeps
+          (default 8).  Same-size-bucket cells are chunked into batches of
+          at most this many; each batch runs through one per-domain solver
+          workspace.  Batching changes scheduling granularity only — the
+          solves and the commit order are those of [batch_size = 1]. *)
   ilp_options : Cpla_ilp.Solver.options;
   sdp_options : Cpla_sdp.Solver.options;
 }

@@ -92,6 +92,15 @@ let local_refine asg (f : Formulation.t) =
     incr rounds
   done
 
+(* One solver-workspace pair per domain, shared by every batch (and by the
+   sequential path) that runs on that domain.  Workspaces grow to the
+   largest partition they have seen and make the partition solves
+   allocation-free in steady state; solver results are independent of
+   workspace reuse, so this is invisible to everything downstream. *)
+let solver_slot =
+  Cpla_util.Pool.Slot.create (fun () ->
+      (Cpla_sdp.Solver.ws_create (), Cpla_ilp.Solver.ws_create ()))
+
 (* Span payload for one partition-cell solve: where the cell sits in the
    quadtree and how much work it carries. *)
 let cell_args (leaf : Partition.leaf) =
@@ -132,15 +141,16 @@ let solve_leaf_body config eng asg ?check (leaf : Partition.leaf) =
           ~layer:v.Formulation.cands.(!best))
       f.Formulation.vars
   else
+  let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
   match config.Config.method_ with
   | Config.Sdp ->
-      let x = Sdp_method.solve ~options:config.Config.sdp_options ?check f in
+      let x = Sdp_method.solve ~options:config.Config.sdp_options ~ws:sdp_ws ?check f in
       Post_map.run asg ~vars:f.Formulation.vars ~x;
       if config.Config.local_refinement then local_refine asg f
   | Config.Ilp -> (
       match
         Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
-          ?check f
+          ~ws:ilp_ws ?check f
       with
       | Some layers ->
           Array.iteri
@@ -188,7 +198,7 @@ let solve_leaves_parallel config eng asg ?check leaves =
                ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items ))
          leaves)
   in
-  let solve_one (f : Formulation.t) =
+  let solve_one ~sdp_ws ~ilp_ws (f : Formulation.t) =
     if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
       (* uncoupled: exact per-segment argmin, same fast path as sequential *)
       `Layers
@@ -204,38 +214,100 @@ let solve_leaves_parallel config eng asg ?check leaves =
     else
       match config.Config.method_ with
       | Config.Sdp ->
-          let x = Sdp_method.solve ~options:config.Config.sdp_options ?check f in
+          let x = Sdp_method.solve ~options:config.Config.sdp_options ~ws:sdp_ws ?check f in
           `Fractional x
       | Config.Ilp ->
           `Layers
             (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
-               ?check f)
+               ~ws:ilp_ws ?check f)
   in
-  let solve (leaf, f) =
-    (* spanned on the worker domain that runs it, nested under pool/task *)
-    Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () -> solve_one f)
+  (* Batched fan-out: bucket the subproblems by size class (power-of-two
+     class of the total candidate count), keep input order within a bucket,
+     and chunk each bucket into batches of at most [batch_size].  One pool
+     task per batch: same-shaped solves share one per-domain workspace with
+     no intervening growth, and scheduling overhead is paid per batch
+     instead of per cell.  Solvers are pure given their formulation, so
+     batching changes scheduling granularity only. *)
+  let size_class (f : Formulation.t) =
+    let total =
+      Array.fold_left
+        (fun a (v : Formulation.var) -> a + Array.length v.Formulation.cands)
+        0 f.Formulation.vars
+    in
+    let c = ref 0 and t = ref total in
+    while !t > 1 do
+      incr c;
+      t := !t lsr 1
+    done;
+    !c
   in
-  (* sanctioned impurity: the ILP branch-and-bound inside [solve] polls a
-     wall-clock budget (Solver.elapsed_s).  The budget only caps node count
-     — the incumbent it returns is still a function of the formulation, and
-     per-leaf determinism is covered by the scratch-vs-incremental tests *)
-  let solutions =
-    (Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve formulations
+  let classes = Array.map (fun (_, f) -> size_class f) formulations in
+  let batches =
+    let acc = ref [] in
+    let max_class = Array.fold_left max 0 classes in
+    let bs = max 1 config.Config.batch_size in
+    for cls = 0 to max_class do
+      let idxs = ref [] in
+      Array.iteri (fun i c -> if c = cls then idxs := i :: !idxs) classes;
+      let idxs = Array.of_list (List.rev !idxs) in
+      let n = Array.length idxs in
+      for b = 0 to ((n + bs - 1) / bs) - 1 do
+        let lo = b * bs in
+        acc := (cls, Array.sub idxs lo (min n (lo + bs) - lo)) :: !acc
+      done
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let solve_batch (cls, batch) =
+    (* per-domain workspaces, fetched once per batch on the worker domain *)
+    let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
+    Cpla_obs.Metrics.observe ~lo:0.0 ~hi:64.0 ~bins:16 "driver/batch-size"
+      (float_of_int (Array.length batch));
+    Cpla_obs.Span.with_ ~name:"driver/batch"
+      ~args:
+        [
+          ("bucket", Cpla_obs.Event.Int cls);
+          ("partitions", Cpla_obs.Event.Int (Array.length batch));
+        ]
+      (fun () ->
+        Array.map
+          (fun i ->
+            (* cancellation stays cooperative between cells of a batch *)
+            (match check with Some f -> f () | None -> ());
+            let leaf, f = formulations.(i) in
+            Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () ->
+                solve_one ~sdp_ws ~ilp_ws f))
+          batch)
+  in
+  (* sanctioned impurity: the ILP branch-and-bound inside [solve_batch]
+     polls a wall-clock budget (Solver.elapsed_s).  The budget only caps
+     node count — the incumbent it returns is still a function of the
+     formulation, and per-leaf determinism is covered by the
+     scratch-vs-incremental tests *)
+  let per_batch =
+    (Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve_batch batches
     [@cpla.allow "impure-kernel"])
   in
+  let solutions = Array.make (Array.length formulations) None in
+  Array.iteri
+    (fun bi (_, batch) ->
+      Array.iteri (fun k i -> solutions.(i) <- Some per_batch.(bi).(k)) batch)
+    batches;
+  (* commit in formulation (input) order, exactly as the unbatched sweep *)
   Array.iteri
     (fun i (_, f) ->
       match solutions.(i) with
-      | `Fractional x ->
+      | Some (`Fractional x) ->
           Post_map.run asg ~vars:f.Formulation.vars ~x;
           if config.Config.local_refinement then local_refine asg f
-      | `Layers (Some layers) ->
+      | Some (`Layers (Some layers)) ->
           Array.iteri
             (fun vi layer ->
               let v = f.Formulation.vars.(vi) in
               Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer)
             layers
-      | `Layers None -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5))
+      | Some (`Layers None) -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5)
+      | None -> invalid_arg "Driver.solve_leaves_parallel: unsolved cell")
     formulations
 
 let optimize_released ?(config = Config.default) ?engine ?check asg ~released =

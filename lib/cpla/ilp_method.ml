@@ -105,7 +105,7 @@ let build_model ~alpha (f : Formulation.t) =
   binary.(lay.vo) <- false;
   Cpla_ilp.Model.create ~objective ~rows:(List.rev !rows) ~binary
 
-let solve ~options ~alpha ?(check = fun () -> ()) (f : Formulation.t) =
+let solve ~options ~alpha ?ws ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then Some [||]
   else
     Cpla_obs.Span.with_ ~name:"ilp/solve"
@@ -115,7 +115,7 @@ let solve ~options ~alpha ?(check = fun () -> ()) (f : Formulation.t) =
     check ();
     let model = build_model ~alpha f in
     check ();
-    match Cpla_ilp.Solver.solve ~options model with
+    match Cpla_ilp.Solver.solve ~options ?ws model with
     | None -> None
     | Some outcome ->
         let lay = layout f in

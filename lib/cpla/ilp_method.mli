@@ -9,6 +9,7 @@
 val solve :
   options:Cpla_ilp.Solver.options ->
   alpha:float ->
+  ?ws:Cpla_ilp.Solver.ws ->
   ?check:(unit -> unit) ->
   Formulation.t ->
   int array option
@@ -17,7 +18,8 @@ val solve :
     cooperative-cancellation hook (see {!Driver.optimize_released}),
     polled at the solve boundaries (before model build and before
     branch-and-bound); the solver's own [time_limit_s] bounds the gap
-    between polls. *)
+    between polls.  [ws] reuses an LP workspace across partitions (one per
+    domain); results are independent of workspace reuse. *)
 
 val build_model : alpha:float -> Formulation.t -> Cpla_ilp.Model.t
 (** The exact 0/1 model (exposed for tests). *)

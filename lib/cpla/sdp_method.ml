@@ -82,7 +82,7 @@ let build_problem (f : Formulation.t) =
     f.Formulation.cap_rows;
   (Problem.create ~dim ~cost:!cost ~constraints:!constraints, index)
 
-let solve ~options ?(check = fun () -> ()) (f : Formulation.t) =
+let solve ~options ?ws ?(check = fun () -> ()) (f : Formulation.t) =
   if Array.length f.Formulation.vars = 0 then fun _ _ -> 0.0
   else
     Cpla_obs.Span.with_ ~name:"sdp/solve"
@@ -92,7 +92,7 @@ let solve ~options ?(check = fun () -> ()) (f : Formulation.t) =
         check ();
         let problem, index = build_problem f in
         check ();
-        let result = Solver.solve ~options problem in
+        let result = Solver.solve ~options ?ws problem in
         fun vi ci ->
           let v = result.Solver.x_diag.(index vi ci) in
           Float.max 0.0 (Float.min 1.0 v))

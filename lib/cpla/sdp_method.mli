@@ -14,6 +14,7 @@ val build_problem : Formulation.t -> Cpla_sdp.Problem.t * (int -> int -> int)
 
 val solve :
   options:Cpla_sdp.Solver.options ->
+  ?ws:Cpla_sdp.Solver.ws ->
   ?check:(unit -> unit) ->
   Formulation.t ->
   (int -> int -> float)
@@ -21,4 +22,6 @@ val solve :
     [x vi ci ∈ [0,1]] that feeds {!Post_map.run}.  [check] is the
     cooperative-cancellation hook (see {!Driver.optimize_released}): it is
     polled at the solve boundaries (before building the SDP and before
-    running the solver) and aborts the solve by raising. *)
+    running the solver) and aborts the solve by raising.  [ws] reuses a
+    solver workspace across partitions (one per domain); results are
+    independent of workspace reuse. *)

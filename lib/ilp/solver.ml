@@ -15,16 +15,12 @@ type outcome = {
   nodes_explored : int;
 }
 
-(* A node is a set of fixed binaries. *)
-type node = (int * float) list
+(* A node is a set of fixed binaries, newest fix first:
+   [(int * float) list] as pushed on the DFS stack. *)
 
-let fixing_rows n (fixes : node) =
-  List.map
-    (fun (i, v) ->
-      let row = Array.make n 0.0 in
-      row.(i) <- 1.0;
-      (row, Simplex.Eq, v))
-    fixes
+type ws = Simplex.ws
+
+let ws_create = Simplex.ws_create
 
 let most_fractional model x fixes =
   let fixed = List.map fst fixes in
@@ -42,15 +38,19 @@ let most_fractional model x fixes =
   if !best_frac > 1e-6 then Some !best else None
 
 (* Round every binary to the nearest integer and keep continuous values;
-   feasible roundings give quick incumbents. *)
-let rounded model x =
-  Array.mapi
-    (fun i v -> if model.Model.binary.(i) then Float.round v else Float.max 0.0 v)
+   feasible roundings give quick incumbents.  Writes into [dst] (the
+   per-solve scratch — [offer] copies on acceptance). *)
+let rounded_into model x dst =
+  Array.iteri
+    (fun i v ->
+      dst.(i) <- (if model.Model.binary.(i) then Float.round v else Float.max 0.0 v))
     x
 
-let solve ?(options = default_options) model =
+let solve ?(options = default_options) ?ws model =
+  let ws = match ws with Some w -> w | None -> Simplex.ws_create () in
   let n = Model.num_vars model in
   let base = Model.relaxation model in
+  let rounded_scratch = Array.make n 0.0 in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
   let nodes = ref 0 in
@@ -81,10 +81,9 @@ let solve ?(options = default_options) model =
     else begin
       let fixes = Stack.pop stack in
       incr nodes;
-      let problem =
-        { base with Simplex.rows = Array.append base.Simplex.rows (Array.of_list (fixing_rows n fixes)) }
-      in
-      match Simplex.solve problem with
+      (* fixing rows go straight into the reused tableau — same rows, same
+         order as the dense Array.append construction this replaces *)
+      match Simplex.solve_ws ws ~fixes base with
       | Simplex.Infeasible -> ()
       | Simplex.Unbounded ->
           (* A bounded 0/1 model cannot be unbounded unless continuous
@@ -94,7 +93,8 @@ let solve ?(options = default_options) model =
       | Simplex.Optimal sol ->
           if sol.Simplex.objective >= !incumbent_obj -. options.gap_tol then ()
           else begin
-            offer (rounded model sol.Simplex.x);
+            rounded_into model sol.Simplex.x rounded_scratch;
+            offer rounded_scratch;
             match most_fractional model sol.Simplex.x fixes with
             | None ->
                 (* integral on all binaries *)

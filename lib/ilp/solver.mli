@@ -21,7 +21,14 @@ type outcome = {
   nodes_explored : int;
 }
 
-val solve : ?options:options -> Model.t -> outcome option
+type ws = Cpla_numeric.Simplex.ws
+(** Reusable LP workspace shared across all branch-and-bound nodes of a
+    solve — and across solves (one per domain). *)
+
+val ws_create : unit -> ws
+
+val solve : ?options:options -> ?ws:ws -> Model.t -> outcome option
 (** Best integral solution found, or [None] if none exists (or none was
     found within budget on an instance that may still be feasible —
-    callers treat [None] as "keep the current assignment"). *)
+    callers treat [None] as "keep the current assignment").  [?ws] reuses
+    an LP workspace; results are independent of workspace reuse. *)

@@ -24,3 +24,51 @@ val minimize :
     of curvature pairs retained (default 8); [grad_tol] is the stopping
     threshold on the gradient infinity norm (default 1e-6); [max_iter]
     defaults to 500.  [x0] is not modified. *)
+
+(** Workspace variant for the batched SoA kernels: all scratch state — the
+    curvature-pair ring, line-search buffers, the gradient — lives in a
+    reusable workspace, and the evaluator writes into caller storage, so a
+    solve allocates nothing on the hot path.  Performs the same
+    floating-point operations in the same order as [minimize]: identical
+    inputs give bitwise-identical iterates. *)
+module Ws : sig
+  type t
+
+  val create : ?memory:int -> unit -> t
+  (** Empty workspace; buffers grow on first use.  [memory] as in
+      [minimize] (default 8). *)
+
+  val reserve : t -> int -> unit
+  (** Pre-size every buffer for problems of dimension <= n. *)
+
+  val minimize :
+    t ->
+    n:int ->
+    ?max_iter:int ->
+    ?grad_tol:float ->
+    eval:(float array -> float array -> unit) ->
+    float array ->
+    unit
+  (** [minimize ws ~n ~eval x] minimises over the first [n] cells of [x],
+      updating [x] in place.  [eval x grad_out] must write the objective
+      into [fx_out ws] (cell 0) and the gradient into [grad_out.(0..n-1)].
+      Results are left in the accessors below. *)
+
+  val fx_out : t -> float array
+  (** The 1-cell buffer the evaluator writes the objective value into. *)
+
+  (** Scalar results of the last [minimize] (the SDP kernel tracks its own
+      convergence state; these are extension points for other callers). *)
+
+  val f : t -> float
+    [@@cpla.allow "unused-export"]
+
+  val grad_norm : t -> float
+    [@@cpla.allow "unused-export"]
+
+  val iterations : t -> int
+    [@@cpla.allow "unused-export"]
+
+  val converged : t -> bool
+    [@@cpla.allow "unused-export"]
+end

@@ -13,7 +13,11 @@ let eps = 1e-9
 
 (* The tableau keeps B⁻¹A in [t] (m rows, [ncols] columns) with the rhs in
    [rhs]; [basis.(i)] is the column basic in row i.  Columns are laid out as
-   structural variables, then slack/surplus, then artificials. *)
+   structural variables, then slack/surplus, then artificials.
+
+   All row/column storage lives in a reusable workspace whose capacity may
+   exceed the live tableau: every loop is bounded by [m]/[ncols], never by
+   array length, so oversized buffers are invisible to the arithmetic. *)
 type tableau = {
   m : int;
   ncols : int;
@@ -23,36 +27,113 @@ type tableau = {
   artificial_from : int; (* columns >= this are artificial *)
 }
 
-let build (problem : problem) =
+(* Workspace: tableau storage plus the per-iteration scratch (reduced
+   costs, basis costs, phase cost vectors, blocked flags) that a fresh
+   solve used to allocate per call — and the reduced-cost pass used to
+   allocate per *pivot*.  One workspace per domain; solves on it are
+   bitwise-identical to solves on a fresh one. *)
+type ws = {
+  mutable cap_m : int;
+  mutable cap_cols : int;
+  mutable wt : float array array;
+  mutable wrhs : float array;
+  mutable wbasis : int array;
+  mutable c1 : float array;      (* phase-1 cost *)
+  mutable c2 : float array;      (* phase-2 cost *)
+  mutable blocked : bool array;
+  mutable rc : float array;      (* reduced-cost scratch *)
+  mutable cb : float array;      (* basis-cost scratch *)
+}
+
+let ws_create () =
+  {
+    cap_m = 0;
+    cap_cols = 0;
+    wt = [||];
+    wrhs = [||];
+    wbasis = [||];
+    c1 = [||];
+    c2 = [||];
+    blocked = [||];
+    rc = [||];
+    cb = [||];
+  }
+
+let ws_reserve ws ~m ~ncols =
+  if ncols > ws.cap_cols then begin
+    let cap = max ncols (max 32 (2 * ws.cap_cols)) in
+    (* existing rows keep their (smaller) width until re-made below *)
+    ws.c1 <- Array.make cap 0.0;
+    ws.c2 <- Array.make cap 0.0;
+    ws.blocked <- Array.make cap false;
+    ws.rc <- Array.make cap 0.0;
+    ws.cap_cols <- cap;
+    (* widen already-allocated rows so every live row has full capacity *)
+    Array.iteri (fun i _ -> ws.wt.(i) <- Array.make cap 0.0) ws.wt
+  end;
+  if m > ws.cap_m then begin
+    let cap = max m (max 16 (2 * ws.cap_m)) in
+    let old = ws.wt in
+    ws.wt <- Array.init cap (fun i -> if i < Array.length old then old.(i) else Array.make ws.cap_cols 0.0);
+    ws.wrhs <- Array.make cap 0.0;
+    ws.wbasis <- Array.make cap 0;
+    ws.cb <- Array.make cap 0.0;
+    ws.cap_m <- cap
+  end
+
+(* Build the tableau for [problem] plus equality rows [x_i = v] for each
+   [(i, v)] in [fixes] (appended after the problem rows, in list order —
+   the branch-and-bound fixing rows, written directly instead of being
+   materialised as dense coefficient rows). *)
+let build_into ws (problem : problem) ~(fixes : (int * float) list) =
   let n = Array.length problem.objective in
   Array.iter
     (fun (coeffs, _, _) ->
       if Array.length coeffs <> n then invalid_arg "Simplex.solve: ragged row")
     problem.rows;
-  let m = Array.length problem.rows in
-  (* Normalise to non-negative rhs. *)
-  let rows =
-    Array.map
-      (fun (coeffs, rel, b) ->
-        if b < 0.0 then
-          ( Array.map (fun v -> -.v) coeffs,
-            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
-            -.b )
-        else (Array.copy coeffs, rel, b))
-      problem.rows
+  List.iter
+    (fun (i, v) ->
+      if i < 0 || i >= n then invalid_arg "Simplex.solve: fix out of range";
+      if v < 0.0 then invalid_arg "Simplex.solve: fix must be non-negative")
+    fixes;
+  let nfix = List.length fixes in
+  let m = Array.length problem.rows + nfix in
+  let n_slack =
+    Array.fold_left
+      (fun a (_, rel, _) -> match rel with Eq -> a | Le | Ge -> a + 1)
+      0 problem.rows
   in
-  let n_slack = Array.fold_left (fun a (_, rel, _) -> match rel with Eq -> a | Le | Ge -> a + 1) 0 rows in
-  let n_art = Array.fold_left (fun a (_, rel, _) -> match rel with Le -> a | Ge | Eq -> a + 1) 0 rows in
+  let n_art =
+    Array.fold_left
+      (fun a (_, rel, _) -> match rel with Le -> a | Ge | Eq -> a + 1)
+      0 problem.rows
+    + nfix
+  in
   let ncols = n + n_slack + n_art in
-  let t = Array.make_matrix m ncols 0.0 in
-  let rhs = Array.make m 0.0 in
-  let basis = Array.make m (-1) in
+  ws_reserve ws ~m ~ncols;
+  let t = ws.wt and rhs = ws.wrhs and basis = ws.wbasis in
+  for i = 0 to m - 1 do
+    Array.fill t.(i) 0 ncols 0.0
+  done;
   let slack = ref n and art = ref (n + n_slack) in
   Array.iteri
     (fun i (coeffs, rel, b) ->
-      Array.blit coeffs 0 t.(i) 0 n;
-      rhs.(i) <- b;
-      (match rel with
+      (* normalise to non-negative rhs *)
+      let rel =
+        if b < 0.0 then begin
+          for j = 0 to n - 1 do
+            t.(i).(j) <- -.coeffs.(j)
+          done;
+          rhs.(i) <- -.b;
+          match rel with Le -> Ge | Ge -> Le | Eq -> Eq
+        end
+        else begin
+          Array.blit coeffs 0 t.(i) 0 n;
+          rhs.(i) <- b;
+          rel
+        end
+      in
+      match rel with
       | Le ->
           t.(i).(!slack) <- 1.0;
           basis.(i) <- !slack;
@@ -66,8 +147,17 @@ let build (problem : problem) =
       | Eq ->
           t.(i).(!art) <- 1.0;
           basis.(i) <- !art;
-          incr art))
-    rows;
+          incr art)
+    problem.rows;
+  List.iteri
+    (fun k (col, v) ->
+      let i = Array.length problem.rows + k in
+      t.(i).(col) <- 1.0;
+      rhs.(i) <- v;
+      t.(i).(!art) <- 1.0;
+      basis.(i) <- !art;
+      incr art)
+    fixes;
   { m; ncols; t; rhs; basis; artificial_from = n + n_slack }
 
 let pivot tab ~row ~col =
@@ -92,11 +182,14 @@ let pivot tab ~row ~col =
   done;
   tab.basis.(row) <- col
 
-(* Reduced costs for cost vector [c] (length ncols) under the current basis:
-   c̄_j = c_j − Σ_i c_{B(i)} · t_{ij}. *)
-let reduced_costs tab c =
-  let cb = Array.map (fun b -> c.(b)) tab.basis in
-  let rc = Array.copy c in
+(* Reduced costs for cost vector [c] (first ncols cells) under the current
+   basis, into the workspace scratch: c̄_j = c_j − Σ_i c_{B(i)} · t_{ij}. *)
+let reduced_costs ws tab c =
+  let cb = ws.cb and rc = ws.rc in
+  for i = 0 to tab.m - 1 do
+    cb.(i) <- c.(tab.basis.(i))
+  done;
+  Array.blit c 0 rc 0 tab.ncols;
   for i = 0 to tab.m - 1 do
     let cbi = cb.(i) in
     if Float.abs cbi > 0.0 then begin
@@ -117,13 +210,13 @@ let objective_value tab c =
 
 (* Run simplex iterations on cost vector [c]; [blocked.(j)] columns may not
    enter the basis.  Returns [`Optimal], [`Unbounded] or [`Limit]. *)
-let iterate tab c blocked pivots max_pivots =
+let iterate ws tab c blocked pivots max_pivots =
   let degenerate_run = ref 0 in
   let result = ref None in
   while !result = None do
     if !pivots >= max_pivots then result := Some `Limit
     else begin
-      let rc = reduced_costs tab c in
+      let rc = reduced_costs ws tab c in
       (* Entering column: Dantzig (most negative) normally, Bland (first
          negative) once degeneracy persists, to guarantee termination. *)
       let enter = ref (-1) in
@@ -181,19 +274,22 @@ let extract tab n =
   done;
   x
 
-let solve ?(max_pivots = 20000) (problem : problem) =
+let solve_ws ws ?(max_pivots = 20000) ?(fixes = []) (problem : problem) =
   let n = Array.length problem.objective in
-  let tab = build problem in
+  let tab = build_into ws problem ~fixes in
   let pivots = ref 0 in
-  let blocked = Array.make tab.ncols false in
+  let blocked = ws.blocked in
+  Array.fill blocked 0 tab.ncols false;
   (* Phase 1: minimise the sum of artificials. *)
-  let phase1_cost = Array.make tab.ncols 0.0 in
+  let phase1_cost = ws.c1 in
+  Array.fill phase1_cost 0 tab.ncols 0.0;
   for j = tab.artificial_from to tab.ncols - 1 do
     phase1_cost.(j) <- 1.0
   done;
   let has_artificials = tab.artificial_from < tab.ncols in
   let phase1 =
-    if has_artificials then iterate tab phase1_cost blocked pivots max_pivots else `Optimal
+    if has_artificials then iterate ws tab phase1_cost blocked pivots max_pivots
+    else `Optimal
   in
   match phase1 with
   | `Limit -> Iteration_limit
@@ -221,15 +317,18 @@ let solve ?(max_pivots = 20000) (problem : problem) =
         for j = tab.artificial_from to tab.ncols - 1 do
           blocked.(j) <- true
         done;
-        let phase2_cost = Array.make tab.ncols 0.0 in
+        let phase2_cost = ws.c2 in
+        Array.fill phase2_cost 0 tab.ncols 0.0;
         Array.blit problem.objective 0 phase2_cost 0 n;
-        match iterate tab phase2_cost blocked pivots max_pivots with
+        match iterate ws tab phase2_cost blocked pivots max_pivots with
         | `Limit -> Iteration_limit
         | `Unbounded -> Unbounded
         | `Optimal ->
             let x = extract tab n in
             Optimal { x; objective = objective_value tab phase2_cost; iterations = !pivots }
       end
+
+let solve ?max_pivots (problem : problem) = solve_ws (ws_create ()) ?max_pivots problem
 
 let feasible ?(tol = 1e-6) (problem : problem) x =
   Array.length x = Array.length problem.objective

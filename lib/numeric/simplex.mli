@@ -30,10 +30,26 @@ type status =
   | Unbounded
   | Iteration_limit
 
+type ws
+(** Reusable solve workspace: tableau storage plus per-iteration scratch.
+    Grows to the largest problem it has seen; never shrinks.  Not
+    domain-safe: use one workspace per domain. *)
+
+val ws_create : unit -> ws
+
 val solve : ?max_pivots:int -> problem -> status
 (** Solve the LP.  [max_pivots] (default 20000) bounds total pivots across
     both phases; hitting it yields [Iteration_limit].
     @raise Invalid_argument on ragged coefficient rows. *)
+
+val solve_ws : ws -> ?max_pivots:int -> ?fixes:(int * float) list -> problem -> status
+(** [solve] on a reusable workspace.  [fixes] appends equality rows
+    [x_i = v] (each [v >= 0]) after the problem rows — the branch-and-bound
+    fixing rows, written into the tableau directly instead of being
+    materialised as dense coefficient rows.  Results are independent of
+    workspace reuse and identical to [solve] on a problem with equivalent
+    appended rows.
+    @raise Invalid_argument on ragged rows or out-of-range/negative fixes. *)
 
 val feasible : ?tol:float -> problem -> float array -> bool
 (** [feasible p x] checks [x] against every row of [p] and non-negativity,

@@ -34,3 +34,61 @@ let sub x y =
   check_len x y "sub";
   Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
 
+(* ---- prefix (in-place) variants -------------------------------------------
+
+   The batched SoA kernels operate on the first [n] cells of preallocated
+   workspace buffers whose capacity may exceed the live problem, so every
+   operation below takes the live length explicitly.  Arithmetic order is
+   identical to the whole-array variants above: a kernel ported onto these
+   produces bitwise-equal floats. *)
+
+let check_cap a n name =
+  if n < 0 || n > Array.length a then invalid_arg ("Vec." ^ name ^ ": prefix out of range")
+
+let dot_n n x y =
+  check_cap x n "dot_n";
+  check_cap y n "dot_n";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm_inf_n n x =
+  check_cap x n "norm_inf_n";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := Float.max !acc (Float.abs x.(i))
+  done;
+  !acc
+
+let axpy_n ~alpha n x y =
+  check_cap x n "axpy_n";
+  check_cap y n "axpy_n";
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let scale_n alpha n x =
+  check_cap x n "scale_n";
+  for i = 0 to n - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let copy_n n src dst =
+  check_cap src n "copy_n";
+  check_cap dst n "copy_n";
+  Array.blit src 0 dst 0 n
+
+let fill_n n x v =
+  check_cap x n "fill_n";
+  Array.fill x 0 n v
+
+let sub_n n x y dst =
+  check_cap x n "sub_n";
+  check_cap y n "sub_n";
+  check_cap dst n "sub_n";
+  for i = 0 to n - 1 do
+    dst.(i) <- x.(i) -. y.(i)
+  done
+

@@ -1,0 +1,232 @@
+open Cpla_numeric
+open Cpla_util
+
+(* Batched structure-of-arrays Burer–Monteiro kernel.
+
+   [Problem.t] keeps its sparse matrices as lists of boxed records — fine
+   for construction and validation, hostile to the inner loop: every
+   augmented-Lagrangian evaluation folds over those lists, boxing a float
+   per accumulation step and allocating a fresh gradient per call.  This
+   module compiles a problem into flat parallel arrays (entry rows, entry
+   columns, entry values; constraints as a CSR slab) and solves it inside a
+   preallocated workspace, so the hot path — L-BFGS line searches over the
+   penalised objective — touches only unboxed float-array storage.
+
+   One workspace serves *many* problems: the driver buckets partition
+   subproblems by size and runs a whole bucket through the same workspace
+   on one domain (see Cpla.Driver), which is what turns per-partition
+   solves into a batched kernel.  The arithmetic is operation-for-operation
+   the sequence of [Solver.solve] before the port, so results are bitwise
+   equal to the record-based implementation's. *)
+
+type compiled = {
+  dim : int;
+  r : int;  (* resolved factor rank *)
+  n : int;  (* dim * r, the flattened V dimension *)
+  m : int;  (* number of constraints *)
+  (* cost entries, in Problem list order *)
+  c_i : int array;
+  c_j : int array;
+  c_v : float array;
+  (* constraint entries as CSR: entries of constraint k live in
+     [a_off.(k), a_off.(k+1)) of the three slabs, in Problem list order *)
+  a_off : int array;
+  a_i : int array;
+  a_j : int array;
+  a_v : float array;
+  b : float array;
+}
+
+let auto_rank (problem : Problem.t) =
+  let m = List.length problem.Problem.constraints in
+  let r = 1 + int_of_float (Float.ceil (sqrt (2.0 *. float_of_int m))) in
+  max 2 (min problem.Problem.dim (min r 12))
+
+let resolve_rank ~rank problem =
+  if rank > 0 then min rank problem.Problem.dim else auto_rank problem
+
+let compile ~rank (problem : Problem.t) =
+  let dim = problem.Problem.dim in
+  let r = resolve_rank ~rank problem in
+  let nc = List.length problem.Problem.cost in
+  let c_i = Array.make nc 0 and c_j = Array.make nc 0 and c_v = Array.make nc 0.0 in
+  List.iteri
+    (fun k (e : Problem.entry) ->
+      c_i.(k) <- e.Problem.i;
+      c_j.(k) <- e.Problem.j;
+      c_v.(k) <- e.Problem.v)
+    problem.Problem.cost;
+  let m = List.length problem.Problem.constraints in
+  let total = List.fold_left (fun a c -> a + List.length c.Problem.terms) 0 problem.Problem.constraints in
+  let a_off = Array.make (m + 1) 0 in
+  let a_i = Array.make total 0 and a_j = Array.make total 0 and a_v = Array.make total 0.0 in
+  let b = Array.make m 0.0 in
+  let pos = ref 0 in
+  List.iteri
+    (fun k (c : Problem.constr) ->
+      a_off.(k) <- !pos;
+      b.(k) <- c.Problem.b;
+      List.iter
+        (fun (e : Problem.entry) ->
+          a_i.(!pos) <- e.Problem.i;
+          a_j.(!pos) <- e.Problem.j;
+          a_v.(!pos) <- e.Problem.v;
+          incr pos)
+        c.Problem.terms)
+    problem.Problem.constraints;
+  a_off.(m) <- !pos;
+  { dim; r; n = dim * r; m; c_i; c_j; c_v; a_off; a_i; a_j; a_v; b }
+
+type ws = {
+  lbfgs : Lbfgs.Ws.t;
+  mutable cap_n : int;
+  mutable v : float array;    (* flat row-major V: V_{i,c} = v.((i*r)+c) *)
+  mutable cap_m : int;
+  mutable y : float array;    (* Lagrange multipliers *)
+  (* results of the last solve *)
+  mutable objective : float;
+  mutable max_violation : float;
+  mutable outer_rounds : int;
+}
+
+let ws_create () =
+  {
+    lbfgs = Lbfgs.Ws.create ();
+    cap_n = 0;
+    v = [||];
+    cap_m = 0;
+    y = [||];
+    objective = 0.0;
+    max_violation = 0.0;
+    outer_rounds = 0;
+  }
+
+let reserve ws ~n ~m =
+  if n > ws.cap_n then begin
+    let cap = max n (max 64 (2 * ws.cap_n)) in
+    ws.v <- Array.make cap 0.0;
+    ws.cap_n <- cap
+  end;
+  if m > ws.cap_m then begin
+    let cap = max m (max 16 (2 * ws.cap_m)) in
+    ws.y <- Array.make cap 0.0;
+    ws.cap_m <- cap
+  end;
+  Lbfgs.Ws.reserve ws.lbfgs n
+
+(* ⟨A, VVᵀ⟩ for the sparse symmetric A in slab range [lo, hi): the same
+   per-entry dot and diagonal/off-diagonal doubling, in the same order, as
+   the list fold it replaces. *)
+let inner_vvt_flat e_i e_j e_v lo hi v r =
+  let acc = ref 0.0 in
+  for k = lo to hi - 1 do
+    let i = e_i.(k) and j = e_j.(k) in
+    let dot =
+      let s = ref 0.0 in
+      for c = 0 to r - 1 do
+        s := !s +. (v.((i * r) + c) *. v.((j * r) + c))
+      done;
+      !s
+    in
+    if i = j then acc := !acc +. (e_v.(k) *. dot)
+    else acc := !acc +. (2.0 *. e_v.(k) *. dot)
+  done;
+  !acc
+
+(* grad += w * 2·A·V over slab range [lo, hi) *)
+let accumulate_grad_flat e_i e_j e_v lo hi v r w grad =
+  for k = lo to hi - 1 do
+    let i = e_i.(k) and j = e_j.(k) in
+    if i = j then
+      for c = 0 to r - 1 do
+        grad.((i * r) + c) <- grad.((i * r) + c) +. (2.0 *. w *. e_v.(k) *. v.((i * r) + c))
+      done
+    else
+      for c = 0 to r - 1 do
+        grad.((i * r) + c) <- grad.((i * r) + c) +. (2.0 *. w *. e_v.(k) *. v.((j * r) + c));
+        grad.((j * r) + c) <- grad.((j * r) + c) +. (2.0 *. w *. e_v.(k) *. v.((i * r) + c))
+      done
+  done
+
+let max_violation_flat c ws =
+  let acc = ref 0.0 in
+  for k = 0 to c.m - 1 do
+    let res =
+      inner_vvt_flat c.a_i c.a_j c.a_v c.a_off.(k) c.a_off.(k + 1) ws.v c.r -. c.b.(k)
+    in
+    acc := Float.max !acc (Float.abs res)
+  done;
+  !acc
+
+type options = {
+  max_outer : int;
+  inner_iters : int;
+  sigma0 : float;
+  sigma_growth : float;
+  feas_tol : float;
+  seed : int;
+}
+
+(* Solve [c] inside [ws], writing diag(VVᵀ) into [x_diag] (length >= dim).
+   Scalars (objective, max violation, outer rounds) land in the ws fields;
+   the factor V stays readable in [ws.v] until the next solve.  Beyond the
+   one evaluator closure and the workspace growth on first use, the solve
+   does not allocate. *)
+let solve_into ws (c : compiled) ~(options : options) ~x_diag =
+  if Array.length x_diag < c.dim then invalid_arg "Kernel.solve_into: x_diag too short";
+  reserve ws ~n:c.n ~m:c.m;
+  let rng = Rng.create options.seed in
+  Rng.fill_gaussian rng ws.v ~n:c.n ~scale:0.3;
+  Vec.fill_n c.m ws.y 0.0;
+  let sigma = ref options.sigma0 in
+  let fx_out = Lbfgs.Ws.fx_out ws.lbfgs in
+  let eval v grad =
+    Vec.fill_n c.n grad 0.0;
+    let obj = inner_vvt_flat c.c_i c.c_j c.c_v 0 (Array.length c.c_v) v c.r in
+    accumulate_grad_flat c.c_i c.c_j c.c_v 0 (Array.length c.c_v) v c.r 1.0 grad;
+    let penalty = ref 0.0 in
+    for k = 0 to c.m - 1 do
+      let lo = c.a_off.(k) and hi = c.a_off.(k + 1) in
+      let res = inner_vvt_flat c.a_i c.a_j c.a_v lo hi v c.r -. c.b.(k) in
+      penalty := !penalty +. ((-.ws.y.(k)) *. res) +. (0.5 *. !sigma *. res *. res);
+      let w = (!sigma *. res) -. ws.y.(k) in
+      accumulate_grad_flat c.a_i c.a_j c.a_v lo hi v c.r w grad
+    done;
+    fx_out.(0) <- obj +. !penalty
+  in
+  let rounds = ref 0 in
+  let prev_viol = ref infinity in
+  let continue_ = ref true in
+  while !continue_ && !rounds < options.max_outer do
+    Lbfgs.Ws.minimize ws.lbfgs ~n:c.n ~max_iter:options.inner_iters ~grad_tol:1e-7 ~eval
+      ws.v;
+    let viol = max_violation_flat c ws in
+    (* multiplier update *)
+    for k = 0 to c.m - 1 do
+      let r_k =
+        inner_vvt_flat c.a_i c.a_j c.a_v c.a_off.(k) c.a_off.(k + 1) ws.v c.r -. c.b.(k)
+      in
+      ws.y.(k) <- ws.y.(k) -. (!sigma *. r_k)
+    done;
+    if viol > 0.25 *. !prev_viol then sigma := !sigma *. options.sigma_growth;
+    prev_viol := viol;
+    incr rounds;
+    if viol <= options.feas_tol then continue_ := false
+  done;
+  for i = 0 to c.dim - 1 do
+    let s = ref 0.0 in
+    for cc = 0 to c.r - 1 do
+      s := !s +. (ws.v.((i * c.r) + cc) ** 2.0)
+    done;
+    x_diag.(i) <- !s
+  done;
+  ws.objective <- inner_vvt_flat c.c_i c.c_j c.c_v 0 (Array.length c.c_v) ws.v c.r;
+  ws.max_violation <- max_violation_flat c ws;
+  ws.outer_rounds <- !rounds
+
+let dims c = (c.dim, c.r)
+
+let v ws = ws.v
+let objective ws = ws.objective
+let max_violation ws = ws.max_violation
+let outer_rounds ws = ws.outer_rounds

@@ -1,0 +1,59 @@
+(** Batched structure-of-arrays Burer–Monteiro kernel.
+
+    Compiles a sparse [Problem.t] into flat parallel arrays (cost entries,
+    constraints as a CSR slab) and solves it inside a preallocated,
+    reusable workspace: the augmented-Lagrangian evaluations and L-BFGS
+    line searches touch only unboxed float-array storage and allocate
+    nothing per iteration.  One workspace is meant to serve a whole
+    size-bucketed batch of partition subproblems on one domain.
+
+    The arithmetic is operation-for-operation the sequence of the
+    record-based solver it replaced, so [solve_into] and [Solver.solve]
+    agree bitwise on identical inputs. *)
+
+type compiled
+(** A problem flattened for the kernel; immutable, safe to share across
+    domains. *)
+
+val compile : rank:int -> Problem.t -> compiled
+(** Flatten a problem at the given factor rank ([rank <= 0] selects the
+    automatic ≈√(2m) rank, capped as in [Solver]). *)
+
+val dims : compiled -> int * int
+(** [(dim, resolved rank)] of a compiled problem. *)
+
+type ws
+(** Reusable solve workspace (factor iterate, multipliers, L-BFGS ring).
+    Grows to the largest problem it has seen; never shrinks.  Not
+    domain-safe: use one workspace per domain. *)
+
+val ws_create : unit -> ws
+
+val reserve : ws -> n:int -> m:int -> unit
+  [@@cpla.allow "unused-export"]
+(** Pre-size for problems with flattened dimension <= [n] and <= [m]
+    constraints (optional; [solve_into] grows on demand). *)
+
+type options = {
+  max_outer : int;
+  inner_iters : int;
+  sigma0 : float;
+  sigma_growth : float;
+  feas_tol : float;
+  seed : int;
+}
+(** [Solver.options] minus the rank (resolved at compile time). *)
+
+val solve_into : ws -> compiled -> options:options -> x_diag:float array -> unit
+(** Solve into the workspace, writing diag(VVᵀ) into [x_diag] (length >=
+    dim).  Scalar results land in the accessors below; the factor V stays
+    readable via [v] until the next solve on this workspace.  Allocates
+    only on workspace growth (plus one evaluator closure per call). *)
+
+val v : ws -> float array
+(** Flat row-major factor of the last solve: V_{i,c} at [(i*r)+c].  Valid
+    for the first [dim*r] cells; overwritten by the next solve. *)
+
+val objective : ws -> float
+val max_violation : ws -> float
+val outer_rounds : ws -> int

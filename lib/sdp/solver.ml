@@ -1,5 +1,4 @@
 open Cpla_numeric
-open Cpla_util
 
 type options = {
   rank : int;
@@ -30,107 +29,41 @@ type result = {
   outer_rounds : int;
 }
 
-(* V is stored flat row-major: V_{i,c} = v.((i*r)+c). *)
+type ws = Kernel.ws
 
-let inner_vvt entries v r =
-  (* ⟨A, VVᵀ⟩ with A sparse symmetric (upper triangle given) *)
-  List.fold_left
-    (fun acc (e : Problem.entry) ->
-      let dot =
-        let s = ref 0.0 in
-        for c = 0 to r - 1 do
-          s := !s +. (v.((e.i * r) + c) *. v.((e.j * r) + c))
-        done;
-        !s
-      in
-      if e.i = e.j then acc +. (e.v *. dot) else acc +. (2.0 *. e.v *. dot))
-    0.0 entries
+let ws_create = Kernel.ws_create
 
-(* grad += w * 2·A·V for sparse symmetric A *)
-let accumulate_grad entries v r w grad =
-  List.iter
-    (fun (e : Problem.entry) ->
-      if e.i = e.j then
-        for c = 0 to r - 1 do
-          grad.((e.i * r) + c) <- grad.((e.i * r) + c) +. (2.0 *. w *. e.v *. v.((e.i * r) + c))
-        done
-      else
-        for c = 0 to r - 1 do
-          grad.((e.i * r) + c) <- grad.((e.i * r) + c) +. (2.0 *. w *. e.v *. v.((e.j * r) + c));
-          grad.((e.j * r) + c) <- grad.((e.j * r) + c) +. (2.0 *. w *. e.v *. v.((e.i * r) + c))
-        done)
-    entries
+let kernel_options (o : options) =
+  {
+    Kernel.max_outer = o.max_outer;
+    inner_iters = o.inner_iters;
+    sigma0 = o.sigma0;
+    sigma_growth = o.sigma_growth;
+    feas_tol = o.feas_tol;
+    seed = o.seed;
+  }
 
-let auto_rank problem =
-  let m = List.length problem.Problem.constraints in
-  let r = 1 + int_of_float (Float.ceil (sqrt (2.0 *. float_of_int m))) in
-  max 2 (min problem.Problem.dim (min r 12))
-
-let solve ?(options = default_options) (problem : Problem.t) =
-  let dim = problem.Problem.dim in
-  let r = if options.rank > 0 then min options.rank dim else auto_rank problem in
-  let constraints = Array.of_list problem.Problem.constraints in
-  let m = Array.length constraints in
-  let rng = Rng.create options.seed in
-  let v0 = Array.init (dim * r) (fun _ -> Rng.gaussian rng *. 0.3) in
-  let y = Array.make m 0.0 in
-  let sigma = ref options.sigma0 in
-  let objective_and_grad v =
-    let grad = Array.make (dim * r) 0.0 in
-    let obj = inner_vvt problem.Problem.cost v r in
-    accumulate_grad problem.Problem.cost v r 1.0 grad;
-    let penalty = ref 0.0 in
-    Array.iteri
-      (fun k (c : Problem.constr) ->
-        let res = inner_vvt c.Problem.terms v r -. c.Problem.b in
-        penalty := !penalty +. ((-.y.(k)) *. res) +. (0.5 *. !sigma *. res *. res);
-        let w = (!sigma *. res) -. y.(k) in
-        accumulate_grad c.Problem.terms v r w grad)
-      constraints;
-    (obj +. !penalty, grad)
-  in
-  let max_violation v =
-    Array.fold_left
-      (fun acc (c : Problem.constr) ->
-        Float.max acc (Float.abs (inner_vvt c.Problem.terms v r -. c.Problem.b)))
-      0.0 constraints
-  in
-  let v = ref v0 in
-  let rounds = ref 0 in
-  let prev_viol = ref infinity in
-  let continue = ref true in
-  while !continue && !rounds < options.max_outer do
-    let res =
-      Lbfgs.minimize ~max_iter:options.inner_iters ~grad_tol:1e-7 ~f:objective_and_grad !v
-    in
-    v := res.Lbfgs.x;
-    let viol = max_violation !v in
-    (* multiplier update *)
-    Array.iteri
-      (fun k (c : Problem.constr) ->
-        let r_k = inner_vvt c.Problem.terms !v r -. c.Problem.b in
-        y.(k) <- y.(k) -. (!sigma *. r_k))
-      constraints;
-    if viol > 0.25 *. !prev_viol then sigma := !sigma *. options.sigma_growth;
-    prev_viol := viol;
-    incr rounds;
-    if viol <= options.feas_tol then continue := false
-  done;
-  let vm = Mat.init dim r (fun i c -> !v.((i * r) + c)) in
-  let x_diag =
-    Array.init dim (fun i ->
-        let s = ref 0.0 in
-        for c = 0 to r - 1 do
-          s := !s +. (!v.((i * r) + c) ** 2.0)
-        done;
-        !s)
-  in
+(* The record-based augmented-Lagrangian loop that used to live here moved
+   to [Kernel] as a flat structure-of-arrays implementation (same
+   floating-point operation sequence, hence bitwise-equal results); this
+   wrapper keeps the list-based problem API and materialises the [Mat.t]
+   factor for consumers that want X entries.  Passing [?ws] reuses a
+   workspace across solves — the batched driver path holds one per
+   domain. *)
+let solve ?(options = default_options) ?ws (problem : Problem.t) =
+  let ws = match ws with Some w -> w | None -> Kernel.ws_create () in
+  let compiled = Kernel.compile ~rank:options.rank problem in
+  let dim, r = Kernel.dims compiled in
+  let x_diag = Array.make dim 0.0 in
+  Kernel.solve_into ws compiled ~options:(kernel_options options) ~x_diag;
+  let flat = Kernel.v ws in
+  let vm = Mat.init dim r (fun i c -> flat.((i * r) + c)) in
   {
     v = vm;
     x_diag;
-    objective = inner_vvt problem.Problem.cost !v r;
-    max_violation = max_violation !v;
-    outer_rounds = !rounds;
+    objective = Kernel.objective ws;
+    max_violation = Kernel.max_violation ws;
+    outer_rounds = Kernel.outer_rounds ws;
   }
 
 let x_entry result i j =

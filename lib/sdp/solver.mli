@@ -30,7 +30,14 @@ type result = {
   outer_rounds : int;
 }
 
-val solve : ?options:options -> Problem.t -> result
+type ws = Kernel.ws
+(** Reusable solve workspace; see {!Kernel.ws}. *)
+
+val ws_create : unit -> ws
+
+val solve : ?options:options -> ?ws:ws -> Problem.t -> result
+(** [?ws] reuses a workspace across solves (one per domain); omitting it
+    allocates a fresh one.  Results are independent of workspace reuse. *)
 
 val x_entry : result -> int -> int -> float
   [@@cpla.allow "unused-export"]

@@ -13,6 +13,19 @@ let probe = Atomic.make null_probe
 
 let set_probe p = Atomic.set probe p
 
+(* Per-domain state slots.  Batched kernels want one reusable solver
+   workspace per domain — not per task — so the workspace survives across
+   every batch a worker picks up.  Domain-local storage gives exactly that
+   ownership discipline: a slot's value is never visible to another domain,
+   so the mutation inside it needs no synchronisation. *)
+module Slot = struct
+  type 'a t = 'a Domain.DLS.key
+
+  let create init = Domain.DLS.new_key init
+
+  let get k = Domain.DLS.get k
+end
+
 exception Worker_failure of exn
 
 let parallel_map ~workers f xs =

@@ -21,6 +21,24 @@ val parallel_map : workers:int -> ('a -> 'b) -> 'a array -> 'b array
 val recommended_workers : unit -> int
 (** [Domain.recommended_domain_count - 1], at least 1. *)
 
+(** Per-domain state slots (domain-local storage).
+
+    A slot holds one value per domain, created lazily by the initialiser on
+    first access from that domain.  Batched solver kernels keep their
+    reusable workspaces in slots: each pool worker sees its own workspace
+    across every task it picks up, with no synchronisation — the value
+    never crosses domains. *)
+module Slot : sig
+  type 'a t
+
+  val create : (unit -> 'a) -> 'a t
+  (** Declare a slot.  The initialiser runs once per domain, on that
+      domain, at its first {!get}. *)
+
+  val get : 'a t -> 'a
+  (** This domain's value (initialising it if absent). *)
+end
+
 type probe = { wrap : 'a. name:string -> index:int -> (unit -> 'a) -> 'a }
 (** Task-execution hook.  [wrap ~name ~index f] must run [f] exactly once
     (on the calling — i.e. worker — domain) and return its result,

@@ -41,6 +41,21 @@ let gaussian t =
   let u1 = draw () and u2 = float t 1.0 in
   sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
 
+(* In-place gaussian fill: same draw sequence as [n] successive calls to
+   [gaussian], but writing straight into unboxed float-array storage so
+   workspace (re)initialisation in the batched kernels stays allocation
+   free (a cross-module [gaussian] call returns a boxed float per draw). *)
+let fill_gaussian t a ~n ~scale =
+  if n < 0 || n > Array.length a then invalid_arg "Rng.fill_gaussian: prefix out of range";
+  for i = 0 to n - 1 do
+    let u1 = ref (float t 1.0) in
+    while !u1 <= 1e-12 do
+      u1 := float t 1.0
+    done;
+    let u2 = float t 1.0 in
+    a.(i) <- sqrt (-2.0 *. log !u1) *. cos (2.0 *. Float.pi *. u2) *. scale
+  done
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

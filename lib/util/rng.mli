@@ -34,6 +34,11 @@ val bool : t -> bool
 val gaussian : t -> float
 (** Standard normal deviate (Box–Muller). *)
 
+val fill_gaussian : t -> float array -> n:int -> scale:float -> unit
+(** [fill_gaussian t a ~n ~scale] writes [n] scaled standard-normal deviates
+    into [a.(0..n-1)] without allocating: the draw sequence (and bit
+    pattern) equals [n] calls of [gaussian t] each multiplied by [scale]. *)
+
 val shuffle : t -> 'a array -> unit
   [@@cpla.allow "unused-export"]
 (** In-place Fisher–Yates shuffle. *)

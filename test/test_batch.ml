@@ -1,0 +1,255 @@
+(* Batched-kernel engine invariants: solver results are independent of
+   workspace reuse (the per-domain batching contract), the simplex fixes
+   fast path equals the dense appended-rows construction it replaced, and
+   the structure-of-arrays kernels stay within their allocation budget. *)
+
+open Cpla_numeric
+open Cpla_sdp
+
+let rng_seed = 20160607
+
+(* ---- random problem generators -------------------------------------------- *)
+
+(* Assignment-style SDP (the partition workload shape): [nvars] segments
+   with [k] candidates each, random diagonal costs, a few off-diagonal
+   couplings, and one sum-to-one constraint per segment. *)
+let random_sdp rng ~nvars ~k =
+  let dim = nvars * k in
+  let e i j v = { Problem.i; j; v } in
+  let cost = ref [] in
+  for d = 0 to dim - 1 do
+    cost := e d d (Cpla_util.Rng.float rng 10.0) :: !cost
+  done;
+  for _ = 1 to nvars do
+    let i = Cpla_util.Rng.int rng dim and j = Cpla_util.Rng.int rng dim in
+    let lo = min i j and hi = max i j in
+    if lo <> hi then cost := e lo hi (Cpla_util.Rng.float rng 2.0 -. 1.0) :: !cost
+  done;
+  let constraints =
+    List.init nvars (fun vi ->
+        {
+          Problem.terms = List.init k (fun ci -> e ((vi * k) + ci) ((vi * k) + ci) 1.0);
+          b = 1.0;
+        })
+  in
+  Problem.create ~dim ~cost:(List.rev !cost) ~constraints
+
+let sdp_options = { Solver.default_options with Solver.max_outer = 4; inner_iters = 40 }
+
+let solve_sdp ?ws p =
+  let r = Solver.solve ~options:sdp_options ?ws p in
+  (r.Solver.x_diag, r.Solver.objective, r.Solver.max_violation, r.Solver.outer_rounds)
+
+(* Bounded random LP: box rows keep it feasible and bounded whatever the
+   signs drawn for the objective and the coupling rows. *)
+let random_lp rng ~n ~m =
+  let objective = Array.init n (fun _ -> Cpla_util.Rng.float rng 4.0 -. 2.0) in
+  let coupling =
+    List.init m (fun _ ->
+        let coeffs = Array.init n (fun _ -> Cpla_util.Rng.float rng 2.0 -. 1.0) in
+        let rel = Cpla_util.Rng.choose rng [| Simplex.Le; Simplex.Ge |] in
+        let b =
+          match rel with
+          | Simplex.Le -> Cpla_util.Rng.float rng 4.0
+          | _ -> -.Cpla_util.Rng.float rng 4.0
+        in
+        (coeffs, rel, b))
+  in
+  let box =
+    List.init n (fun i ->
+        let row = Array.make n 0.0 in
+        row.(i) <- 1.0;
+        (row, Simplex.Le, 1.0 +. Cpla_util.Rng.float rng 3.0))
+  in
+  { Simplex.objective; rows = Array.of_list (coupling @ box) }
+
+(* Random 0/1 set-partition-style model: groups of binaries that must sum
+   to one, random positive costs — always feasible, small enough that
+   branch-and-bound terminates well inside its budgets. *)
+let random_ilp rng ~groups ~k =
+  let n = groups * k in
+  let objective = Array.init n (fun _ -> Cpla_util.Rng.float rng 10.0) in
+  let rows =
+    List.init groups (fun g ->
+        let row = Array.make n 0.0 in
+        for ci = 0 to k - 1 do
+          row.((g * k) + ci) <- 1.0
+        done;
+        (row, Simplex.Eq, 1.0))
+  in
+  let binary = Array.make n true in
+  Cpla_ilp.Model.create ~objective ~rows ~binary
+
+(* ---- workspace-reuse ≡ fresh-workspace properties -------------------------- *)
+
+let check_floats name a b =
+  Alcotest.(check (array (float 0.0))) name b a
+
+(* One workspace carried across every size bucket, smallest to largest and
+   back down (so reuse hits both the growth and the oversized-buffer
+   paths), must reproduce the fresh-workspace solve exactly. *)
+let test_sdp_ws_reuse () =
+  let rng = Cpla_util.Rng.create rng_seed in
+  let shapes = [ (1, 2); (2, 2); (3, 3); (5, 4); (2, 3); (1, 4) ] in
+  let problems = List.map (fun (nvars, k) -> random_sdp rng ~nvars ~k) shapes in
+  let ws = Solver.ws_create () in
+  List.iter
+    (fun p ->
+      let xd, obj, viol, rounds = solve_sdp ~ws p in
+      let xd', obj', viol', rounds' = solve_sdp p in
+      check_floats "x_diag bitwise" xd xd';
+      Alcotest.(check (float 0.0)) "objective bitwise" obj' obj;
+      Alcotest.(check (float 0.0)) "violation bitwise" viol' viol;
+      Alcotest.(check int) "outer rounds" rounds' rounds)
+    problems
+
+let status_testable =
+  let pp ppf (s : Simplex.status) =
+    match s with
+    | Simplex.Optimal sol ->
+        Format.fprintf ppf "Optimal(obj=%.17g, iters=%d)" sol.Simplex.objective
+          sol.Simplex.iterations
+    | Simplex.Infeasible -> Format.fprintf ppf "Infeasible"
+    | Simplex.Unbounded -> Format.fprintf ppf "Unbounded"
+    | Simplex.Iteration_limit -> Format.fprintf ppf "Iteration_limit"
+  in
+  let eq (a : Simplex.status) (b : Simplex.status) =
+    match (a, b) with
+    | Simplex.Optimal sa, Simplex.Optimal sb ->
+        sa.Simplex.x = sb.Simplex.x
+        && sa.Simplex.objective = sb.Simplex.objective
+        && sa.Simplex.iterations = sb.Simplex.iterations
+    | a, b -> a = b
+  in
+  Alcotest.testable pp eq
+
+let test_simplex_ws_reuse () =
+  let rng = Cpla_util.Rng.create (rng_seed + 1) in
+  let ws = Simplex.ws_create () in
+  for _ = 1 to 40 do
+    let n = Cpla_util.Rng.int_in rng 2 8 and m = Cpla_util.Rng.int_in rng 1 6 in
+    let p = random_lp rng ~n ~m in
+    Alcotest.(check status_testable)
+      "ws solve bitwise" (Simplex.solve p)
+      (Simplex.solve_ws ws p)
+  done
+
+(* ~fixes must be exactly the dense appended-Eq-rows construction the
+   branch-and-bound used before the tableau went workspace-resident. *)
+let test_simplex_fixes () =
+  let rng = Cpla_util.Rng.create (rng_seed + 2) in
+  let ws = Simplex.ws_create () in
+  for _ = 1 to 40 do
+    let n = Cpla_util.Rng.int_in rng 2 6 and m = Cpla_util.Rng.int_in rng 1 4 in
+    let p = random_lp rng ~n ~m in
+    let nfix = Cpla_util.Rng.int_in rng 1 (min 2 n) in
+    let fixes =
+      List.init nfix (fun _ ->
+          (Cpla_util.Rng.int rng n, float_of_int (Cpla_util.Rng.int rng 2)))
+    in
+    let appended =
+      {
+        p with
+        Simplex.rows =
+          Array.append p.Simplex.rows
+            (Array.of_list
+               (List.map
+                  (fun (i, v) ->
+                    let row = Array.make n 0.0 in
+                    row.(i) <- 1.0;
+                    (row, Simplex.Eq, v))
+                  fixes));
+      }
+    in
+    Alcotest.(check status_testable)
+      "fixes bitwise" (Simplex.solve appended)
+      (Simplex.solve_ws ws ~fixes p)
+  done
+
+let outcome_testable =
+  let pp ppf (o : Cpla_ilp.Solver.outcome) =
+    Format.fprintf ppf "obj=%.17g nodes=%d proven=%b" o.Cpla_ilp.Solver.objective
+      o.Cpla_ilp.Solver.nodes_explored o.Cpla_ilp.Solver.proven_optimal
+  in
+  let eq (a : Cpla_ilp.Solver.outcome) (b : Cpla_ilp.Solver.outcome) =
+    a.Cpla_ilp.Solver.x = b.Cpla_ilp.Solver.x
+    && a.Cpla_ilp.Solver.objective = b.Cpla_ilp.Solver.objective
+    && a.Cpla_ilp.Solver.proven_optimal = b.Cpla_ilp.Solver.proven_optimal
+    && a.Cpla_ilp.Solver.nodes_explored = b.Cpla_ilp.Solver.nodes_explored
+  in
+  Alcotest.testable pp eq
+
+let test_ilp_ws_reuse () =
+  let rng = Cpla_util.Rng.create (rng_seed + 3) in
+  let ws = Cpla_ilp.Solver.ws_create () in
+  for _ = 1 to 15 do
+    let groups = Cpla_util.Rng.int_in rng 1 3 and k = Cpla_util.Rng.int_in rng 2 3 in
+    let model = random_ilp rng ~groups ~k in
+    Alcotest.(check (option outcome_testable))
+      "ws branch-and-bound bitwise"
+      (Cpla_ilp.Solver.solve model)
+      (Cpla_ilp.Solver.solve ~ws model)
+  done
+
+(* ---- allocation regression -------------------------------------------------- *)
+
+(* Per-solve allocation of the SoA kernels on a warmed workspace.  Without
+   flambda every cross-function float return still boxes (2-3 words per
+   call), so "zero allocation in the inner loops" shows up as a small
+   per-solve budget that scales with iteration count — nothing like the
+   per-element vectors, cons lists and tableau copies the record-based
+   solvers allocated.  The bounds are ~5x the measured values and ~50x
+   under the old cost, so a reintroduced per-element allocation trips
+   them immediately. *)
+let bytes_per_run f ~runs =
+  f ();
+  f ();
+  (* warm: workspace growth and any lazy state *)
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  (Gc.allocated_bytes () -. before) /. float_of_int runs
+
+let test_sdp_alloc_budget () =
+  let rng = Cpla_util.Rng.create (rng_seed + 4) in
+  let p = random_sdp rng ~nvars:4 ~k:3 in
+  let opts =
+    {
+      Kernel.max_outer = sdp_options.Solver.max_outer;
+      inner_iters = sdp_options.Solver.inner_iters;
+      sigma0 = sdp_options.Solver.sigma0;
+      sigma_growth = sdp_options.Solver.sigma_growth;
+      feas_tol = sdp_options.Solver.feas_tol;
+      seed = sdp_options.Solver.seed;
+    }
+  in
+  let compiled = Kernel.compile ~rank:sdp_options.Solver.rank p in
+  let dim, _ = Kernel.dims compiled in
+  let ws = Kernel.ws_create () in
+  let x_diag = Array.make dim 0.0 in
+  let per_run =
+    bytes_per_run ~runs:20 (fun () -> Kernel.solve_into ws compiled ~options:opts ~x_diag)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "sdp solve_into allocates %.0f B/run (budget 262144)" per_run)
+    true (per_run < 262144.0)
+
+let test_simplex_alloc_budget () =
+  let rng = Cpla_util.Rng.create (rng_seed + 5) in
+  let p = random_lp rng ~n:8 ~m:6 in
+  let ws = Simplex.ws_create () in
+  let per_run = bytes_per_run ~runs:50 (fun () -> ignore (Simplex.solve_ws ws p)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "simplex solve_ws allocates %.0f B/run (budget 16384)" per_run)
+    true (per_run < 16384.0)
+
+let suite =
+  [
+    Alcotest.test_case "sdp: ws reuse bitwise across buckets" `Quick test_sdp_ws_reuse;
+    Alcotest.test_case "simplex: ws reuse bitwise" `Quick test_simplex_ws_reuse;
+    Alcotest.test_case "simplex: fixes = appended rows" `Quick test_simplex_fixes;
+    Alcotest.test_case "ilp: ws reuse bitwise" `Quick test_ilp_ws_reuse;
+    Alcotest.test_case "sdp kernel allocation budget" `Quick test_sdp_alloc_budget;
+    Alcotest.test_case "simplex allocation budget" `Quick test_simplex_alloc_budget;
+  ]

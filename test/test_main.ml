@@ -15,6 +15,7 @@ let () =
       ("pool", Test_pool.suite);
       ("serve", Test_serve.suite);
       ("tila", Test_tila.suite);
+      ("batch", Test_batch.suite);
       ("cpla", Test_cpla.suite);
       ("integration", Test_integration.suite);
       ("extensions", Test_extensions.suite);
