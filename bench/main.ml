@@ -346,6 +346,128 @@ let run_serve () =
     ];
   Cpla_util.Table.print t
 
+(* ---- serve latency (daemon) ------------------------------------------------ *)
+
+(* Request-level latency of the cpla daemon: one client submits tiny .gr
+   jobs sequentially and measures submit-to-terminal wall time, plus raw
+   ping round-trips for the protocol floor.  p50/p95/p99 land in
+   BENCH_micro.json (section serve-latency); the committed snapshot is
+   bench/baselines/serve-latency.json. *)
+let write_tiny_gr path =
+  let spec =
+    {
+      Cpla_route.Synth.default_spec with
+      Cpla_route.Synth.name = "latency";
+      width = 12;
+      height = 12;
+      num_layers = 4;
+      num_nets = 150;
+      seed = 4242;
+      hotspots = 1;
+      blockage_fraction = 0.0;
+    }
+  in
+  let graph, nets = Cpla_route.Synth.generate spec in
+  let nl = Cpla_grid.Graph.num_layers graph in
+  let dir_cap d =
+    Array.init nl (fun l ->
+        if Cpla_grid.Tech.layer_dir (Cpla_grid.Graph.tech graph) l = d then
+          spec.Cpla_route.Synth.capacity
+        else 0)
+  in
+  let header =
+    {
+      Cpla_route.Ispd08.grid_x = Cpla_grid.Graph.width graph;
+      grid_y = Cpla_grid.Graph.height graph;
+      num_layers = nl;
+      vertical_capacity = dir_cap Cpla_grid.Tech.Vertical;
+      horizontal_capacity = dir_cap Cpla_grid.Tech.Horizontal;
+      min_width = Array.make nl 1;
+      min_spacing = Array.make nl 1;
+      via_spacing = Array.make nl 1;
+      lower_left_x = 0;
+      lower_left_y = 0;
+      tile_width = 10;
+      tile_height = 10;
+    }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Cpla_route.Ispd08.write { Cpla_route.Ispd08.header; nets; adjustments = [] }))
+
+let run_serve_latency () =
+  let module Server = Cpla_net.Server in
+  let module Client = Cpla_net.Client in
+  let module Protocol = Cpla_net.Protocol in
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "serve-latency — daemon request/job latency percentiles\n";
+  Printf.printf "==================================================================\n%!";
+  let gr = Filename.temp_file "cpla-latency" ".gr" in
+  Fun.protect ~finally:(fun () -> try Sys.remove gr with Sys_error _ -> ()) @@ fun () ->
+  write_tiny_gr gr;
+  let server =
+    Server.create ~config:{ Server.default_config with Server.port = 0; workers = 2 } ()
+  in
+  (* sanctioned impurity: the daemon event loop reads the wall clock for
+     its latency histograms and drain grace — it is a service being
+     measured here, not a deterministic kernel *)
+  let loop = (Domain.spawn (fun () -> Server.serve server) [@cpla.allow "impure-kernel"]) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join loop)
+  @@ fun () ->
+  let client = Client.connect ~host:"127.0.0.1" ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let ping_ms =
+    Array.init 200 (fun _ ->
+        let w = Cpla_util.Timer.wall () in
+        (match Client.call ~timeout_s:10.0 client Protocol.Ping with
+        | Ok (Protocol.Result { resp = Protocol.Pong; _ }) -> ()
+        | Ok _ | Error _ -> failwith "serve-latency: ping failed");
+        Cpla_util.Timer.elapsed_s w *. 1e3)
+  in
+  let n_jobs = 40 in
+  let job_ms =
+    Array.init n_jobs (fun i ->
+        let w = Cpla_util.Timer.wall () in
+        let spec_line = Printf.sprintf "%s ratio=0.01 iters=1 name=lat-%02d" gr i in
+        match Client.call ~timeout_s:60.0 client (Protocol.Submit { spec_line }) with
+        | Ok (Protocol.Result { resp = Protocol.Accepted { job }; _ }) -> (
+            match Client.await_terminal ~timeout_s:60.0 client ~job with
+            | Ok (Cpla_serve.Job.Done _) -> Cpla_util.Timer.elapsed_s w *. 1e3
+            | Ok t ->
+                failwith
+                  ("serve-latency: job settled " ^ Cpla_serve.Job.status_string t)
+            | Error e -> failwith ("serve-latency: " ^ e))
+        | Ok _ -> failwith "serve-latency: submission rejected"
+        | Error e -> failwith ("serve-latency: " ^ e))
+  in
+  let t = Cpla_util.Table.create ~headers:[ "kernel"; "p50"; "p95"; "p99" ] in
+  let report ~kernel ~design ms =
+    let pct p = Cpla_util.Stats.percentile ms p in
+    List.iter
+      (fun (tag, p) ->
+        Bench_out.record ~section:"serve-latency"
+          ~kernel:(Printf.sprintf "%s-%s" kernel tag)
+          ~design
+          ~ns_per_op:(pct p *. 1e6) ())
+      [ ("p50", 50.0); ("p95", 95.0); ("p99", 99.0) ];
+    Cpla_util.Table.add_row t
+      [
+        kernel;
+        Printf.sprintf "%.2f ms" (pct 50.0);
+        Printf.sprintf "%.2f ms" (pct 95.0);
+        Printf.sprintf "%.2f ms" (pct 99.0);
+      ]
+  in
+  report ~kernel:"latency/ping" ~design:"rpc" ping_ms;
+  report ~kernel:"latency/job" ~design:"synth-12x12" job_ms;
+  Cpla_util.Table.print t
+
 (* ---- observability overhead ------------------------------------------------ *)
 
 (* The instrumentation contract: with the global switch off, a span per
@@ -421,6 +543,7 @@ let sections =
     ("steiner", Cpla_expt.Experiments.steiner);
     ("ablations", Cpla_expt.Experiments.ablations);
     ("serve", run_serve);
+    ("serve-latency", run_serve_latency);
     ("obs", run_obs_overhead);
     ("micro", fun () -> run_micro ());
     ("batch", fun () -> run_batch ());

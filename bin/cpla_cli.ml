@@ -4,6 +4,8 @@
      synth     generate a synthetic benchmark and write it as ISPD'08 text
      optimize  route + initial assignment + timing-driven layer assignment
      serve     drain a manifest of optimisation jobs over a worker pool
+     daemon    long-lived TCP job service over the persistent scheduler session
+     submit    push a job to a running daemon and stream its status events
      density   route a design and print its congestion map
      bench     regenerate a paper experiment (fig1/fig3b/fig7/fig8/fig9/table2)
      list      list the built-in benchmark suite *)
@@ -44,6 +46,10 @@ let prepare graph nets =
   let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
   Init_assign.run asg;
   (asg, routed)
+
+(* Commands evaluate to their process exit code ([Cmd.eval']) so `submit`
+   can surface a job's terminal state; ordinary commands map success to 0. *)
+let exit_ok term = Term.(const (fun () -> Cmd.Exit.ok) $ term)
 
 (* ---- common options ---------------------------------------------------- *)
 
@@ -164,7 +170,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Generate a synthetic benchmark as an ISPD'08 file")
-    Term.(term_result (const run $ name_arg $ out_arg))
+    (exit_ok Term.(term_result (const run $ name_arg $ out_arg)))
 
 (* ---- optimize ------------------------------------------------------------ *)
 
@@ -243,10 +249,10 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Timing-driven incremental layer assignment")
-    Term.(
+    (exit_ok Term.(
       term_result
         (const run $ file_arg $ bench_arg $ ratio_arg $ method_arg $ dump_arg $ steiner_arg
-       $ workers_arg $ trace_arg $ metrics_arg))
+       $ workers_arg $ trace_arg $ metrics_arg)))
 
 (* ---- serve ----------------------------------------------------------------- *)
 
@@ -306,10 +312,278 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Batch-optimise a manifest of designs over a pool of worker domains")
-    Term.(
+    (exit_ok Term.(
       term_result
         (const run $ manifest_arg $ workers_arg $ deadline_arg $ quiet_arg $ trace_arg
-       $ metrics_arg))
+       $ metrics_arg)))
+
+(* ---- daemon ---------------------------------------------------------------- *)
+
+let daemon_cmd =
+  let module Server = Cpla_net.Server in
+  let host_arg =
+    let doc = "Bind address (numeric IP or resolvable name)." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+  in
+  let port_arg =
+    let doc = "TCP port ($(b,0) picks an ephemeral port, printed on startup)." in
+    Arg.(value & opt int 7171 & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains executing jobs concurrently." in
+    Arg.(
+      value
+      & opt positive_int (Cpla_util.Pool.recommended_workers ())
+      & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-job wall-clock deadline in seconds (jobs may override)." in
+    Arg.(value & opt (some positive_float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let queue_arg =
+    let doc = "Pending-queue bound: submissions beyond it are shed ($(b,queue-full))." in
+    Arg.(value & opt positive_int 64 & info [ "queue-bound" ] ~docv:"N" ~doc)
+  in
+  let cost_arg =
+    let doc =
+      "Queued expected-cost bound: submissions that would push the summed expected cost \
+       of the pending queue above $(docv) are shed ($(b,cost-bound)).  Unbounded by \
+       default."
+    in
+    Arg.(value & opt (some positive_float) None & info [ "cost-bound" ] ~docv:"COST" ~doc)
+  in
+  let quota_rate_arg =
+    let doc = "Per-client token-bucket refill rate (requests per second)." in
+    Arg.(value & opt positive_float 20.0 & info [ "quota-rate" ] ~docv:"RATE" ~doc)
+  in
+  let quota_burst_arg =
+    let doc = "Per-client token-bucket capacity (burst size)." in
+    Arg.(value & opt positive_float 40.0 & info [ "quota-burst" ] ~docv:"N" ~doc)
+  in
+  let grace_arg =
+    let doc = "Seconds to let in-flight jobs settle on drain before cancelling them." in
+    Arg.(value & opt positive_float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress per-connection lifecycle notices." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run host port workers deadline queue_bound cost_bound quota_rate quota_burst grace
+      quiet trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let log = if quiet then ignore else fun line -> Printf.printf "# %s\n%!" line in
+    let config =
+      {
+        Server.default_config with
+        Server.host;
+        port;
+        workers;
+        queue_bound;
+        cost_bound = Option.value ~default:infinity cost_bound;
+        quota_rate;
+        quota_burst;
+        default_deadline_s = deadline;
+        drain_grace_s = grace;
+        log;
+      }
+    in
+    match Server.create ~config () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (`Msg (Printf.sprintf "cannot bind %s:%d: %s" host port (Unix.error_message e)))
+    | server ->
+        (* SIGTERM/SIGINT request a graceful drain: stop accepting, settle
+           in-flight jobs, flush event streams, then serve returns and the
+           obs finally exports the trace. *)
+        let stop _ = Server.shutdown server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Printf.printf "cpla daemon listening on %s:%d\n%!" host (Server.port server);
+        Server.serve server;
+        Printf.printf "cpla daemon stopped\n%!";
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "daemon" ~doc:"Serve optimisation jobs over TCP until SIGTERM")
+    (exit_ok Term.(
+      term_result
+        (const run $ host_arg $ port_arg $ workers_arg $ deadline_arg $ queue_arg
+       $ cost_arg $ quota_rate_arg $ quota_burst_arg $ grace_arg $ quiet_arg $ trace_arg
+       $ metrics_arg)))
+
+(* ---- submit ---------------------------------------------------------------- *)
+
+(* Exit codes mirror the job's terminal state so scripts can branch on the
+   outcome without parsing the stream:
+     0 done, 1 failed, 2 timed-out, 3 cancelled, 4 shed. *)
+let submit_cmd =
+  let module Client = Cpla_net.Client in
+  let module Protocol = Cpla_net.Protocol in
+  let module Json = Cpla_net.Json in
+  let connect_arg =
+    let doc = "Daemon address as $(i,HOST:PORT)." in
+    Arg.(value & opt string "127.0.0.1:7171" & info [ "c"; "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let spec_arg =
+    let doc =
+      "Job spec: one manifest line, $(i,<file-or-bench> [key=value ...]) (same grammar \
+       as $(b,cpla serve) manifests)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let stats_arg =
+    let doc = "Query daemon statistics instead of submitting." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let ping_arg =
+    let doc = "Ping the daemon instead of submitting." in
+    Arg.(value & flag & info [ "ping" ] ~doc)
+  in
+  let cancel_arg =
+    let doc = "Cancel job $(docv) instead of submitting (exit 0 if the cancel won)." in
+    Arg.(value & opt (some int) None & info [ "cancel" ] ~docv:"JOB" ~doc)
+  in
+  let cancel_after_arg =
+    let doc = "Cancel the submitted job after $(docv) seconds (cancellation demo/tests)." in
+    Arg.(
+      value & opt (some positive_float) None & info [ "cancel-after" ] ~docv:"SECONDS" ~doc)
+  in
+  let trace_id_arg =
+    let doc = "Trace id threaded through the daemon's spans and the job's events." in
+    Arg.(value & opt (some string) None & info [ "trace-id" ] ~docv:"ID" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Give up when the server is silent for $(docv) seconds." in
+    Arg.(value & opt (some positive_float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the per-event stream (the outcome line still prints)." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let parse_connect s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "invalid address %S (want HOST:PORT)" s))
+    | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port when port >= 0 && host <> "" -> Ok (host, port)
+        | _ -> Error (`Msg (Printf.sprintf "invalid address %S (want HOST:PORT)" s)))
+  in
+  let code_of_state = function
+    | "done" -> 0
+    | "failed" -> 1
+    | "timed-out" -> 2
+    | "cancelled" -> 3
+    | _ -> 1
+  in
+  (* Stream the job's events until a terminal one, firing the scheduled
+     cancel (if any) from the same loop. *)
+  let stream client ~job ~cancel_after ~timeout_s ~quiet =
+    let watch = Cpla_util.Timer.wall () in
+    let cancel_sent = ref false in
+    let terminal = ref None in
+    let handle_ev (ev : Protocol.event) =
+      if ev.Protocol.job = job then begin
+        if not quiet then print_endline (Json.to_string (Protocol.event_to_json ev));
+        if Protocol.is_terminal_state ev.Protocol.state then
+          terminal := Some ev.Protocol.state
+      end
+    in
+    let cancel_due () =
+      match cancel_after with
+      | Some s -> (not !cancel_sent) && Cpla_util.Timer.elapsed_s watch >= s
+      | None -> false
+    in
+    let rec go () =
+      match !terminal with
+      | Some state ->
+          Printf.printf "job %d %s\n%!" job state;
+          Ok (code_of_state state)
+      | None ->
+          if cancel_due () then begin
+            cancel_sent := true;
+            match Client.call ?timeout_s client ~on_event:handle_ev (Protocol.Cancel { job }) with
+            | Ok _ -> go ()
+            | Error e -> Error (`Msg e)
+          end
+          else begin
+            let recv_timeout =
+              match cancel_after with
+              | Some s when not !cancel_sent ->
+                  Some (Float.max 0.01 (s -. Cpla_util.Timer.elapsed_s watch))
+              | _ -> timeout_s
+            in
+            match Client.recv ?timeout_s:recv_timeout client with
+            | Ok (Protocol.Ev ev) ->
+                handle_ev ev;
+                go ()
+            | Ok (Protocol.Resp _) -> go ()
+            | Error _ when cancel_due () -> go ()
+            | Error e -> Error (`Msg e)
+          end
+    in
+    go ()
+  in
+  let run connect spec stats ping cancel cancel_after trace_id timeout_s quiet =
+    Result.bind (parse_connect connect) @@ fun (host, port) ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Client.connect ~host ~port () with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (`Msg (Printf.sprintf "cannot connect to %s:%d: %s" host port
+                   (Unix.error_message e)))
+    | client -> (
+        Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+        match (spec, stats, ping, cancel) with
+        | _, true, _, _ -> (
+            match Client.call ?timeout_s client ?trace:trace_id Protocol.Stats with
+            | Ok (Protocol.Result { resp = Protocol.Stats_r s; _ }) ->
+                Printf.printf "pending=%d running=%d settled=%d shed=%d draining=%b\n"
+                  s.Protocol.pending s.Protocol.running s.Protocol.settled s.Protocol.shed
+                  s.Protocol.draining;
+                Ok 0
+            | Ok _ -> Error (`Msg "unexpected response to stats")
+            | Error e -> Error (`Msg e))
+        | _, _, true, _ -> (
+            match Client.call ?timeout_s client ?trace:trace_id Protocol.Ping with
+            | Ok (Protocol.Result { resp = Protocol.Pong; _ }) ->
+                print_endline "pong";
+                Ok 0
+            | Ok _ -> Error (`Msg "unexpected response to ping")
+            | Error e -> Error (`Msg e))
+        | _, _, _, Some job -> (
+            match Client.call ?timeout_s client ?trace:trace_id (Protocol.Cancel { job }) with
+            | Ok (Protocol.Result { resp = Protocol.Cancel_r { won; _ }; _ }) ->
+                Printf.printf "cancel job %d: %s\n" job (if won then "won" else "lost");
+                Ok (if won then 0 else 1)
+            | Ok _ -> Error (`Msg "unexpected response to cancel")
+            | Error e -> Error (`Msg e))
+        | Some spec_line, _, _, _ -> (
+            match
+              Client.call ?timeout_s client ?trace:trace_id
+                (Protocol.Submit { spec_line })
+            with
+            | Error e -> Error (`Msg e)
+            | Ok (Protocol.Error { code = Protocol.Shed reason; message; _ }) ->
+                Printf.eprintf "shed (%s): %s\n%!" (Protocol.shed_reason_string reason)
+                  message;
+                Ok 4
+            | Ok (Protocol.Error { message; _ }) -> Error (`Msg message)
+            | Ok (Protocol.Result { resp = Protocol.Accepted { job }; _ }) ->
+                Printf.printf "job %d accepted\n%!" job;
+                stream client ~job ~cancel_after ~timeout_s ~quiet
+            | Ok (Protocol.Result _) -> Error (`Msg "unexpected response to submit"))
+        | None, false, false, None ->
+            Error (`Msg "provide a job spec, --stats, --ping or --cancel"))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job to a running cpla daemon and stream its status events")
+    Term.(
+      term_result
+        (const run $ connect_arg $ spec_arg $ stats_arg $ ping_arg $ cancel_arg
+       $ cancel_after_arg $ trace_id_arg $ timeout_arg $ quiet_arg))
 
 (* ---- density -------------------------------------------------------------- *)
 
@@ -322,7 +596,7 @@ let density_cmd =
   in
   Cmd.v
     (Cmd.info "density" ~doc:"Print the routing congestion map of a design")
-    Term.(term_result (const run $ file_arg $ bench_arg))
+    (exit_ok Term.(term_result (const run $ file_arg $ bench_arg)))
 
 (* ---- bench ---------------------------------------------------------------- *)
 
@@ -355,7 +629,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate a paper experiment")
-    Term.(term_result (const run $ section_arg))
+    (exit_ok Term.(term_result (const run $ section_arg)))
 
 (* ---- verify ---------------------------------------------------------------- *)
 
@@ -377,7 +651,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Route, optimise and audit a design (evaluator role)")
-    Term.(term_result (const run $ file_arg $ bench_arg))
+    (exit_ok Term.(term_result (const run $ file_arg $ bench_arg)))
 
 (* ---- slack ---------------------------------------------------------------- *)
 
@@ -404,7 +678,7 @@ let slack_cmd =
   in
   Cmd.v
     (Cmd.info "slack" ~doc:"Slack analysis and slack-driven optimisation")
-    Term.(term_result (const run $ file_arg $ bench_arg $ factor_arg))
+    (exit_ok Term.(term_result (const run $ file_arg $ bench_arg $ factor_arg)))
 
 (* ---- list ---------------------------------------------------------------- *)
 
@@ -421,15 +695,15 @@ let list_cmd =
   in
   Cmd.v
     (Cmd.info "list" ~doc:"List the built-in benchmark suite")
-    Term.(term_result (const run $ const ()))
+    (exit_ok Term.(term_result (const run $ const ())))
 
 let () =
   let doc = "incremental layer assignment for critical path timing (DAC'16)" in
   let info = Cmd.info "cpla" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group info
           [
-            synth_cmd; optimize_cmd; serve_cmd; density_cmd; slack_cmd; verify_cmd; bench_cmd;
-            list_cmd;
+            synth_cmd; optimize_cmd; serve_cmd; daemon_cmd; submit_cmd; density_cmd;
+            slack_cmd; verify_cmd; bench_cmd; list_cmd;
           ]))

@@ -1,0 +1,121 @@
+module Timer = Cpla_util.Timer
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Frame.decoder;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        invalid_arg (Printf.sprintf "Client.connect: unknown host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let connect ?(timeout_s = 10.0) ~host ~port () =
+  let addr = Unix.ADDR_INET (resolve host, port) in
+  let watch = Timer.wall () in
+  let rec attempt () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        { fd; dec = Frame.decoder (); next_id = 0; closed = false }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EINTR), _, _)
+      when Timer.elapsed_s watch < timeout_s ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        attempt ()
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  attempt ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t r =
+  let b = Frame.encode (Json.to_string (Protocol.request_to_json r)) in
+  let len = Bytes.length b in
+  let rec write_all off =
+    if off < len then
+      match Unix.write t.fd b off (len - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+  in
+  write_all 0
+
+let recv ?timeout_s t =
+  let watch = Timer.wall () in
+  let buf = Bytes.create 65536 in
+  let rec next () =
+    match Frame.next t.dec with
+    | Some (Frame.Frame payload) ->
+        Result.bind (Json.parse payload) Protocol.incoming_of_json
+    | Some (Frame.Oversized n) ->
+        Error (Printf.sprintf "oversized frame from server (%d bytes)" n)
+    | None -> (
+        let remaining =
+          match timeout_s with
+          | None -> -1.0
+          | Some s -> Float.max 0.0 (s -. Timer.elapsed_s watch)
+        in
+        if remaining = 0.0 && timeout_s <> None then
+          Error "timed out waiting for the server"
+        else
+          match Unix.select [ t.fd ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+          | [], _, _ -> Error "timed out waiting for the server"
+          | _ :: _, _, _ -> (
+              match Unix.read t.fd buf 0 (Bytes.length buf) with
+              | 0 -> Error "connection closed by the server"
+              | n ->
+                  Frame.feed t.dec buf ~off:0 ~len:n;
+                  next ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+                -> Error "connection closed by the server"))
+  in
+  next ()
+
+let call ?timeout_s ?trace ?(on_event = fun _ -> ()) t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  send t { Protocol.id; trace; req };
+  let rec await () =
+    match recv ?timeout_s t with
+    | Error _ as e -> e
+    | Ok (Protocol.Ev ev) ->
+        on_event ev;
+        await ()
+    | Ok (Protocol.Resp (Protocol.Result { id = rid; _ } as r)) when rid = id -> Ok r
+    | Ok (Protocol.Resp (Protocol.Error { id = Some rid; _ } as r)) when rid = id -> Ok r
+    | Ok (Protocol.Resp (Protocol.Error { id = None; _ } as r)) ->
+        (* frame-level error: attribute it to the request in flight *)
+        Ok r
+    | Ok (Protocol.Resp _) -> await ()
+  in
+  await ()
+
+let await_terminal ?timeout_s ?(on_event = fun _ -> ()) t ~job =
+  let rec go () =
+    match recv ?timeout_s t with
+    | Error e -> Error e
+    | Ok (Protocol.Ev ev) ->
+        if ev.Protocol.job = job then begin
+          on_event ev;
+          if Protocol.is_terminal_state ev.Protocol.state then
+            Protocol.terminal_of_event ev
+          else go ()
+        end
+        else go ()
+    | Ok (Protocol.Resp _) -> go ()
+  in
+  go ()

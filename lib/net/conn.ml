@@ -1,0 +1,83 @@
+type t = {
+  fd : Unix.file_descr;
+  peer : string;
+  quota : Quota.t;
+  dec : Frame.decoder;
+  out : Buffer.t;
+  mutable out_pos : int;  (* consumed prefix of [out] *)
+  mutable alive : bool;
+}
+
+let create ~fd ~peer ~quota ~max_frame =
+  {
+    fd;
+    peer;
+    quota;
+    dec = Frame.decoder ~max_frame ();
+    out = Buffer.create 4096;
+    out_pos = 0;
+    alive = true;
+  }
+
+let fd c = c.fd
+
+let peer c = c.peer
+
+let quota c = c.quota
+
+let alive c = c.alive
+
+let read c buf =
+  match Unix.read c.fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | n ->
+      Frame.feed c.dec buf ~off:0 ~len:n;
+      `Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      `Blocked
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+let next_frame c = Frame.next c.dec
+
+let send c v =
+  if c.alive then Buffer.add_bytes c.out (Frame.encode (Json.to_string v))
+
+let pending c = Buffer.length c.out - c.out_pos
+
+let wants_write c = c.alive && pending c > 0
+
+let compact c =
+  if c.out_pos = Buffer.length c.out then begin
+    Buffer.clear c.out;
+    c.out_pos <- 0
+  end
+  else if c.out_pos > 65536 then begin
+    let rest = Buffer.sub c.out c.out_pos (pending c) in
+    Buffer.clear c.out;
+    Buffer.add_string c.out rest;
+    c.out_pos <- 0
+  end
+
+let flush c =
+  if not c.alive then `Closed
+  else begin
+    let n = pending c in
+    if n = 0 then `Ok
+    else begin
+      let chunk = Buffer.sub c.out c.out_pos n in
+      match Unix.write_substring c.fd chunk 0 n with
+      | written ->
+          c.out_pos <- c.out_pos + written;
+          compact c;
+          `Ok
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+          `Ok
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Closed
+    end
+  end
+
+let close c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

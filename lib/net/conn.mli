@@ -1,0 +1,42 @@
+(** One accepted daemon connection: socket, frame decoder, outbox, quota.
+
+    Owned exclusively by the server's event loop — nothing here is
+    domain-safe.  Reads feed the incremental {!Frame} decoder; writes go
+    through a byte outbox so the loop never blocks on a slow peer (frames
+    are queued whole, flushed as far as the socket accepts, and the rest
+    waits for the next writability tick). *)
+
+type t
+
+val create : fd:Unix.file_descr -> peer:string -> quota:Quota.t -> max_frame:int -> t
+(** Wrap an accepted (already non-blocking) socket. *)
+
+val fd : t -> Unix.file_descr
+
+val peer : t -> string
+(** Human-readable peer address, for logs and span args. *)
+
+val quota : t -> Quota.t
+
+val alive : t -> bool
+
+val read : t -> bytes -> [ `Data | `Eof | `Blocked ]
+(** One [Unix.read] into the scratch buffer, fed to the decoder.
+    [`Eof] covers both orderly close and connection reset. *)
+
+val next_frame : t -> Frame.decoded option
+(** Pull the next decoded frame event (see {!Frame.next}). *)
+
+val send : t -> Json.t -> unit
+(** Queue one JSON value as a frame on the outbox.  No-op when the
+    connection is no longer alive. *)
+
+val wants_write : t -> bool
+(** The outbox holds unflushed bytes. *)
+
+val flush : t -> [ `Ok | `Closed ]
+(** Write as much of the outbox as the socket accepts right now.
+    [`Closed] when the peer is gone (EPIPE/ECONNRESET). *)
+
+val close : t -> unit
+(** Mark dead and close the socket.  Idempotent. *)

@@ -1,0 +1,97 @@
+let max_frame_default = 4 * 1024 * 1024
+
+let header_len = 4
+
+let encode payload =
+  let n = String.length payload in
+  if n > 0xFFFF_FFFF then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xFF);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xFF);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xFF);
+  Bytes.set_uint8 b 3 (n land 0xFF);
+  Bytes.blit_string payload 0 b header_len n;
+  b
+
+type decoded =
+  | Frame of string
+  | Oversized of int
+
+(* The input accumulates into [buf] and is consumed from [pos]; when
+   everything is consumed the buffer resets, and a large consumed prefix is
+   compacted away so long-lived connections don't grow without bound. *)
+type state =
+  | Header  (** waiting for 4 length bytes *)
+  | Body of int  (** waiting for this many payload bytes *)
+  | Discard of int  (** skipping the rest of an oversized payload *)
+
+type decoder = {
+  max_frame : int;
+  buf : Buffer.t;
+  mutable pos : int;
+  mutable state : state;
+}
+
+let decoder ?(max_frame = max_frame_default) () =
+  if max_frame < 1 then invalid_arg "Frame.decoder: max_frame must be >= 1";
+  { max_frame; buf = Buffer.create 4096; pos = 0; state = Header }
+
+let feed d b ~off ~len = Buffer.add_subbytes d.buf b off len
+
+let feed_string d s = Buffer.add_string d.buf s
+
+let buffered d = Buffer.length d.buf - d.pos
+
+let compact d =
+  if d.pos = Buffer.length d.buf then begin
+    Buffer.clear d.buf;
+    d.pos <- 0
+  end
+  else if d.pos > 65536 then begin
+    let rest = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.pos <- 0
+  end
+
+let rec next d =
+  let avail = buffered d in
+  match d.state with
+  | Header ->
+      if avail < header_len then None
+      else begin
+        let byte i = Char.code (Buffer.nth d.buf (d.pos + i)) in
+        let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+        d.pos <- d.pos + header_len;
+        compact d;
+        if len > d.max_frame then begin
+          d.state <- Discard len;
+          Some (Oversized len)
+        end
+        else begin
+          d.state <- Body len;
+          next d
+        end
+      end
+  | Body len ->
+      if avail < len then None
+      else begin
+        let payload = Buffer.sub d.buf d.pos len in
+        d.pos <- d.pos + len;
+        d.state <- Header;
+        compact d;
+        Some (Frame payload)
+      end
+  | Discard remaining ->
+      let take = min avail remaining in
+      d.pos <- d.pos + take;
+      let remaining = remaining - take in
+      compact d;
+      if remaining = 0 then begin
+        d.state <- Header;
+        next d
+      end
+      else begin
+        d.state <- Discard remaining;
+        None
+      end

@@ -1,0 +1,45 @@
+(** Length-prefixed wire framing.
+
+    Every frame is a 4-byte big-endian unsigned payload length followed by
+    the payload bytes (UTF-8 JSON text at the protocol layer; the framing
+    itself is payload-agnostic).  The decoder is incremental: feed it
+    whatever the socket produced — single bytes, split headers,
+    several frames in one read — and pull complete frames out.
+
+    Oversized frames are survivable: a length above the decoder's limit
+    yields one {!Oversized} event and the decoder then discards exactly
+    that many payload bytes before resynchronising on the next header, so
+    a connection can answer with an error instead of dying. *)
+
+val max_frame_default : int
+(** 4 MiB — far above any job spec or metrics payload. *)
+
+val encode : string -> bytes
+(** Header + payload, ready to write.
+    @raise Invalid_argument above [0xFFFF_FFFF] bytes (unencodable). *)
+
+type decoded =
+  | Frame of string  (** one complete payload *)
+  | Oversized of int
+      (** a frame announced this many payload bytes, above the limit; the
+          payload is being discarded and decoding will resume after it *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** A fresh decoder ([max_frame] defaults to {!max_frame_default}).
+    @raise Invalid_argument when [max_frame < 1]. *)
+
+val feed : decoder -> bytes -> off:int -> len:int -> unit
+(** Append [len] bytes of input starting at [off]. *)
+
+val feed_string : decoder -> string -> unit
+(** {!feed} over a whole string (tests and the blocking client). *)
+
+val next : decoder -> decoded option
+(** The next decoding event, or [None] when more input is needed.  Call
+    in a loop: one [feed] can complete several frames. *)
+
+val buffered : decoder -> int
+(** Bytes held but not yet consumed (pending-frame backlog, for tests
+    and connection accounting). *)

@@ -1,0 +1,38 @@
+(** Minimal JSON values for the wire protocol.
+
+    The daemon speaks length-prefixed JSON frames and the repo carries no
+    JSON dependency, so this is a small self-contained value type with a
+    strict parser and a canonical printer.  Floats print with enough
+    digits ([%.17g]) to round-trip bit-exactly, which is what lets the
+    daemon's job metrics compare byte-identical to an in-process
+    {!Cpla_serve.Scheduler.run_one}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Canonical one-line rendering.  Object fields print in the order given.
+    Non-finite numbers render as [null] (they cannot appear in JSON). *)
+
+val parse : string -> (t, string) result
+(** Strict parse of exactly one JSON value (surrounding whitespace
+    allowed; trailing garbage is an error).  Errors carry a byte offset.
+    Nesting is capped (64 levels) so adversarial frames cannot overflow
+    the stack. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on absent fields or non-objects. *)
+
+val as_string : t -> string option
+
+val as_int : t -> int option
+(** [Num] with an integral value (within int range). *)
+
+val as_float : t -> float option
+
+val as_bool : t -> bool option

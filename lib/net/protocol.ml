@@ -1,0 +1,320 @@
+module Job = Cpla_serve.Job
+module Session = Cpla_serve.Session
+
+type req =
+  | Submit of { spec_line : string }
+  | Cancel of { job : int }
+  | Stats
+  | Ping
+
+type request = { id : int; trace : string option; req : req }
+
+type shed_reason = Queue_full | Cost_bound | Quota | Draining
+
+type stats = {
+  pending : int;
+  running : int;
+  settled : int;
+  shed : int;
+  draining : bool;
+}
+
+type resp =
+  | Accepted of { job : int }
+  | Cancel_r of { job : int; won : bool }
+  | Stats_r of stats
+  | Pong
+
+type error_code = Shed of shed_reason | Bad_request | Unknown_method
+
+type response =
+  | Result of { id : int; trace : string option; resp : resp }
+  | Error of { id : int option; code : error_code; message : string }
+
+type event = {
+  job : int;
+  state : string;
+  progress : int option;
+  metrics : Job.metrics option;
+  detail : string option;
+  ev_trace : string option;
+}
+
+type incoming = Resp of response | Ev of event
+
+let shed_reason_string = function
+  | Queue_full -> "queue-full"
+  | Cost_bound -> "cost-bound"
+  | Quota -> "quota"
+  | Draining -> "draining"
+
+let shed_reason_of_string = function
+  | "queue-full" -> Some Queue_full
+  | "cost-bound" -> Some Cost_bound
+  | "quota" -> Some Quota
+  | "draining" -> Some Draining
+  | _ -> None
+
+let is_terminal_state = function
+  | "done" | "failed" | "timed-out" | "cancelled" -> true
+  | _ -> false
+
+let method_string = function
+  | Submit _ -> "submit"
+  | Cancel _ -> "cancel"
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+(* ---- small helpers -------------------------------------------------------- *)
+
+let int_field name v =
+  match Option.bind (Json.member name v) Json.as_int with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "missing or non-integer %S field" name)
+
+let opt_string name v = Option.bind (Json.member name v) Json.as_string
+
+let trace_fields = function None -> [] | Some t -> [ ("trace", Json.Str t) ]
+
+(* ---- requests ------------------------------------------------------------- *)
+
+let request_to_json r =
+  let params =
+    match r.req with
+    | Submit { spec_line } -> [ ("params", Json.Obj [ ("spec", Json.Str spec_line) ]) ]
+    | Cancel { job } -> [ ("params", Json.Obj [ ("job", Json.Num (float_of_int job)) ]) ]
+    | Stats | Ping -> []
+  in
+  Json.Obj
+    ((("id", Json.Num (float_of_int r.id)) :: ("method", Json.Str (method_string r.req))
+      :: trace_fields r.trace)
+    @ params)
+
+let request_of_json v =
+  Result.bind (int_field "id" v) (fun id ->
+      let trace = opt_string "trace" v in
+      match Option.bind (Json.member "method" v) Json.as_string with
+      | None -> Error "missing \"method\" field"
+      | Some "submit" -> (
+          match Option.bind (Json.member "params" v) (fun p -> opt_string "spec" p) with
+          | Some spec_line -> Ok { id; trace; req = Submit { spec_line } }
+          | None -> Error "submit: missing params.spec")
+      | Some "cancel" -> (
+          match Json.member "params" v with
+          | None -> Error "cancel: missing params.job"
+          | Some p ->
+              Result.map (fun job -> { id; trace; req = Cancel { job } }) (int_field "job" p))
+      | Some "stats" -> Ok { id; trace; req = Stats }
+      | Some "ping" -> Ok { id; trace; req = Ping }
+      | Some m -> Error (Printf.sprintf "unknown method %S" m))
+
+(* ---- responses ------------------------------------------------------------ *)
+
+let response_to_json = function
+  | Result { id; trace; resp } ->
+      let result =
+        match resp with
+        | Accepted { job } -> Json.Obj [ ("job", Json.Num (float_of_int job)) ]
+        | Cancel_r { job; won } ->
+            Json.Obj [ ("job", Json.Num (float_of_int job)); ("won", Json.Bool won) ]
+        | Stats_r s ->
+            Json.Obj
+              [
+                ("pending", Json.Num (float_of_int s.pending));
+                ("running", Json.Num (float_of_int s.running));
+                ("settled", Json.Num (float_of_int s.settled));
+                ("shed", Json.Num (float_of_int s.shed));
+                ("draining", Json.Bool s.draining);
+              ]
+        | Pong -> Json.Obj []
+      in
+      Json.Obj
+        ((("id", Json.Num (float_of_int id)) :: trace_fields trace) @ [ ("result", result) ])
+  | Error { id; code; message } ->
+      let code_fields =
+        match code with
+        | Shed r ->
+            [ ("code", Json.Str "shed"); ("reason", Json.Str (shed_reason_string r)) ]
+        | Bad_request -> [ ("code", Json.Str "bad-request") ]
+        | Unknown_method -> [ ("code", Json.Str "unknown-method") ]
+      in
+      Json.Obj
+        [
+          ( "id",
+            match id with None -> Json.Null | Some id -> Json.Num (float_of_int id) );
+          ("error", Json.Obj (code_fields @ [ ("message", Json.Str message) ]));
+        ]
+
+let response_of_json v =
+  let id = Option.bind (Json.member "id" v) Json.as_int in
+  match Json.member "error" v with
+  | Some err -> (
+      let message = Option.value ~default:"" (opt_string "message" err) in
+      match opt_string "code" err with
+      | Some "shed" -> (
+          match Option.bind (opt_string "reason" err) shed_reason_of_string with
+          | Some r -> Ok (Error { id; code = Shed r; message })
+          | None -> Error "shed error without a known reason")
+      | Some "bad-request" -> Ok (Error { id; code = Bad_request; message })
+      | Some "unknown-method" -> Ok (Error { id; code = Unknown_method; message })
+      | Some c -> Error (Printf.sprintf "unknown error code %S" c)
+      | None -> Error "error object without code")
+  | None -> (
+      match (id, Json.member "result" v) with
+      | Some id, Some result -> (
+          let trace = opt_string "trace" v in
+          match Json.member "won" result with
+          | Some w -> (
+              match (int_field "job" result, Json.as_bool w) with
+              | Ok job, Some won -> Ok (Result { id; trace; resp = Cancel_r { job; won } })
+              | _ -> Error "malformed cancel result")
+          | None -> (
+              match Json.member "pending" result with
+              | Some _ ->
+                  let field name = int_field name result in
+                  Result.bind (field "pending") (fun pending ->
+                      Result.bind (field "running") (fun running ->
+                          Result.bind (field "settled") (fun settled ->
+                              Result.bind (field "shed") (fun shed ->
+                                  let draining =
+                                    Option.value ~default:false
+                                      (Option.bind (Json.member "draining" result)
+                                         Json.as_bool)
+                                  in
+                                  Ok
+                                    (Result
+                                       {
+                                         id;
+                                         trace;
+                                         resp =
+                                           Stats_r
+                                             { pending; running; settled; shed; draining };
+                                       })))))
+              | None -> (
+                  match Json.member "job" result with
+                  | Some _ ->
+                      Result.map
+                        (fun job -> Result { id; trace; resp = Accepted { job } })
+                        (int_field "job" result)
+                  | None -> Ok (Result { id; trace; resp = Pong }))))
+      | _ -> Error "response with neither result nor error")
+
+(* ---- job metrics ---------------------------------------------------------- *)
+
+let metrics_to_json (m : Job.metrics) =
+  Json.Obj
+    [
+      ("wirelength", Json.Num (float_of_int m.Job.wirelength));
+      ("avg_tcp", Json.Num m.Job.avg_tcp);
+      ("max_tcp", Json.Num m.Job.max_tcp);
+      ("via_overflow", Json.Num (float_of_int m.Job.via_overflow));
+      ("edge_overflow", Json.Num (float_of_int m.Job.edge_overflow));
+      ("released", Json.Num (float_of_int m.Job.released));
+      ("wall_s", Json.Num m.Job.wall_s);
+    ]
+
+let metrics_of_json v =
+  let int name = Option.bind (Json.member name v) Json.as_int in
+  let flt name = Option.bind (Json.member name v) Json.as_float in
+  match
+    (int "wirelength", flt "avg_tcp", flt "max_tcp", int "via_overflow",
+     int "edge_overflow", int "released", flt "wall_s")
+  with
+  | ( Some wirelength,
+      Some avg_tcp,
+      Some max_tcp,
+      Some via_overflow,
+      Some edge_overflow,
+      Some released,
+      Some wall_s ) ->
+      Ok
+        {
+          Job.wirelength;
+          avg_tcp;
+          max_tcp;
+          via_overflow;
+          edge_overflow;
+          released;
+          wall_s;
+        }
+  | _ -> Error "malformed metrics object"
+
+(* ---- events --------------------------------------------------------------- *)
+
+let event_to_json e =
+  Json.Obj
+    ([ ("event", Json.Str "job"); ("job", Json.Num (float_of_int e.job));
+       ("state", Json.Str e.state) ]
+    @ (match e.progress with
+      | Some p -> [ ("polls", Json.Num (float_of_int p)) ]
+      | None -> [])
+    @ (match e.metrics with Some m -> [ ("metrics", metrics_to_json m) ] | None -> [])
+    @ (match e.detail with Some d -> [ ("detail", Json.Str d) ] | None -> [])
+    @ trace_fields e.ev_trace)
+
+let event_of_json v =
+  Result.bind (int_field "job" v) (fun job ->
+      match opt_string "state" v with
+      | None -> Error "event without state"
+      | Some state -> (
+          let progress = Option.bind (Json.member "polls" v) Json.as_int in
+          let detail = opt_string "detail" v in
+          let ev_trace = opt_string "trace" v in
+          match Json.member "metrics" v with
+          | None -> Ok { job; state; progress; metrics = None; detail; ev_trace }
+          | Some m ->
+              Result.map
+                (fun m -> { job; state; progress; metrics = Some m; detail; ev_trace })
+                (metrics_of_json m)))
+
+let incoming_of_json v =
+  match Json.member "event" v with
+  | Some _ -> Result.map (fun e -> Ev e) (event_of_json v)
+  | None -> Result.map (fun r -> Resp r) (response_of_json v)
+
+(* ---- session bridging ----------------------------------------------------- *)
+
+let terminal_fields = function
+  | Job.Done m -> ("done", Some m, None)
+  | Job.Failed { error; partial } -> ("failed", partial, Some error)
+  | Job.Timed_out { limit_s; partial } ->
+      ("timed-out", partial, Some (Printf.sprintf "deadline %.17g" limit_s))
+  | Job.Cancelled { partial } -> ("cancelled", partial, None)
+
+let event_of ~job ?trace ev =
+  let mk state ?progress ?metrics ?detail () =
+    { job; state; progress; metrics; detail; ev_trace = trace }
+  in
+  match ev with
+  | Session.Submitted _ -> mk "submitted" ()
+  | Session.Started _ -> mk "started" ()
+  | Session.Progress (_, polls) -> mk "progress" ~progress:polls ()
+  | Session.Finished (_, terminal) ->
+      let state, metrics, detail = terminal_fields terminal in
+      mk state ?metrics ?detail ()
+
+let terminal_of_event e =
+  match e.state with
+  | "done" -> (
+      match e.metrics with
+      | Some m -> Ok (Job.Done m)
+      | None -> Error "done event without metrics")
+  | "failed" ->
+      Ok
+        (Job.Failed
+           { error = Option.value ~default:"" e.detail; partial = e.metrics })
+  | "timed-out" ->
+      let limit_s =
+        match e.detail with
+        | Some d -> (
+            match String.index_opt d ' ' with
+            | Some i -> (
+                match float_of_string_opt (String.sub d (i + 1) (String.length d - i - 1)) with
+                | Some f -> f
+                | None -> 0.0)
+            | None -> 0.0)
+        | None -> 0.0
+      in
+      Ok (Job.Timed_out { limit_s; partial = e.metrics })
+  | "cancelled" -> Ok (Job.Cancelled { partial = e.metrics })
+  | s -> Error (Printf.sprintf "event state %S is not terminal" s)

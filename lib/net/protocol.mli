@@ -1,0 +1,112 @@
+(** The daemon's wire protocol: typed requests, responses and job events.
+
+    Every message is one JSON object per frame ({!Frame}).  Requests carry
+    a client-chosen [id] echoed on the response, plus an optional [trace]
+    id that the server threads through its obs spans and onto every event
+    of the job the request created — the cross-process trace-stitching
+    hook.
+
+    Requests:
+    {v
+    {"id":1,"method":"submit","trace":"t-1","params":{"spec":"adaptec1 ratio=0.005"}}
+    {"id":2,"method":"cancel","params":{"job":3}}
+    {"id":3,"method":"stats"}
+    {"id":4,"method":"ping"}
+    v}
+
+    Responses ([result] xor [error]):
+    {v
+    {"id":1,"result":{"job":3},"trace":"t-1"}
+    {"id":1,"error":{"code":"shed","reason":"queue-full","message":"..."}}
+    v}
+
+    Job events (server push, no [id]):
+    {v
+    {"event":"job","job":3,"state":"started","trace":"t-1"}
+    {"event":"job","job":3,"state":"done","metrics":{...},"trace":"t-1"}
+    v} *)
+
+type req =
+  | Submit of { spec_line : string }
+      (** one manifest line ({!Cpla_serve.Job.parse_manifest} grammar);
+          the server assigns the job id *)
+  | Cancel of { job : int }
+  | Stats
+  | Ping
+
+type request = { id : int; trace : string option; req : req }
+
+type shed_reason =
+  | Queue_full  (** pending queue at its bound *)
+  | Cost_bound  (** queued expected-cost budget exceeded *)
+  | Quota  (** client token bucket empty *)
+  | Draining  (** server is shutting down *)
+
+type stats = {
+  pending : int;  (** accepted, waiting for a worker *)
+  running : int;
+  settled : int;  (** terminal since the server started *)
+  shed : int;  (** submissions refused since the server started *)
+  draining : bool;
+}
+
+type resp =
+  | Accepted of { job : int }
+  | Cancel_r of { job : int; won : bool }
+      (** [won]: the cancel revoked a queued job or fired a running job's
+          token; [false] when the job was unknown or already settled *)
+  | Stats_r of stats
+  | Pong
+
+type error_code = Shed of shed_reason | Bad_request | Unknown_method
+
+type response =
+  | Result of { id : int; trace : string option; resp : resp }
+  | Error of { id : int option; code : error_code; message : string }
+
+type event = {
+  job : int;
+  state : string;  (** submitted/started/progress/done/failed/timed-out/cancelled *)
+  progress : int option;  (** cumulative driver polls, [progress] events only *)
+  metrics : Cpla_serve.Job.metrics option;  (** terminal events (partial or full) *)
+  detail : string option;  (** failure text / deadline budget *)
+  ev_trace : string option;
+}
+
+type incoming = Resp of response | Ev of event
+(** What a client can receive. *)
+
+val shed_reason_string : shed_reason -> string
+(** ["queue-full"], ["cost-bound"], ["quota"], ["draining"]. *)
+
+val is_terminal_state : string -> bool
+(** Whether an event state string names a terminal job state. *)
+
+val method_string : req -> string
+(** ["submit"], ["cancel"], ["stats"], ["ping"] — the obs endpoint label. *)
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, string) result
+
+val response_to_json : response -> Json.t
+
+val response_of_json : Json.t -> (response, string) result
+
+val event_to_json : event -> Json.t
+
+val event_of_json : Json.t -> (event, string) result
+
+val incoming_of_json : Json.t -> (incoming, string) result
+(** Classify a received object: [{"event":...}] is an event, anything
+    else must be a response. *)
+
+val event_of : job:int -> ?trace:string -> Cpla_serve.Session.event -> event
+(** Render a scheduler session event for the wire ([job] is the
+    server-assigned id, which may differ from the spec's session id). *)
+
+val terminal_of_event : event -> (Cpla_serve.Job.terminal, string) result
+(** Reconstruct the terminal state from a terminal event ([Error] on
+    non-terminal states).  Metrics round-trip bit-exactly, so the result
+    satisfies {!Cpla_serve.Job.same_result} against the server-side
+    terminal. *)

@@ -1,0 +1,32 @@
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last : float;  (* caller-clock seconds of the last refill *)
+}
+
+let create ~rate ~burst ~now =
+  if not (Float.is_finite rate && rate > 0.0) then
+    invalid_arg "Quota.create: rate must be positive";
+  if not (Float.is_finite burst && burst > 0.0) then
+    invalid_arg "Quota.create: burst must be positive";
+  { rate; burst; tokens = burst; last = now }
+
+(* The clock is monotonic by contract, but clamp anyway so a misbehaving
+   caller can only fail to refill, never mint tokens. *)
+let refill b ~now =
+  let dt = Float.max 0.0 (now -. b.last) in
+  b.tokens <- Float.min b.burst (b.tokens +. (dt *. b.rate));
+  b.last <- now
+
+let take b ~now ~cost =
+  refill b ~now;
+  if b.tokens >= cost then begin
+    b.tokens <- b.tokens -. cost;
+    true
+  end
+  else false
+
+let available b ~now =
+  refill b ~now;
+  b.tokens

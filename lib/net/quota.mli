@@ -1,0 +1,24 @@
+(** Per-client token-bucket admission quota.
+
+    A bucket refills continuously at [rate] tokens per second up to
+    [burst]; each admitted request takes one token (or a caller-chosen
+    cost).  Time is passed in by the caller — the server reads its
+    monotonic {!Cpla_util.Timer} once per loop tick — which keeps the
+    bucket arithmetic pure and directly testable.
+
+    Not domain-safe: a bucket belongs to one connection, owned by the
+    server's event loop. *)
+
+type t
+
+val create : rate:float -> burst:float -> now:float -> t
+(** A full bucket.  [rate] is tokens/second; [burst] caps accumulation.
+    @raise Invalid_argument unless both are positive and finite. *)
+
+val take : t -> now:float -> cost:float -> bool
+(** Refill up to [now] (monotonic seconds, same origin as [create]'s),
+    then take [cost] tokens if available.  [false] leaves the bucket
+    unchanged — the caller sheds the request. *)
+
+val available : t -> now:float -> float
+(** Tokens after refilling to [now] (introspection for tests/stats). *)

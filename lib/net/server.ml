@@ -1,0 +1,392 @@
+module Timer = Cpla_util.Timer
+module Span = Cpla_obs.Span
+module Metrics = Cpla_obs.Metrics
+module Event = Cpla_obs.Event
+module Job = Cpla_serve.Job
+module Session = Cpla_serve.Session
+module Scheduler = Cpla_serve.Scheduler
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_bound : int;
+  cost_bound : float;
+  quota_rate : float;
+  quota_burst : float;
+  default_deadline_s : float option;
+  max_frame : int;
+  drain_grace_s : float;
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7171;
+    workers = Cpla_util.Pool.recommended_workers ();
+    queue_bound = 64;
+    cost_bound = infinity;
+    quota_rate = 20.0;
+    quota_burst = 40.0;
+    default_deadline_s = None;
+    max_frame = Frame.max_frame_default;
+    drain_grace_s = 5.0;
+    log = ignore;
+  }
+
+type job_info = {
+  ji_conn : Conn.t;
+  ji_arrival : Timer.t;  (* request arrival, for the job-latency histogram *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  session : Session.t;
+  clock : Timer.t;  (* monotonic origin for the quota buckets *)
+  (* Worker domains hand job events to the loop through this queue (plus
+     a wake byte); everything below it is loop-domain-only state. *)
+  evq : (Conn.t * Protocol.event) Queue.t;
+  evq_m : Mutex.t;
+  stop : bool Atomic.t;
+  mutable draining : bool;
+  mutable listening : bool;
+  mutable conns : Conn.t list;
+  jobs : (int, job_info) Hashtbl.t;  (* in-flight, by server-assigned id *)
+  mutable next_job : int;
+  mutable settled_n : int;
+  mutable shed_n : int;
+  mutable drain_started : Timer.t option;
+}
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+        invalid_arg (Printf.sprintf "Server.create: unknown host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let create ?(config = default_config) () =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd (Unix.ADDR_INET (resolve config.host, config.port));
+     Unix.listen listen_fd 64;
+     Unix.set_nonblock listen_fd
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    cfg = config;
+    listen_fd;
+    bound_port;
+    wake_r;
+    wake_w;
+    session = Session.create ~workers:config.workers ();
+    clock = Timer.wall ();
+    evq = Queue.create ();
+    evq_m = Mutex.create ();
+    stop = Atomic.make false;
+    draining = false;
+    listening = true;
+    conns = [];
+    jobs = Hashtbl.create 64;
+    next_job = 0;
+    settled_n = 0;
+    shed_n = 0;
+    drain_started = None;
+  }
+
+let port t = t.bound_port
+
+let wake t =
+  let b = Bytes.make 1 '!' in
+  try ignore (Unix.write t.wake_w b 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
+    ()
+
+let shutdown t =
+  Atomic.set t.stop true;
+  wake t
+
+let now t = Timer.elapsed_s t.clock
+
+(* ---- event plumbing (worker domains -> loop) ------------------------------ *)
+
+let push_event t conn ev =
+  Mutex.protect t.evq_m (fun () -> Queue.push (conn, ev) t.evq);
+  wake t
+
+let pump_events t =
+  let batch =
+    Mutex.protect t.evq_m (fun () ->
+        let l = List.of_seq (Queue.to_seq t.evq) in
+        Queue.clear t.evq;
+        l)
+  in
+  List.iter
+    (fun (conn, (ev : Protocol.event)) ->
+      Conn.send conn (Protocol.event_to_json ev);
+      if Protocol.is_terminal_state ev.Protocol.state then
+        match Hashtbl.find_opt t.jobs ev.Protocol.job with
+        | None -> ()
+        | Some info ->
+            Hashtbl.remove t.jobs ev.Protocol.job;
+            t.settled_n <- t.settled_n + 1;
+            Metrics.observe ~lo:0.0 ~hi:10_000.0 ~bins:40 "serve/job-latency-ms"
+              (Timer.elapsed_s info.ji_arrival *. 1000.0))
+    batch
+
+(* ---- request handling ----------------------------------------------------- *)
+
+let shed t ~id reason message =
+  t.shed_n <- t.shed_n + 1;
+  Metrics.incr ("net/shed-" ^ Protocol.shed_reason_string reason);
+  Protocol.Error { id = Some id; code = Protocol.Shed reason; message }
+
+let stats t =
+  {
+    Protocol.pending = Session.pending t.session;
+    running = Session.running t.session;
+    settled = t.settled_n;
+    shed = t.shed_n;
+    draining = t.draining;
+  }
+
+let bad_request ~id message = Protocol.Error { id; code = Protocol.Bad_request; message }
+
+let handle_submit t conn ~id ~trace spec_line =
+  if t.draining then shed t ~id Protocol.Draining "server is draining"
+  else if not (Quota.take (Conn.quota conn) ~now:(now t) ~cost:1.0) then
+    shed t ~id Protocol.Quota "client quota exhausted; retry later"
+  else
+    match Job.parse_manifest ?default_deadline_s:t.cfg.default_deadline_s spec_line with
+    | Error msg -> bad_request ~id:(Some id) msg
+    | Ok [] -> bad_request ~id:(Some id) "empty spec line"
+    | Ok (_ :: _ :: _) -> bad_request ~id:(Some id) "one job per submit"
+    | Ok [ spec ] ->
+        let pending = Session.pending t.session in
+        if pending >= t.cfg.queue_bound then
+          shed t ~id Protocol.Queue_full
+            (Printf.sprintf "pending queue full (%d jobs, bound %d)" pending
+               t.cfg.queue_bound)
+        else
+          let cost = Scheduler.expected_cost spec in
+          let queued = Session.pending_cost t.session in
+          if queued +. cost > t.cfg.cost_bound then
+            shed t ~id Protocol.Cost_bound
+              (Printf.sprintf "queued cost %.1f + job cost %.1f exceeds bound %.1f"
+                 queued cost t.cfg.cost_bound)
+          else begin
+            let job = t.next_job in
+            t.next_job <- job + 1;
+            let spec = { spec with Job.id = job } in
+            Hashtbl.replace t.jobs job { ji_conn = conn; ji_arrival = Timer.wall () };
+            let on_event ev = push_event t conn (Protocol.event_of ~job ?trace ev) in
+            match Session.submit t.session ~on_event spec with
+            | _handle -> Protocol.Result { id; trace; resp = Protocol.Accepted { job } }
+            | exception Invalid_argument _ ->
+                Hashtbl.remove t.jobs job;
+                shed t ~id Protocol.Draining "server is draining"
+          end
+
+let handle_cancel t conn ~id ~trace job =
+  let won =
+    match Hashtbl.find_opt t.jobs job with
+    | Some info when info.ji_conn == conn -> Session.cancel t.session ~id:job
+    | Some _ | None -> false  (* unknown, settled, or another client's job *)
+  in
+  Protocol.Result { id; trace; resp = Protocol.Cancel_r { job; won } }
+
+let dispatch t conn (r : Protocol.request) =
+  let endpoint = Protocol.method_string r.Protocol.req in
+  let watch = Timer.wall () in
+  let response =
+    Span.with_ ~name:"net/request"
+      ~args:
+        [
+          ("method", Event.Str endpoint);
+          ("id", Event.Int r.Protocol.id);
+          ("trace", Event.Str (Option.value ~default:"" r.Protocol.trace));
+          ("peer", Event.Str (Conn.peer conn));
+        ]
+      (fun () ->
+        let id = r.Protocol.id and trace = r.Protocol.trace in
+        match r.Protocol.req with
+        | Protocol.Submit { spec_line } -> handle_submit t conn ~id ~trace spec_line
+        | Protocol.Cancel { job } -> handle_cancel t conn ~id ~trace job
+        | Protocol.Stats -> Protocol.Result { id; trace; resp = Protocol.Stats_r (stats t) }
+        | Protocol.Ping -> Protocol.Result { id; trace; resp = Protocol.Pong })
+  in
+  Metrics.incr "net/requests";
+  Metrics.observe ~lo:0.0 ~hi:1000.0 ~bins:20
+    ("net/latency-ms/" ^ endpoint)
+    (Timer.elapsed_s watch *. 1000.0);
+  Conn.send conn (Protocol.response_to_json response)
+
+let handle_frame t conn payload =
+  match Json.parse payload with
+  | Error msg -> Conn.send conn (Protocol.response_to_json
+                                   (bad_request ~id:None ("invalid JSON: " ^ msg)))
+  | Ok v -> (
+      match Protocol.request_of_json v with
+      | Ok r -> dispatch t conn r
+      | Error msg ->
+          let id = Option.bind (Json.member "id" v) Json.as_int in
+          let code =
+            if String.length msg >= 14 && String.sub msg 0 14 = "unknown method" then
+              Protocol.Unknown_method
+            else Protocol.Bad_request
+          in
+          Conn.send conn
+            (Protocol.response_to_json (Protocol.Error { id; code; message = msg })))
+
+let rec drain_frames t conn =
+  match Conn.next_frame conn with
+  | None -> ()
+  | Some (Frame.Frame payload) ->
+      handle_frame t conn payload;
+      drain_frames t conn
+  | Some (Frame.Oversized n) ->
+      Conn.send conn
+        (Protocol.response_to_json
+           (bad_request ~id:None
+              (Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame)));
+      drain_frames t conn
+
+(* ---- connection lifecycle ------------------------------------------------- *)
+
+let drop_conn t conn =
+  if Conn.alive conn then begin
+    t.cfg.log (Printf.sprintf "disconnect %s" (Conn.peer conn));
+    Conn.close conn
+  end;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  (* a client's in-flight jobs die with it *)
+  Hashtbl.iter
+    (fun job info -> if info.ji_conn == conn then ignore (Session.cancel t.session ~id:job))
+    t.jobs
+
+let rec accept_loop t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, addr ->
+      Unix.set_nonblock fd;
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      let peer =
+        match addr with
+        | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX p -> p
+      in
+      let quota = Quota.create ~rate:t.cfg.quota_rate ~burst:t.cfg.quota_burst ~now:(now t) in
+      t.conns <- Conn.create ~fd ~peer ~quota ~max_frame:t.cfg.max_frame :: t.conns;
+      t.cfg.log (Printf.sprintf "accept %s" peer);
+      Metrics.incr "net/accepts";
+      accept_loop t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+
+let rec drain_wake t buf =
+  match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+  | 0 -> ()
+  | _ -> drain_wake t buf
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let flush_conn t conn =
+  match Conn.flush conn with `Ok -> () | `Closed -> drop_conn t conn
+
+(* ---- the event loop ------------------------------------------------------- *)
+
+let serve t =
+  t.cfg.log (Printf.sprintf "listening on %s:%d" t.cfg.host t.bound_port);
+  let rbuf = Bytes.create 65536 in
+  let wbuf = Bytes.create 512 in
+  let rec loop () =
+    if Atomic.get t.stop && not t.draining then begin
+      t.draining <- true;
+      t.drain_started <- Some (Timer.wall ());
+      if t.listening then begin
+        t.listening <- false;
+        close_quiet t.listen_fd
+      end;
+      Span.instant ~name:"net/drain" ();
+      t.cfg.log "draining: settling in-flight jobs"
+    end;
+    pump_events t;
+    let settled_and_flushed =
+      t.draining && Hashtbl.length t.jobs = 0
+      && not (List.exists Conn.wants_write t.conns)
+    in
+    let grace_expired =
+      match t.drain_started with
+      | Some w -> Timer.elapsed_s w > t.cfg.drain_grace_s
+      | None -> false
+    in
+    if not (settled_and_flushed || grace_expired) then begin
+      let reads =
+        (t.wake_r :: (if t.listening then [ t.listen_fd ] else []))
+        @ List.filter_map
+            (fun c -> if Conn.alive c then Some (Conn.fd c) else None)
+            t.conns
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if Conn.wants_write c then Some (Conn.fd c) else None)
+          t.conns
+      in
+      let timeout = if t.draining then 0.05 else -1.0 in
+      match Unix.select reads writes [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | rs, ws, _ ->
+          if List.mem t.wake_r rs then drain_wake t wbuf;
+          if t.listening && List.mem t.listen_fd rs then accept_loop t;
+          List.iter
+            (fun conn ->
+              if Conn.alive conn && List.mem (Conn.fd conn) rs then
+                match Conn.read conn rbuf with
+                | `Eof -> drop_conn t conn
+                | `Data -> drain_frames t conn
+                | `Blocked -> ())
+            t.conns;
+          List.iter
+            (fun conn -> if Conn.alive conn && List.mem (Conn.fd conn) ws then
+                flush_conn t conn)
+            t.conns;
+          (* opportunistic: push out frames queued during this iteration *)
+          List.iter (fun conn -> if Conn.wants_write conn then flush_conn t conn) t.conns;
+          loop ()
+    end
+  in
+  loop ();
+  (* anything the grace period left behind is cancelled, then the session
+     settles every job before the pool goes down *)
+  Hashtbl.iter (fun job _ -> ignore (Session.cancel t.session ~id:job)) t.jobs;
+  Session.drain t.session;
+  pump_events t;
+  List.iter (fun conn -> if Conn.wants_write conn then ignore (Conn.flush conn)) t.conns;
+  List.iter Conn.close t.conns;
+  t.conns <- [];
+  if t.listening then begin
+    t.listening <- false;
+    close_quiet t.listen_fd
+  end;
+  close_quiet t.wake_r;
+  close_quiet t.wake_w;
+  t.cfg.log "drained"

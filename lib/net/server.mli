@@ -1,0 +1,59 @@
+(** The cpla daemon: a long-lived TCP front end over a persistent
+    {!Cpla_serve.Session}.
+
+    One domain runs a [select] event loop that owns every connection;
+    job execution happens on the session's worker pool, which reports
+    job events back to the loop through a wake pipe.  The loop therefore
+    never blocks on a job and never races a worker on connection state.
+
+    Admission control happens at submit time, in order: draining state,
+    the client's token-bucket quota, manifest parse, the pending-queue
+    bound, and the queued expected-cost bound
+    ({!Cpla_serve.Scheduler.expected_cost}).  A refused submission is a
+    {e shed} — an explicit [shed] error response naming the reason — not
+    a failure or a dropped connection.
+
+    Graceful drain: {!shutdown} (safe from signal handlers and other
+    domains) stops the loop accepting connections and submissions, lets
+    in-flight jobs settle, flushes every outbox, then returns from
+    {!serve}; jobs still unsettled after [drain_grace_s] are cancelled.
+    Disconnecting a client cancels its in-flight jobs. *)
+
+type config = {
+  host : string;  (** bind address: numeric IP or resolvable name *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}) *)
+  workers : int;  (** session worker domains *)
+  queue_bound : int;  (** max pending jobs before [queue-full] sheds *)
+  cost_bound : float;
+      (** max summed pending {!Cpla_serve.Scheduler.expected_cost};
+          [infinity] disables the bound *)
+  quota_rate : float;  (** per-client tokens per second *)
+  quota_burst : float;  (** per-client bucket capacity *)
+  default_deadline_s : float option;  (** applied to specs without one *)
+  max_frame : int;  (** request frames above this shed as [bad-request] *)
+  drain_grace_s : float;  (** max seconds to settle in-flight on drain *)
+  log : string -> unit;  (** lifecycle lines (accepts, drain); may print *)
+}
+
+val default_config : config
+(** 127.0.0.1:7171, recommended workers, queue bound 64, no cost bound,
+    quota 20/s burst 40, no default deadline, default frame limit,
+    5 s drain grace, silent log. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+(** Bind and listen (the socket is live when [create] returns, so an
+    ephemeral {!port} can be handed to clients before {!serve} starts).
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound TCP port. *)
+
+val serve : t -> unit
+(** Run the event loop until {!shutdown}.  Call once, from the domain
+    that should own the loop. *)
+
+val shutdown : t -> unit
+(** Request a graceful drain.  Idempotent; safe from signal handlers
+    and other domains.  {!serve} returns once the drain completes. *)

@@ -1,255 +1,69 @@
-open Cpla_route
-open Cpla_timing
+(* One-shot batch front end over the persistent {!Session}: a batch is a
+   session that accepts its whole manifest up front, awaits every job, and
+   drains.  The execution machinery (job pipeline, policy order, events,
+   fault isolation) lives in Session; this module only preserves the
+   original batch API and its manifest-order result contract. *)
+
 module Pool = Cpla_util.Pool
-module Exn = Cpla_util.Exn
 
 type event =
   | Started of Job.spec
   | Finished of Job.spec * Job.terminal
 
 type batch = {
-  results : (Job.spec * Job.terminal Pool.Persistent.task) array;  (* manifest order *)
-  tokens : (int, Token.t) Hashtbl.t;  (* job id -> its cancellation token *)
-  pool : Pool.Persistent.t;
-  emit : event -> unit;
+  results : (Job.spec * Session.handle) array;  (* manifest order *)
+  session : Session.t;
 }
 
-(* ---- job execution ------------------------------------------------------- *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let load = function
-  | Job.Synth spec -> Synth.generate spec
-  | Job.Bench name -> (
-      match Cpla_expt.Suite.find name with
-      | bench -> Synth.generate bench.Cpla_expt.Suite.spec
-      | exception Not_found ->
-          failwith (Printf.sprintf "unknown benchmark %s (try `cpla list`)" name))
-  | Job.File path -> (
-      match Ispd08.parse (read_file path) with
-      | Ok design -> (Ispd08.to_graph design, design.Ispd08.nets)
-      | Error msg -> failwith (Printf.sprintf "cannot parse %s: %s" path msg))
-
-(* Pre-routing proxy for a job's size, for shortest-expected-first ordering.
-   Segment counts only exist after routing, so rank by net count (suite
-   specs carry it; files are ranked by byte size, which grows with their
-   net list).  Unreadable sources rank 0 and fail fast when they run. *)
-let expected_cost (spec : Job.spec) =
-  match spec.Job.source with
-  | Job.Synth s -> float_of_int s.Synth.num_nets
-  | Job.Bench name -> (
-      match Cpla_expt.Suite.find name with
-      | bench -> float_of_int bench.Cpla_expt.Suite.spec.Synth.num_nets
-      | exception Not_found -> 0.0)
-  | Job.File path -> (
-      match open_in_bin path with
-      | ic ->
-          Fun.protect
-            ~finally:(fun () -> close_in_noerr ic)
-            (fun () -> float_of_int (in_channel_length ic) /. 64.0)
-      | exception Sys_error _ -> 0.0)
-
-let rec root_cause = function
-  | Pool.Worker_failure e -> root_cause e
-  | e -> e
-
-let terminal_label = function
-  | Job.Done _ -> "done"
-  | Job.Failed _ -> "failed"
-  | Job.Timed_out _ -> "timed-out"
-  | Job.Cancelled _ -> "cancelled"
-
-(* One instant per terminal state plus an outcome counter, shared by the
-   worker path and the revoked-before-claim path in [wait]. *)
-let observe_terminal (spec : Job.spec) terminal =
-  let label = terminal_label terminal in
-  Cpla_obs.Span.instant ~name:"serve/terminal"
-    ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id); ("state", Cpla_obs.Event.Str label) ]
-    ();
-  Cpla_obs.Metrics.incr ("serve/jobs-" ^ label)
-
-(* Capacity overflow is a *metric* in the paper (Table 2's OV# column): the
-   formulation itself relaxes via capacity through V_o, so overflow left
-   behind is reported, not treated as failure.  A job fails its audit only
-   on structural violations — wiring that is unassigned, direction-illegal,
-   disconnected from a pin, or inconsistent with the usage ledger. *)
-let structural_violations (report : Verify.report) =
-  List.filter
-    (function
-      | Verify.Edge_overflow _ | Verify.Via_overflow _ -> false
-      | Verify.Unassigned_segment _ | Verify.Direction_mismatch _ | Verify.Pin_unreachable _
-      | Verify.Ledger_mismatch _ ->
-          true)
-    report.Verify.violations
-
-let run_job (spec : Job.spec) token =
-  let watch = Cpla_util.Timer.wall () in
-  (* Once the design reaches a measurable state, [partial] can audit it even
-     after a cancellation or failure (the driver rolls a broken iteration
-     back to its entry snapshot, so the assignment stays consistent). *)
-  let partial = ref (fun () -> None) in
-  let measure asg engine released =
-    let report = Verify.check asg in
-    let avg_tcp, max_tcp = Incremental.avg_max_tcp engine released in
-    let graph = Assignment.graph asg in
-    ( report,
-      {
-        Job.wirelength = report.Verify.wirelength;
-        avg_tcp;
-        max_tcp;
-        via_overflow = Cpla_grid.Graph.via_overflow graph;
-        edge_overflow = Cpla_grid.Graph.edge_overflow graph;
-        released = Array.length released;
-        wall_s = Cpla_util.Timer.elapsed_s watch;
-      } )
-  in
-  try
-    Token.check token;
-    let graph, nets = load spec.Job.source in
-    Token.check token;
-    let routed = Router.route_all ~graph nets in
-    let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
-    Init_assign.run asg;
-    let engine = Incremental.create asg in
-    let released = Incremental.select engine ~ratio:spec.Job.config.Cpla.Config.critical_ratio in
-    (partial :=
-       fun () ->
-         if Assignment.fully_assigned asg then Some (snd (measure asg engine released))
-         else None);
-    ignore
-      (Cpla.Driver.optimize_released ~config:spec.Job.config ~engine
-         ~check:(fun () -> Token.check token)
-         asg ~released);
-    let report, metrics = measure asg engine released in
-    (match structural_violations report with
-    | [] -> Job.Done metrics
-    | v :: _ as vs ->
-        let error =
-          Format.asprintf "audit: %d structural violation%s, first: %a" (List.length vs)
-            (if List.length vs = 1 then "" else "s")
-            Verify.pp_violation v
-        in
-        Job.Failed { error; partial = Some metrics })
-  with e -> (
-    (* Out_of_memory / Stack_overflow must not be laundered into a
-       Job.Failed string: the pool transports them to [wait], which
-       re-raises on the caller's domain. *)
-    Exn.reraise_if_async e;
-    let partial =
-      try !partial ()
-      with pe ->
-        Exn.reraise_if_async pe;
-        None
-    in
-    match root_cause e with
-    | Token.Cancelled Token.Deadline ->
-        Job.Timed_out { limit_s = Option.value spec.Job.deadline_s ~default:0.0; partial }
-    | Token.Cancelled Token.User -> Job.Cancelled { partial }
-    | e -> Job.Failed { error = Printexc.to_string e; partial })
-
-(* ---- batch orchestration ------------------------------------------------- *)
+let expected_cost = Session.expected_cost
 
 let submit ?(workers = Pool.recommended_workers ()) ?on_event specs =
   if workers < 1 then invalid_arg "Scheduler.submit: workers must be >= 1";
   if specs = [] then invalid_arg "Scheduler.submit: empty job list";
-  let emit =
-    match on_event with
-    | None -> fun _ -> ()
-    | Some f ->
-        (* events come from whichever worker domain finishes a job; a
-           single lock keeps consumer callbacks (printing, counters) from
-           interleaving *)
-        let m = Mutex.create () in
-        fun ev ->
-          Mutex.lock m;
-          Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f ev)
-  in
-  let tokens = Hashtbl.create (List.length specs) in
+  let seen = Hashtbl.create (List.length specs) in
   List.iter
     (fun (s : Job.spec) ->
-      if Hashtbl.mem tokens s.Job.id then
+      if Hashtbl.mem seen s.Job.id then
         invalid_arg (Printf.sprintf "Scheduler.submit: duplicate job id %d" s.Job.id);
-      Cpla_obs.Span.instant ~name:"serve/submit"
-        ~args:[ ("job", Cpla_obs.Event.Int s.Job.id) ]
-        ();
-      Cpla_obs.Metrics.incr "serve/jobs-submitted";
-      Hashtbl.replace tokens s.Job.id (Token.create ?deadline_s:s.Job.deadline_s ()))
+      Hashtbl.replace seen s.Job.id ())
     specs;
-  let pool = Pool.Persistent.create ~workers:(min workers (List.length specs)) in
-  (* Ready jobs reach the FIFO pool in policy order: drain the priority
-     queue first, then submit.  Workers may already be pulling from the
-     front while later entries are still being enqueued — the relative
-     order is already final, so the policy is preserved. *)
+  let session = Session.create ~workers:(min workers (List.length specs)) () in
+  let on_event =
+    match on_event with
+    | None -> fun _ -> ()
+    | Some f -> (
+        (* session callbacks are already serialised by its emit lock *)
+        function
+        | Session.Started s -> f (Started s)
+        | Session.Finished (s, terminal) -> f (Finished (s, terminal))
+        | Session.Submitted _ | Session.Progress _ -> ())
+  in
+  (* Jobs reach the session in policy order: drain the priority queue
+     first, then submit.  Workers may claim the front while later entries
+     are still being enqueued — the relative order is already final (the
+     session's own queue sorts by the same key), so the policy holds. *)
   let q = Queue.create () in
   List.iter
     (fun (s : Job.spec) -> Queue.add q ~priority:s.Job.priority ~cost:(expected_cost s) s)
     specs;
-  let tasks = Hashtbl.create (List.length specs) in
+  let handles = Hashtbl.create (List.length specs) in
   List.iter
-    (fun (s : Job.spec) ->
-      let token = Hashtbl.find tokens s.Job.id in
-      let task =
-        Pool.Persistent.submit pool (fun () ->
-            emit (Started s);
-            let terminal =
-              Cpla_obs.Span.with_ ~name:"serve/job"
-                ~args:[ ("job", Cpla_obs.Event.Int s.Job.id) ]
-                (fun () -> run_job s token)
-            in
-            observe_terminal s terminal;
-            emit (Finished (s, terminal));
-            terminal)
-      in
-      Hashtbl.replace tasks s.Job.id task)
+    (fun (s : Job.spec) -> Hashtbl.replace handles s.Job.id (Session.submit session ~on_event s))
     (Queue.drain q);
   {
     results =
-      Array.of_list (List.map (fun (s : Job.spec) -> (s, Hashtbl.find tasks s.Job.id)) specs);
-    tokens;
-    pool;
-    emit;
+      Array.of_list (List.map (fun (s : Job.spec) -> (s, Hashtbl.find handles s.Job.id)) specs);
+    session;
   }
 
-let cancel batch ~id =
-  (* Revoke the pool entry if no worker claimed it yet; fire the token so a
-     job already in flight stops at its next cancellation point.  Both are
-     safe regardless of the job's actual state. *)
-  (match Hashtbl.find_opt batch.tokens id with Some t -> Token.cancel t | None -> ());
-  Array.iter
-    (fun ((s : Job.spec), task) ->
-      if s.Job.id = id then ignore (Pool.Persistent.cancel batch.pool task))
-    batch.results
+let cancel batch ~id = ignore (Session.cancel batch.session ~id)
 
 let wait batch =
-  let out =
-    Array.map
-      (fun (spec, task) ->
-        match Pool.Persistent.await batch.pool task with
-        | Ok terminal -> (spec, terminal)
-        | Error Pool.Persistent.Cancelled ->
-            (* revoked before any worker claimed it: the job never ran, so
-               its terminal event is emitted here, exactly once *)
-            let terminal = Job.Cancelled { partial = None } in
-            observe_terminal spec terminal;
-            batch.emit (Finished (spec, terminal));
-            (spec, terminal)
-        | Error e ->
-            (* the pool isolates task exceptions and [run_job] catches its
-               own, so only an asynchronous exception that run_job re-raised
-               can land here: surface it on the caller's domain.  Anything
-               else is unreachable; classify defensively. *)
-            Exn.reraise_if_async e;
-            (spec, Job.Failed { error = Printexc.to_string e; partial = None }))
-      batch.results
-  in
-  Pool.Persistent.shutdown ~drain:true batch.pool;
+  let out = Array.map (fun (spec, h) -> (spec, Session.await h)) batch.results in
+  Session.drain batch.session;
   out
 
 let run ?workers ?on_event specs = wait (submit ?workers ?on_event specs)
 
 let run_one (spec : Job.spec) =
-  run_job spec (Token.create ?deadline_s:spec.Job.deadline_s ())
+  Session.run_job spec (Token.create ?deadline_s:spec.Job.deadline_s ()) ()

@@ -1,18 +1,20 @@
-(** Concurrent batch-optimisation scheduler.
+(** Concurrent batch-optimisation scheduler (one-shot front end).
 
-    Executes a batch of {!Job.spec}s on a fixed pool of OCaml 5 domains
-    ({!Cpla_util.Pool.Persistent}).  Ready jobs are ordered by the
-    {!Queue} policy — user priority first, then shortest-expected-first —
-    and each runs the full pipeline: load/generate, global route, initial
-    assignment, CPLA optimisation, from-scratch {!Cpla_route.Verify}
-    audit.
+    Executes a batch of {!Job.spec}s on a fixed pool of OCaml 5 domains by
+    layering the original batch API over a persistent {!Session}: submit
+    creates a session and accepts the whole manifest in the {!Queue}
+    policy order — user priority first, then shortest-expected-first —
+    and each job runs the full pipeline: load/generate, global route,
+    initial assignment, CPLA optimisation, from-scratch
+    {!Cpla_route.Verify} audit.
 
     Fault isolation: a job that raises, misses its deadline, is cancelled,
     or fails the audit settles as its own non-[Done] terminal state; the
     rest of the batch is unaffected.  Deadlines are enforced through a
     per-job {!Token} polled by {!Cpla.Driver} at partition-solve
-    boundaries, measured from batch submission (queue wait counts against
-    the budget, as in a latency SLA).
+    boundaries, measured from the job's arrival at the session (queue
+    wait counts against the budget, as in a latency SLA); for a batch,
+    arrival is batch submission.
 
     Every job owns its design, assignment and timing engine, so results
     are identical whether the batch runs on one worker or many. *)
@@ -36,12 +38,13 @@ val submit :
     [workers < 1]. *)
 
 val cancel : batch -> id:int -> unit
-(** Cancel one job: revoked outright if still queued, else its token fires
-    and the run stops at the next cancellation point.  Unknown ids are
+(** Cancel one job: settled [Cancelled] outright if still queued (its
+    [Finished] event fires before this returns), else its token fires and
+    the run stops at the next cancellation point.  Unknown ids are
     ignored. *)
 
 val wait : batch -> (Job.spec * Job.terminal) array
-(** Block until every job settles, then shut the pool down (draining).
+(** Block until every job settles, then shut the session down (draining).
     Results are in submission (manifest) order.  Call once per batch. *)
 
 val run :
@@ -53,10 +56,12 @@ val run :
 
 val run_one : Job.spec -> Job.terminal
 (** Execute one job in the calling domain with a fresh token (deadline
-    still honoured) — the sequential reference the batch results are
-    compared against in tests. *)
+    still honoured) — the sequential reference the batch and daemon
+    results are compared against in tests. *)
 
 val expected_cost : Job.spec -> float
-  [@@cpla.allow "unused-export"]
 (** The scheduling cost proxy (net count for specs and suite names, scaled
-    byte size for files); exposed for tests. *)
+    byte size for files).  Beyond queue ordering, this is the load
+    estimate behind the daemon's admission control: the server sheds a
+    submission when the summed expected cost of the pending queue would
+    exceed its configured bound ({!Cpla_net.Server}). *)

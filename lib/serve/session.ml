@@ -1,0 +1,340 @@
+open Cpla_route
+open Cpla_timing
+module Pool = Cpla_util.Pool
+module Exn = Cpla_util.Exn
+
+type event =
+  | Submitted of Job.spec
+  | Started of Job.spec
+  | Progress of Job.spec * int
+  | Finished of Job.spec * Job.terminal
+
+(* ---- job execution (moved here from Scheduler; the worker body) ----------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load = function
+  | Job.Synth spec -> Synth.generate spec
+  | Job.Bench name -> (
+      match Cpla_expt.Suite.find name with
+      | bench -> Synth.generate bench.Cpla_expt.Suite.spec
+      | exception Not_found ->
+          failwith (Printf.sprintf "unknown benchmark %s (try `cpla list`)" name))
+  | Job.File path -> (
+      match Ispd08.parse (read_file path) with
+      | Ok design -> (Ispd08.to_graph design, design.Ispd08.nets)
+      | Error msg -> failwith (Printf.sprintf "cannot parse %s: %s" path msg))
+
+(* Pre-routing proxy for a job's size, for shortest-expected-first ordering
+   and the daemon's admission-control load estimate.  Segment counts only
+   exist after routing, so rank by net count (suite specs carry it; files
+   are ranked by byte size, which grows with their net list).  Unreadable
+   sources rank 0 and fail fast when they run. *)
+let expected_cost (spec : Job.spec) =
+  match spec.Job.source with
+  | Job.Synth s -> float_of_int s.Synth.num_nets
+  | Job.Bench name -> (
+      match Cpla_expt.Suite.find name with
+      | bench -> float_of_int bench.Cpla_expt.Suite.spec.Synth.num_nets
+      | exception Not_found -> 0.0)
+  | Job.File path -> (
+      match open_in_bin path with
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> float_of_int (in_channel_length ic) /. 64.0)
+      | exception Sys_error _ -> 0.0)
+
+let rec root_cause = function
+  | Pool.Worker_failure e -> root_cause e
+  | e -> e
+
+let terminal_label = function
+  | Job.Done _ -> "done"
+  | Job.Failed _ -> "failed"
+  | Job.Timed_out _ -> "timed-out"
+  | Job.Cancelled _ -> "cancelled"
+
+(* One instant per terminal state plus an outcome counter, shared by the
+   worker path and the cancelled-while-queued path in [cancel]. *)
+let observe_terminal (spec : Job.spec) terminal =
+  let label = terminal_label terminal in
+  Cpla_obs.Span.instant ~name:"serve/terminal"
+    ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id); ("state", Cpla_obs.Event.Str label) ]
+    ();
+  Cpla_obs.Metrics.incr ("serve/jobs-" ^ label)
+
+(* Capacity overflow is a *metric* in the paper (Table 2's OV# column): the
+   formulation itself relaxes via capacity through V_o, so overflow left
+   behind is reported, not treated as failure.  A job fails its audit only
+   on structural violations — wiring that is unassigned, direction-illegal,
+   disconnected from a pin, or inconsistent with the usage ledger. *)
+let structural_violations (report : Verify.report) =
+  List.filter
+    (function
+      | Verify.Edge_overflow _ | Verify.Via_overflow _ -> false
+      | Verify.Unassigned_segment _ | Verify.Direction_mismatch _ | Verify.Pin_unreachable _
+      | Verify.Ledger_mismatch _ ->
+          true)
+    report.Verify.violations
+
+let run_job (spec : Job.spec) token ?(on_poll = fun () -> ()) () =
+  let watch = Cpla_util.Timer.wall () in
+  (* Once the design reaches a measurable state, [partial] can audit it even
+     after a cancellation or failure (the driver rolls a broken iteration
+     back to its entry snapshot, so the assignment stays consistent). *)
+  let partial = ref (fun () -> None) in
+  let measure asg engine released =
+    let report = Verify.check asg in
+    let avg_tcp, max_tcp = Incremental.avg_max_tcp engine released in
+    let graph = Assignment.graph asg in
+    ( report,
+      {
+        Job.wirelength = report.Verify.wirelength;
+        avg_tcp;
+        max_tcp;
+        via_overflow = Cpla_grid.Graph.via_overflow graph;
+        edge_overflow = Cpla_grid.Graph.edge_overflow graph;
+        released = Array.length released;
+        wall_s = Cpla_util.Timer.elapsed_s watch;
+      } )
+  in
+  let check () =
+    Token.check token;
+    on_poll ()
+  in
+  try
+    Token.check token;
+    let graph, nets = load spec.Job.source in
+    Token.check token;
+    let routed = Router.route_all ~graph nets in
+    let asg = Assignment.create ~graph ~nets ~trees:routed.Router.trees in
+    Init_assign.run asg;
+    let engine = Incremental.create asg in
+    let released = Incremental.select engine ~ratio:spec.Job.config.Cpla.Config.critical_ratio in
+    (partial :=
+       fun () ->
+         if Assignment.fully_assigned asg then Some (snd (measure asg engine released))
+         else None);
+    ignore (Cpla.Driver.optimize_released ~config:spec.Job.config ~engine ~check asg ~released);
+    let report, metrics = measure asg engine released in
+    (match structural_violations report with
+    | [] -> Job.Done metrics
+    | v :: _ as vs ->
+        let error =
+          Format.asprintf "audit: %d structural violation%s, first: %a" (List.length vs)
+            (if List.length vs = 1 then "" else "s")
+            Verify.pp_violation v
+        in
+        Job.Failed { error; partial = Some metrics })
+  with e -> (
+    (* Out_of_memory / Stack_overflow must not be laundered into a
+       Job.Failed string: they re-raise so the pool transports them to the
+       awaiting caller's domain. *)
+    Exn.reraise_if_async e;
+    let partial =
+      try !partial ()
+      with pe ->
+        Exn.reraise_if_async pe;
+        None
+    in
+    match root_cause e with
+    | Token.Cancelled Token.Deadline ->
+        Job.Timed_out { limit_s = Option.value spec.Job.deadline_s ~default:0.0; partial }
+    | Token.Cancelled Token.User -> Job.Cancelled { partial }
+    | e -> Job.Failed { error = Printexc.to_string e; partial })
+
+(* ---- the persistent session ----------------------------------------------- *)
+
+(* Emit a Progress event every this many cancellation polls: fine enough to
+   show liveness on multi-second jobs, coarse enough that a daemon is not
+   flooded with frames. *)
+let progress_stride = 16
+
+type jstate = Queued | Running | Settled of Job.terminal
+
+type entry = {
+  spec : Job.spec;
+  token : Token.t;
+  on_event : event -> unit;  (* already wrapped in the session emit lock *)
+  mutable state : jstate;  (* guarded by the session mutex *)
+}
+
+type t = {
+  m : Mutex.t;
+  settled : Condition.t;  (* some entry reached Settled *)
+  emit_m : Mutex.t;  (* serialises every on_event callback of the session *)
+  q : entry Queue.t;  (* policy order; may hold already-settled entries *)
+  jobs : (int, entry) Hashtbl.t;  (* every id this session ever accepted *)
+  pool : Pool.Persistent.t;
+  mutable draining : bool;
+  mutable pending_n : int;  (* queued, not yet claimed, not revoked *)
+  mutable pending_c : float;  (* summed expected_cost of those *)
+  mutable running_n : int;
+}
+
+type handle = { session : t; entry : entry }
+
+let create ?(workers = Pool.recommended_workers ()) () =
+  if workers < 1 then invalid_arg "Session.create: workers must be >= 1";
+  {
+    m = Mutex.create ();
+    settled = Condition.create ();
+    emit_m = Mutex.create ();
+    q = Queue.create ();
+    jobs = Hashtbl.create 64;
+    pool = Pool.Persistent.create ~workers;
+    draining = false;
+    pending_n = 0;
+    pending_c = 0.0;
+    running_n = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Events come from whichever domain settles a job (workers, or [cancel]'s
+   caller for queued jobs); one lock keeps consumer callbacks (printing,
+   frame encoding, counters) from interleaving. *)
+let emitting t f =
+  Mutex.lock t.emit_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_m) f
+
+(* Exactly one pool thunk is submitted per accepted job, and each thunk pops
+   exactly one queue entry — which is not necessarily "its" job: the queue
+   reorders by policy.  An entry popped after being cancelled-while-queued
+   consumes its thunk without running. *)
+let run_next t () =
+  let next =
+    locked t (fun () ->
+        match Queue.pop t.q with
+        | None -> None  (* unreachable: thunks and entries are 1:1 *)
+        | Some entry -> (
+            match entry.state with
+            | Settled _ -> None  (* revoked while queued; thunk consumed *)
+            | Running -> None  (* unreachable: entries run once *)
+            | Queued ->
+                entry.state <- Running;
+                t.pending_n <- t.pending_n - 1;
+                t.pending_c <- t.pending_c -. expected_cost entry.spec;
+                t.running_n <- t.running_n + 1;
+                Some entry))
+  in
+  match next with
+  | None -> ()
+  | Some entry ->
+      let spec = entry.spec in
+      entry.on_event (Started spec);
+      let polls = ref 0 in
+      let on_poll () =
+        incr polls;
+        if !polls mod progress_stride = 0 then entry.on_event (Progress (spec, !polls))
+      in
+      let terminal =
+        Cpla_obs.Span.with_ ~name:"serve/job"
+          ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id) ]
+          (fun () -> run_job spec entry.token ~on_poll ())
+      in
+      observe_terminal spec terminal;
+      locked t (fun () ->
+          entry.state <- Settled terminal;
+          t.running_n <- t.running_n - 1;
+          Condition.broadcast t.settled);
+      entry.on_event (Finished (spec, terminal))
+
+let submit t ?(on_event = fun _ -> ()) (spec : Job.spec) =
+  (* The token — and with it any deadline stopwatch — is created at request
+     arrival, before the job waits in the queue: queue time counts against
+     the budget. *)
+  let token = Token.create ?deadline_s:spec.Job.deadline_s () in
+  let entry =
+    { spec; token; on_event = (fun ev -> emitting t (fun () -> on_event ev)); state = Queued }
+  in
+  locked t (fun () ->
+      if t.draining then invalid_arg "Session.submit: session is draining";
+      if Hashtbl.mem t.jobs spec.Job.id then
+        invalid_arg (Printf.sprintf "Session.submit: duplicate job id %d" spec.Job.id);
+      Hashtbl.replace t.jobs spec.Job.id entry;
+      Queue.add t.q ~priority:spec.Job.priority ~cost:(expected_cost spec) entry;
+      t.pending_n <- t.pending_n + 1;
+      t.pending_c <- t.pending_c +. expected_cost spec);
+  Cpla_obs.Span.instant ~name:"serve/submit"
+    ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id) ]
+    ();
+  Cpla_obs.Metrics.incr "serve/jobs-submitted";
+  entry.on_event (Submitted spec);
+  (match Pool.Persistent.submit t.pool (run_next t) with
+  | (_ : unit Pool.Persistent.task) -> ()
+  | exception Invalid_argument _ ->
+      (* a concurrent [drain] shut the pool between admission and thunk
+         submission: settle the job as cancelled rather than leaving it
+         queued forever *)
+      let terminal = Job.Cancelled { partial = None } in
+      locked t (fun () ->
+          entry.state <- Settled terminal;
+          t.pending_n <- t.pending_n - 1;
+          t.pending_c <- t.pending_c -. expected_cost spec;
+          Condition.broadcast t.settled);
+      observe_terminal spec terminal;
+      entry.on_event (Finished (spec, terminal)));
+  { session = t; entry }
+
+let cancel t ~id =
+  match Hashtbl.find_opt t.jobs id with
+  | None -> false
+  | Some entry -> (
+      let queued_terminal =
+        locked t (fun () ->
+            match entry.state with
+            | Queued ->
+                let terminal = Job.Cancelled { partial = None } in
+                entry.state <- Settled terminal;
+                t.pending_n <- t.pending_n - 1;
+                t.pending_c <- t.pending_c -. expected_cost entry.spec;
+                Condition.broadcast t.settled;
+                Some (`Revoked terminal)
+            | Running -> Some `Running
+            | Settled _ -> None)
+      in
+      match queued_terminal with
+      | Some (`Revoked terminal) ->
+          (* never claimed: its terminal event is emitted here, exactly once *)
+          observe_terminal entry.spec terminal;
+          entry.on_event (Finished (entry.spec, terminal));
+          true
+      | Some `Running ->
+          (* fire the token; the job stops at its next cancellation point *)
+          Token.cancel entry.token;
+          true
+      | None -> false)
+
+let await h =
+  Mutex.lock h.session.m;
+  let rec wait () =
+    match h.entry.state with
+    | Settled terminal -> terminal
+    | Queued | Running ->
+        Condition.wait h.session.settled h.session.m;
+        wait ()
+  in
+  let terminal = wait () in
+  Mutex.unlock h.session.m;
+  terminal
+
+let pending t = locked t (fun () -> t.pending_n)
+
+let pending_cost t = locked t (fun () -> t.pending_c)
+
+let running t = locked t (fun () -> t.running_n)
+
+let drain t =
+  locked t (fun () -> t.draining <- true);
+  (* draining runs every still-queued thunk (settling or skipping its
+     entry) and joins the workers, so every accepted job is terminal when
+     this returns *)
+  Pool.Persistent.shutdown ~drain:true t.pool

@@ -1,0 +1,76 @@
+(** Persistent scheduler session: jobs accepted continuously, not in
+    one-shot batches.
+
+    A session owns a {!Cpla_util.Pool.Persistent} domain pool for its
+    whole lifetime and accepts {!submit} calls at any time — the substrate
+    of the network daemon, where requests arrive while earlier jobs are
+    still running.  Queued jobs run in the batch policy order (priority
+    desc, shortest-expected-first, FIFO ties) regardless of arrival
+    interleaving.
+
+    Deadlines are measured from {e request arrival}: the job's token is
+    created inside {!submit}, so queue wait counts against the budget —
+    a latency SLA, not a compute budget.  A job whose deadline expires
+    while still queued settles as [Timed_out] without running.
+
+    {!Scheduler} layers the original batch API on top of this module. *)
+
+type event =
+  | Submitted of Job.spec  (** accepted into the queue *)
+  | Started of Job.spec  (** a worker began executing it *)
+  | Progress of Job.spec * int
+      (** still running; the int is the cumulative cancellation-poll count
+          (driver partition-solve boundaries), emitted every few polls *)
+  | Finished of Job.spec * Job.terminal  (** settled; exactly once per job *)
+
+type t
+
+type handle
+(** One submitted job (await its terminal state with {!await}). *)
+
+val create : ?workers:int -> unit -> t
+(** Spawn the worker pool (default {!Cpla_util.Pool.recommended_workers}).
+    @raise Invalid_argument when [workers < 1]. *)
+
+val submit : t -> ?on_event:(event -> unit) -> Job.spec -> handle
+(** Accept a job now: its deadline stopwatch starts here.  [on_event]
+    fires from worker domains (and from {!cancel}'s caller for
+    queued-job cancellations), serialised by a per-session lock shared
+    with every other job's callback.  [Submitted] is emitted before
+    [submit] returns.
+    @raise Invalid_argument if the session is draining or the spec's id
+    collides with a job this session has already accepted. *)
+
+val cancel : t -> id:int -> bool
+(** Cancel by job id.  A queued job settles [Cancelled] immediately
+    (its [Finished] event fires on the calling domain before the call
+    returns); a running job's token fires and it settles at its next
+    cancellation point.  [false] when the id is unknown or already
+    settled. *)
+
+val await : handle -> Job.terminal
+(** Block until the job settles. *)
+
+val pending : t -> int
+(** Jobs accepted but not yet claimed by a worker. *)
+
+val pending_cost : t -> float
+(** Summed {!expected_cost} of the pending jobs — the queue-depth ×
+    expected-cost load estimate behind the daemon's shed decisions. *)
+
+val running : t -> int
+(** Jobs currently executing on a worker. *)
+
+val drain : t -> unit
+(** Stop accepting, run every queued job to a terminal state, then shut
+    the pool down.  Blocks until the last job settles.  Idempotent. *)
+
+val run_job : Job.spec -> Token.t -> ?on_poll:(unit -> unit) -> unit -> Job.terminal
+(** Execute one job in the calling domain under the given token
+    ([on_poll] fires at each cancellation poll) — the sequential
+    reference path ({!Scheduler.run_one}) and the worker body. *)
+
+val expected_cost : Job.spec -> float
+(** Pre-routing proxy for a job's size (net count for specs and suite
+    names, scaled byte size for files): the scheduling cost key and the
+    admission-control load estimate. *)

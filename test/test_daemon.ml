@@ -1,0 +1,411 @@
+open Cpla_net
+module Job = Cpla_serve.Job
+
+(* End-to-end daemon contracts over loopback TCP: accepted jobs return
+   byte-identical results to the sequential reference, overload sheds
+   (explicit responses, never failures or dropped connections), cancels
+   win over queued and running jobs, malformed frames get error responses
+   without killing the connection, and shutdown drains gracefully. *)
+
+(* ---- fixtures -------------------------------------------------------------- *)
+
+let write_gr ~name ~nets ~seed path =
+  let spec =
+    {
+      Cpla_route.Synth.default_spec with
+      Cpla_route.Synth.name;
+      width = 16;
+      height = 16;
+      num_layers = 4;
+      num_nets = nets;
+      seed;
+      hotspots = 1;
+      blockage_fraction = 0.02;
+    }
+  in
+  let graph, gnets = Cpla_route.Synth.generate spec in
+  let nl = Cpla_grid.Graph.num_layers graph in
+  let dir_cap d =
+    Array.init nl (fun l ->
+        if Cpla_grid.Tech.layer_dir (Cpla_grid.Graph.tech graph) l = d then
+          spec.Cpla_route.Synth.capacity
+        else 0)
+  in
+  let header =
+    {
+      Cpla_route.Ispd08.grid_x = Cpla_grid.Graph.width graph;
+      grid_y = Cpla_grid.Graph.height graph;
+      num_layers = nl;
+      vertical_capacity = dir_cap Cpla_grid.Tech.Vertical;
+      horizontal_capacity = dir_cap Cpla_grid.Tech.Horizontal;
+      min_width = Array.make nl 1;
+      min_spacing = Array.make nl 1;
+      via_spacing = Array.make nl 1;
+      lower_left_x = 0;
+      lower_left_y = 0;
+      tile_width = 10;
+      tile_height = 10;
+    }
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Cpla_route.Ispd08.write { Cpla_route.Ispd08.header; nets = gnets; adjustments = [] }))
+
+(* One small and one slower design, written once for the whole suite. *)
+let fixtures =
+  lazy
+    ((* a dying server may close sockets while a test is mid-write *)
+     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+     let small = Filename.temp_file "cpla-daemon-small" ".gr" in
+     let slow = Filename.temp_file "cpla-daemon-slow" ".gr" in
+     write_gr ~name:"small" ~nets:150 ~seed:11 small;
+     write_gr ~name:"slow" ~nets:700 ~seed:12 slow;
+     at_exit (fun () ->
+         List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ small; slow ]);
+     (small, slow))
+
+let small_gr () = fst (Lazy.force fixtures)
+let slow_gr () = snd (Lazy.force fixtures)
+
+(* A spec line that keeps the job sub-second but with plenty of
+   cancellation points. *)
+let small_line ?(ratio = 0.01) ?(iters = 1) () =
+  Printf.sprintf "%s ratio=%g iters=%d" (small_gr ()) ratio iters
+
+let slow_line () = Printf.sprintf "%s ratio=0.05 iters=6" (slow_gr ())
+
+let with_server ?(workers = 2) ?(queue_bound = 64) ?(cost_bound = infinity)
+    ?(quota_rate = 1000.0) ?(quota_burst = 1000.0) ?max_frame f =
+  let config =
+    {
+      Server.default_config with
+      Server.port = 0;
+      workers;
+      queue_bound;
+      cost_bound;
+      quota_rate;
+      quota_burst;
+      max_frame = Option.value ~default:Frame.max_frame_default max_frame;
+    }
+  in
+  let server = Server.create ~config () in
+  let loop = Domain.spawn (fun () -> Server.serve server) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Domain.join loop)
+    (fun () -> f server)
+
+let with_client server f =
+  let client = Client.connect ~host:"127.0.0.1" ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let call client req =
+  match Client.call ~timeout_s:60.0 client req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+
+let submit client line =
+  match call client (Protocol.Submit { spec_line = line }) with
+  | Protocol.Result { resp = Protocol.Accepted { job }; _ } -> job
+  | Protocol.Error { message; _ } -> Alcotest.failf "submission rejected: %s" message
+  | _ -> Alcotest.fail "unexpected response to submit"
+
+let get_stats client =
+  match call client Protocol.Stats with
+  | Protocol.Result { resp = Protocol.Stats_r s; _ } -> s
+  | _ -> Alcotest.fail "unexpected response to stats"
+
+(* Poll the daemon until the worker has claimed everything queued ahead —
+   makes queue-occupancy tests deterministic. *)
+let wait_worker_busy client =
+  let watch = Cpla_util.Timer.wall () in
+  let rec go () =
+    let s = get_stats client in
+    if s.Protocol.running >= 1 && s.Protocol.pending = 0 then ()
+    else if Cpla_util.Timer.elapsed_s watch > 30.0 then
+      Alcotest.fail "worker never claimed the job"
+    else begin
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* Drain the connection's event stream until every job in [jobs] has a
+   terminal event; returns the connection's terminal cache by job id.
+   (Unlike Client.await_terminal, nothing is discarded — terminals of
+   other jobs are cached too, so any arrival order and any await order
+   are fine.) *)
+let collect_terminals ?got client jobs =
+  let got = match got with Some tbl -> tbl | None -> Hashtbl.create 8 in
+  let missing () = List.exists (fun j -> not (Hashtbl.mem got j)) jobs in
+  let rec go () =
+    if missing () then
+      match Client.recv ~timeout_s:60.0 client with
+      | Error e -> Alcotest.failf "stream failed: %s" e
+      | Ok (Protocol.Ev ev) ->
+          (if Protocol.is_terminal_state ev.Protocol.state then
+             match Protocol.terminal_of_event ev with
+             | Ok t -> Hashtbl.replace got ev.Protocol.job t
+             | Error e -> Alcotest.failf "bad terminal event: %s" e);
+          go ()
+      | Ok (Protocol.Resp _) -> go ()
+  in
+  go ();
+  got
+
+let run_one_reference line =
+  match Job.parse_manifest line with
+  | Ok [ spec ] -> Cpla_serve.Scheduler.run_one spec
+  | Ok _ | Error _ -> Alcotest.failf "reference spec failed to parse: %s" line
+
+(* ---- tests ----------------------------------------------------------------- *)
+
+(* The acceptance bar: under multi-connection load, every accepted job's
+   wire result is byte-identical to the sequential reference (float fields
+   compared on their bit patterns via the %.17g wire round-trip). *)
+let test_multi_connection_byte_identical () =
+  let lines =
+    [
+      small_line ~ratio:0.01 ~iters:1 ();
+      small_line ~ratio:0.02 ~iters:2 ();
+      small_line ~ratio:0.03 ~iters:1 ();
+    ]
+  in
+  with_server ~workers:2 @@ fun server ->
+  with_client server @@ fun a ->
+  with_client server @@ fun b ->
+  (* interleave submissions across the two connections *)
+  let ja = List.map (fun l -> (submit a l, l)) lines in
+  let jb = List.map (fun l -> (submit b l, l)) lines in
+  let ta = collect_terminals a (List.map fst ja) in
+  let tb = collect_terminals b (List.map fst jb) in
+  let check_client terminals jobs =
+    List.iter
+      (fun (job, line) ->
+        match (Hashtbl.find terminals job, run_one_reference line) with
+        | Job.Done wire, Job.Done ref_ ->
+            Alcotest.(check bool)
+              (Printf.sprintf "job %d matches the sequential reference" job)
+              true
+              (Job.same_result wire ref_
+              && Int64.equal (Int64.bits_of_float wire.Job.avg_tcp)
+                   (Int64.bits_of_float ref_.Job.avg_tcp)
+              && Int64.equal (Int64.bits_of_float wire.Job.max_tcp)
+                   (Int64.bits_of_float ref_.Job.max_tcp))
+        | wire, _ ->
+            Alcotest.failf "job %d settled %s, want done" job (Job.status_string wire))
+      jobs
+  in
+  check_client ta ja;
+  check_client tb jb
+
+let test_queue_bound_sheds () =
+  with_server ~workers:1 ~queue_bound:1 @@ fun server ->
+  with_client server @@ fun c ->
+  let j0 = submit c (slow_line ()) in
+  wait_worker_busy c;
+  let j1 = submit c (small_line ()) in
+  (* queue is now at its bound: the next submission sheds, it does not fail *)
+  (match call c (Protocol.Submit { spec_line = small_line () }) with
+  | Protocol.Error { code = Protocol.Shed Protocol.Queue_full; _ } -> ()
+  | Protocol.Error _ -> Alcotest.fail "expected a queue-full shed"
+  | Protocol.Result _ -> Alcotest.fail "expected the submission to shed");
+  let s = get_stats c in
+  Alcotest.(check int) "shed counted" 1 s.Protocol.shed;
+  (* the queued job can be revoked; the running one settles normally *)
+  (match call c (Protocol.Cancel { job = j1 }) with
+  | Protocol.Result { resp = Protocol.Cancel_r { won = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "cancel of a queued job must win");
+  let terminals = collect_terminals c [ j0; j1 ] in
+  (match Hashtbl.find terminals j1 with
+  | Job.Cancelled _ -> ()
+  | t -> Alcotest.failf "queued-then-cancelled job settled %s" (Job.status_string t));
+  match Hashtbl.find terminals j0 with
+  | Job.Done _ -> ()
+  | t -> Alcotest.failf "running job settled %s" (Job.status_string t)
+
+(* expected_cost-based admission: the queued cost budget sheds before the
+   queue-depth bound does. *)
+let test_cost_bound_sheds () =
+  let line = slow_line () in
+  let cost =
+    match Job.parse_manifest line with
+    | Ok [ spec ] -> Cpla_serve.Scheduler.expected_cost spec
+    | _ -> Alcotest.fail "fixture spec failed to parse"
+  in
+  Alcotest.(check bool) "file fixtures have a positive expected cost" true (cost > 0.0);
+  with_server ~workers:1 ~queue_bound:64 ~cost_bound:(1.5 *. cost) @@ fun server ->
+  with_client server @@ fun c ->
+  let j0 = submit c line in
+  wait_worker_busy c;
+  (* one queued job fits the cost budget (c <= 1.5c), a second does not
+     (2c > 1.5c) — well before the 64-deep queue bound *)
+  let j1 = submit c line in
+  (match call c (Protocol.Submit { spec_line = line }) with
+  | Protocol.Error { code = Protocol.Shed Protocol.Cost_bound; _ } -> ()
+  | _ -> Alcotest.fail "expected a cost-bound shed");
+  (match call c (Protocol.Cancel { job = j1 }) with
+  | Protocol.Result { resp = Protocol.Cancel_r { won = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "cancel of the queued job must win");
+  ignore (collect_terminals c [ j0; j1 ])
+
+let test_quota_sheds () =
+  with_server ~workers:1 ~quota_rate:0.001 ~quota_burst:2.0 @@ fun server ->
+  with_client server @@ fun c ->
+  let j0 = submit c (small_line ()) in
+  let j1 = submit c (small_line ()) in
+  (* bucket of 2 is empty and refills at 1 token per ~17 minutes *)
+  (match call c (Protocol.Submit { spec_line = small_line () }) with
+  | Protocol.Error { code = Protocol.Shed Protocol.Quota; _ } -> ()
+  | _ -> Alcotest.fail "expected a quota shed");
+  (* quota only guards submissions: the stream and other methods still work *)
+  let terminals = collect_terminals c [ j0; j1 ] in
+  Alcotest.(check int) "accepted jobs settled" 2 (Hashtbl.length terminals);
+  (* a second connection has its own bucket *)
+  with_client server @@ fun d ->
+  let j2 = submit d (small_line ()) in
+  ignore (collect_terminals d [ j2 ])
+
+let test_cancel_running_job () =
+  with_server ~workers:1 @@ fun server ->
+  with_client server @@ fun c ->
+  let job = submit c (slow_line ()) in
+  wait_worker_busy c;
+  (match call c (Protocol.Cancel { job }) with
+  | Protocol.Result { resp = Protocol.Cancel_r { won = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "cancel of a running job must win");
+  let terminals = collect_terminals c [ job ] in
+  (match Hashtbl.find terminals job with
+  | Job.Cancelled _ -> ()
+  | t -> Alcotest.failf "cancelled job settled %s" (Job.status_string t));
+  (* cancelling a settled job loses *)
+  match call c (Protocol.Cancel { job }) with
+  | Protocol.Result { resp = Protocol.Cancel_r { won = false; _ }; _ } -> ()
+  | _ -> Alcotest.fail "cancel of a settled job must lose"
+
+(* ---- malformed input over a raw socket ------------------------------------- *)
+
+let raw_connect server =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  fd
+
+let raw_send fd payload =
+  let b = Frame.encode payload in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+let raw_recv fd dec =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Frame.next dec with
+    | Some (Frame.Frame payload) -> (
+        match Json.parse payload with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "server sent invalid JSON: %s" e)
+    | Some (Frame.Oversized _) -> Alcotest.fail "server sent an oversized frame"
+    | None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> Alcotest.fail "server closed the connection"
+        | n ->
+            Frame.feed dec buf ~off:0 ~len:n;
+            go ())
+  in
+  go ()
+
+let error_code v =
+  match Json.member "error" v with
+  | Some err -> (
+      match Option.bind (Json.member "code" err) Json.as_string with
+      | Some c -> c
+      | None -> Alcotest.fail "error response without code")
+  | None -> Alcotest.fail "expected an error response"
+
+let test_malformed_frames_survive () =
+  with_server ~max_frame:1024 @@ fun server ->
+  let fd = raw_connect server in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  let dec = Frame.decoder () in
+  (* invalid JSON: error response, connection stays up *)
+  raw_send fd "{not json";
+  Alcotest.(check string) "invalid JSON is bad-request" "bad-request"
+    (error_code (raw_recv fd dec));
+  (* valid JSON, not a request *)
+  raw_send fd "{\"id\":1}";
+  Alcotest.(check string) "method-less object is bad-request" "bad-request"
+    (error_code (raw_recv fd dec));
+  (* unknown method *)
+  raw_send fd "{\"id\":2,\"method\":\"frobnicate\"}";
+  Alcotest.(check string) "unknown method code" "unknown-method"
+    (error_code (raw_recv fd dec));
+  (* oversized frame: reported, payload discarded, stream resynchronises *)
+  raw_send fd (String.make 2048 'x');
+  Alcotest.(check string) "oversized frame is bad-request" "bad-request"
+    (error_code (raw_recv fd dec));
+  (* the same connection still answers real requests *)
+  raw_send fd "{\"id\":3,\"method\":\"ping\"}";
+  let v = raw_recv fd dec in
+  match Json.member "result" v with
+  | Some _ -> ()
+  | None -> Alcotest.fail "connection must survive malformed frames"
+
+let test_graceful_drain () =
+  let config = { Server.default_config with Server.port = 0; workers = 1 } in
+  let server = Server.create ~config () in
+  let loop = Domain.spawn (fun () -> Server.serve server) in
+  with_client server @@ fun c ->
+  let job = submit c (slow_line ()) in
+  wait_worker_busy c;
+  Server.shutdown server;
+  (* wait until the event loop has observed the stop flag: stats keeps
+     answering during the drain and reports it *)
+  let watch = Cpla_util.Timer.wall () in
+  let rec wait_draining () =
+    if not (get_stats c).Protocol.draining then
+      if Cpla_util.Timer.elapsed_s watch > 30.0 then
+        Alcotest.fail "server never started draining"
+      else begin
+        Unix.sleepf 0.005;
+        wait_draining ()
+      end
+  in
+  wait_draining ();
+  (* draining: new submissions shed, in-flight jobs settle and their
+     terminal events still reach the client before the server exits *)
+  (match call c (Protocol.Submit { spec_line = small_line () }) with
+  | Protocol.Error { code = Protocol.Shed Protocol.Draining; _ } -> ()
+  | _ -> Alcotest.fail "expected a draining shed");
+  let terminals = collect_terminals c [ job ] in
+  (match Hashtbl.find terminals job with
+  | Job.Done _ -> ()
+  | t -> Alcotest.failf "in-flight job settled %s during drain" (Job.status_string t));
+  Domain.join loop;
+  match Client.recv ~timeout_s:10.0 c with
+  | Error _ -> ()  (* socket closed after the drain *)
+  | Ok (Protocol.Ev _) | Ok (Protocol.Resp _) -> (
+      (* residual buffered frame; the close must follow *)
+      match Client.recv ~timeout_s:10.0 c with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "server kept talking after drain")
+
+let suite =
+  [
+    Alcotest.test_case "daemon: multi-connection results == run_one (byte-identical)"
+      `Slow test_multi_connection_byte_identical;
+    Alcotest.test_case "daemon: queue bound sheds, queued job cancellable" `Slow
+      test_queue_bound_sheds;
+    Alcotest.test_case "daemon: expected-cost bound sheds" `Slow test_cost_bound_sheds;
+    Alcotest.test_case "daemon: per-client quota sheds" `Slow test_quota_sheds;
+    Alcotest.test_case "daemon: cancel of a running job" `Slow test_cancel_running_job;
+    Alcotest.test_case "daemon: malformed frames answered, connection survives" `Quick
+      test_malformed_frames_survive;
+    Alcotest.test_case "daemon: SIGTERM-style drain settles in-flight work" `Slow
+      test_graceful_drain;
+  ]

@@ -14,6 +14,8 @@ let () =
       ("timing-incremental", Test_timing_incremental.suite);
       ("pool", Test_pool.suite);
       ("serve", Test_serve.suite);
+      ("net", Test_net.suite);
+      ("daemon", Test_daemon.suite);
       ("tila", Test_tila.suite);
       ("batch", Test_batch.suite);
       ("cpla", Test_cpla.suite);

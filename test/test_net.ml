@@ -1,0 +1,298 @@
+open Cpla_net
+
+(* The daemon's wire layer, without sockets: frame encode/decode under
+   arbitrary read splits, JSON round-trips (including the %.17g float
+   contract behind the byte-identical daemon results), typed protocol
+   message round-trips, and the token-bucket quota arithmetic. *)
+
+(* ---- frame: property tests ------------------------------------------------ *)
+
+(* Feed the encoded stream to the decoder in arbitrary chunk sizes —
+   single bytes, split headers, several frames per read — and require the
+   original payload sequence back. *)
+let frame_split_roundtrip =
+  QCheck.Test.make ~name:"frame: round-trip under arbitrary read splits" ~count:100
+    QCheck.(
+      pair
+        (small_list (string_gen_of_size (Gen.int_range 0 200) Gen.char))
+        (small_list (int_range 1 64)))
+    (fun (payloads, splits) ->
+      let stream =
+        String.concat "" (List.map (fun p -> Bytes.to_string (Frame.encode p)) payloads)
+      in
+      let dec = Frame.decoder () in
+      let splits = if splits = [] then [ 7 ] else splits in
+      let n = String.length stream in
+      let rec feed off cuts =
+        if off < n then begin
+          let len, rest =
+            match cuts with [] -> (n - off, []) | c :: tl -> (min c (n - off), tl @ [ c ])
+          in
+          Frame.feed dec (Bytes.of_string stream) ~off ~len;
+          feed (off + len) rest
+        end
+      in
+      feed 0 splits;
+      let rec drain acc =
+        match Frame.next dec with
+        | Some (Frame.Frame p) -> drain (p :: acc)
+        | Some (Frame.Oversized _) -> drain acc
+        | None -> List.rev acc
+      in
+      drain [] = payloads && Frame.buffered dec = 0)
+
+let test_frame_limits () =
+  (* a frame exactly at the limit decodes; one byte over yields Oversized,
+     and the decoder resynchronises on the frame that follows *)
+  let max_frame = 256 in
+  let dec = Frame.decoder ~max_frame () in
+  let at_limit = String.make max_frame 'a' in
+  Frame.feed_string dec (Bytes.to_string (Frame.encode at_limit));
+  (match Frame.next dec with
+  | Some (Frame.Frame p) -> Alcotest.(check int) "limit frame size" max_frame (String.length p)
+  | _ -> Alcotest.fail "frame at the limit must decode");
+  let over = String.make (max_frame + 1) 'b' in
+  Frame.feed_string dec (Bytes.to_string (Frame.encode over));
+  Frame.feed_string dec (Bytes.to_string (Frame.encode "after"));
+  (match Frame.next dec with
+  | Some (Frame.Oversized n) -> Alcotest.(check int) "announced length" (max_frame + 1) n
+  | _ -> Alcotest.fail "oversized frame must be reported");
+  (match Frame.next dec with
+  | Some (Frame.Frame p) -> Alcotest.(check string) "resync after oversized" "after" p
+  | _ -> Alcotest.fail "decoder must resynchronise after an oversized frame")
+
+let test_frame_truncated () =
+  (* a truncated header or payload is not a frame yet — and not an error *)
+  let dec = Frame.decoder () in
+  let encoded = Bytes.to_string (Frame.encode "hello") in
+  Frame.feed_string dec (String.sub encoded 0 2);
+  Alcotest.(check bool) "header half fed" true (Frame.next dec = None);
+  Frame.feed_string dec (String.sub encoded 2 4);
+  Alcotest.(check bool) "payload partial" true (Frame.next dec = None);
+  Frame.feed_string dec (String.sub encoded 6 (String.length encoded - 6));
+  match Frame.next dec with
+  | Some (Frame.Frame p) -> Alcotest.(check string) "completes" "hello" p
+  | _ -> Alcotest.fail "completed frame must decode"
+
+(* ---- json ------------------------------------------------------------------ *)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let scalar =
+        oneof
+          [
+            return Json.Null;
+            map (fun b -> Json.Bool b) bool;
+            map (fun f -> Json.Num f) (float_range (-1e9) 1e9);
+            map (fun i -> Json.Num (float_of_int i)) (int_range (-1000000) 1000000);
+            map (fun s -> Json.Str s) (string_size ~gen:char (int_range 0 20));
+          ]
+      in
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Json.Arr l) (list_size (int_range 0 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) (self (n / 2))))
+            );
+          ])
+
+let json_roundtrip =
+  QCheck.Test.make ~name:"json: parse (to_string v) = v" ~count:200
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let float_roundtrip =
+  QCheck.Test.make ~name:"json: floats round-trip bit-exactly (%.17g)" ~count:500
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num f') -> Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
+      | _ -> false)
+
+let test_json_malformed () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed JSON %S" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\":1,}";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "\"bad \\x escape\"";
+  bad "nul";
+  bad "1 2";
+  (* trailing garbage *)
+  bad "--5";
+  (* depth bomb: past the decoder's nesting limit *)
+  bad (String.make 100 '[' ^ String.make 100 ']');
+  (* escapes and surrogate pairs decode *)
+  (match Json.parse {|"a\"b\\cA😀"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "escapes" "a\"b\\cA\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "escape parse failed")
+
+(* ---- protocol round-trips -------------------------------------------------- *)
+
+let test_protocol_requests () =
+  let roundtrip r =
+    match Protocol.request_of_json (Protocol.request_to_json r) with
+    | Ok r' -> Alcotest.(check bool) "request round-trip" true (r = r')
+    | Error e -> Alcotest.failf "request failed to round-trip: %s" e
+  in
+  roundtrip { Protocol.id = 1; trace = Some "t-1"; req = Protocol.Submit { spec_line = "adaptec1 ratio=0.01" } };
+  roundtrip { Protocol.id = 2; trace = None; req = Protocol.Cancel { job = 7 } };
+  roundtrip { Protocol.id = 3; trace = None; req = Protocol.Stats };
+  roundtrip { Protocol.id = 0; trace = Some ""; req = Protocol.Ping };
+  (match Protocol.request_of_json (Json.Obj [ ("id", Json.Num 1.0) ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "method-less request must be rejected");
+  match
+    Protocol.request_of_json
+      (Json.Obj [ ("id", Json.Num 1.0); ("method", Json.Str "frobnicate") ])
+  with
+  | Error msg ->
+      Alcotest.(check bool) "names the unknown method" true
+        (String.length msg >= 14 && String.sub msg 0 14 = "unknown method")
+  | Ok _ -> Alcotest.fail "unknown method must be rejected"
+
+let test_protocol_responses () =
+  let roundtrip r =
+    match Protocol.response_of_json (Protocol.response_to_json r) with
+    | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+    | Error e -> Alcotest.failf "response failed to round-trip: %s" e
+  in
+  roundtrip (Protocol.Result { id = 1; trace = Some "t"; resp = Protocol.Accepted { job = 3 } });
+  roundtrip (Protocol.Result { id = 2; trace = None; resp = Protocol.Cancel_r { job = 3; won = false } });
+  roundtrip
+    (Protocol.Result
+       {
+         id = 3;
+         trace = None;
+         resp = Protocol.Stats_r { pending = 4; running = 2; settled = 9; shed = 1; draining = true };
+       });
+  roundtrip (Protocol.Result { id = 4; trace = None; resp = Protocol.Pong });
+  List.iter
+    (fun reason ->
+      roundtrip
+        (Protocol.Error { id = Some 5; code = Protocol.Shed reason; message = "busy" }))
+    [ Protocol.Queue_full; Protocol.Cost_bound; Protocol.Quota; Protocol.Draining ];
+  roundtrip (Protocol.Error { id = None; code = Protocol.Bad_request; message = "invalid JSON" });
+  roundtrip (Protocol.Error { id = Some 6; code = Protocol.Unknown_method; message = "?" })
+
+let test_protocol_events () =
+  let metrics =
+    {
+      Cpla_serve.Job.wirelength = 44719;
+      avg_tcp = 9054.765625;
+      max_tcp = 14178.300000000001;
+      via_overflow = 11538;
+      edge_overflow = 544;
+      released = 16;
+      wall_s = 4.5158875139995871;
+    }
+  in
+  let spec = List.hd (Result.get_ok (Cpla_serve.Job.parse_manifest "adaptec1 deadline=2.5")) in
+  List.iter
+    (fun session_ev ->
+      let ev = Protocol.event_of ~job:42 ~trace:"t-9" session_ev in
+      match Protocol.event_of_json (Protocol.event_to_json ev) with
+      | Ok ev' -> Alcotest.(check bool) "event round-trip" true (ev = ev')
+      | Error e -> Alcotest.failf "event failed to round-trip: %s" e)
+    [
+      Cpla_serve.Session.Submitted spec;
+      Cpla_serve.Session.Started spec;
+      Cpla_serve.Session.Progress (spec, 32);
+      Cpla_serve.Session.Finished (spec, Cpla_serve.Job.Done metrics);
+      Cpla_serve.Session.Finished
+        (spec, Cpla_serve.Job.Failed { error = "audit: 3"; partial = Some metrics });
+      Cpla_serve.Session.Finished
+        (spec, Cpla_serve.Job.Timed_out { limit_s = 2.5; partial = None });
+      Cpla_serve.Session.Finished (spec, Cpla_serve.Job.Cancelled { partial = Some metrics });
+    ];
+  (* terminal reconstruction is bit-exact: the daemon's byte-identical
+     contract rides on this *)
+  let ev =
+    Protocol.event_of ~job:42 (Cpla_serve.Session.Finished (spec, Cpla_serve.Job.Done metrics))
+  in
+  (match Result.bind (Json.parse (Json.to_string (Protocol.event_to_json ev)))
+           Protocol.event_of_json
+  with
+  | Ok wire -> (
+      match Protocol.terminal_of_event wire with
+      | Ok (Cpla_serve.Job.Done m) ->
+          Alcotest.(check bool) "metrics bit-exact over the wire" true
+            (Cpla_serve.Job.same_result metrics m
+            && Int64.equal (Int64.bits_of_float metrics.Cpla_serve.Job.avg_tcp)
+                 (Int64.bits_of_float m.Cpla_serve.Job.avg_tcp))
+      | _ -> Alcotest.fail "terminal reconstruction failed")
+  | Error e -> Alcotest.failf "wire parse failed: %s" e);
+  match Protocol.terminal_of_event (Protocol.event_of ~job:1 (Cpla_serve.Session.Started spec)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-terminal event must not reconstruct a terminal"
+
+let test_incoming_classify () =
+  let ev =
+    { Protocol.job = 1; state = "started"; progress = None; metrics = None; detail = None; ev_trace = None }
+  in
+  (match Protocol.incoming_of_json (Protocol.event_to_json ev) with
+  | Ok (Protocol.Ev _) -> ()
+  | _ -> Alcotest.fail "event classifies as Ev");
+  match
+    Protocol.incoming_of_json
+      (Protocol.response_to_json (Protocol.Result { id = 1; trace = None; resp = Protocol.Pong }))
+  with
+  | Ok (Protocol.Resp _) -> ()
+  | _ -> Alcotest.fail "response classifies as Resp"
+
+(* ---- quota ----------------------------------------------------------------- *)
+
+let test_quota () =
+  let q = Quota.create ~rate:1.0 ~burst:2.0 ~now:0.0 in
+  Alcotest.(check bool) "burst 1" true (Quota.take q ~now:0.0 ~cost:1.0);
+  Alcotest.(check bool) "burst 2" true (Quota.take q ~now:0.0 ~cost:1.0);
+  Alcotest.(check bool) "bucket empty" false (Quota.take q ~now:0.0 ~cost:1.0);
+  (* refills at 1 token/s; a failed take leaves the bucket unchanged *)
+  Alcotest.(check bool) "not yet refilled" false (Quota.take q ~now:0.5 ~cost:1.0);
+  Alcotest.(check bool) "refilled after 1s" true (Quota.take q ~now:1.0 ~cost:1.0);
+  (* accumulation caps at burst, and time moving backwards does not refill *)
+  Alcotest.(check (float 1e-9)) "capped at burst" 2.0 (Quota.available q ~now:100.0);
+  Alcotest.(check bool) "cap take 1" true (Quota.take q ~now:100.0 ~cost:1.0);
+  Alcotest.(check bool) "cap take 2" true (Quota.take q ~now:100.0 ~cost:1.0);
+  Alcotest.(check bool) "cap exhausted" false (Quota.take q ~now:100.0 ~cost:1.0);
+  Alcotest.(check bool) "clock stepping back is a no-op" false
+    (Quota.take q ~now:50.0 ~cost:1.0);
+  (match Quota.create ~rate:0.0 ~burst:1.0 ~now:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero rate must be rejected");
+  match Quota.create ~rate:1.0 ~burst:nan ~now:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan burst must be rejected"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest frame_split_roundtrip;
+    Alcotest.test_case "frame: limit, oversized report, resync" `Quick test_frame_limits;
+    Alcotest.test_case "frame: truncated input is not an error" `Quick test_frame_truncated;
+    QCheck_alcotest.to_alcotest json_roundtrip;
+    QCheck_alcotest.to_alcotest float_roundtrip;
+    Alcotest.test_case "json: malformed inputs rejected, escapes decode" `Quick
+      test_json_malformed;
+    Alcotest.test_case "protocol: request round-trips" `Quick test_protocol_requests;
+    Alcotest.test_case "protocol: response round-trips" `Quick test_protocol_responses;
+    Alcotest.test_case "protocol: events and terminal reconstruction" `Quick
+      test_protocol_events;
+    Alcotest.test_case "protocol: incoming classification" `Quick test_incoming_classify;
+    Alcotest.test_case "quota: token-bucket arithmetic" `Quick test_quota;
+  ]

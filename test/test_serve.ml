@@ -259,6 +259,89 @@ let test_parallel_matches_sequential () =
           Alcotest.failf "job %d did not finish ok in parallel (%s)" i (Job.status_string t))
     specs
 
+(* ---- session regressions --------------------------------------------------- *)
+
+(* Wait until the session's single worker has claimed everything queued so
+   far — otherwise a job submitted next could be claimed first (the policy
+   prefers shortest-expected-cost among ready jobs). *)
+let wait_claimed session =
+  let watch = Cpla_util.Timer.wall () in
+  let rec go () =
+    if Session.pending session = 0 && Session.running session >= 1 then ()
+    else if Cpla_util.Timer.elapsed_s watch > 30.0 then
+      Alcotest.fail "worker never claimed the queued job"
+    else begin
+      Unix.sleepf 0.005;
+      go ()
+    end
+  in
+  go ()
+
+let test_session_queued_then_cancelled () =
+  (* one worker, occupied by a slow job: job 1 waits in the queue, is
+     cancelled there, and must settle Cancelled at once — never Started,
+     never claimed by the worker *)
+  let session = Session.create ~workers:1 () in
+  let events = ref [] in
+  let m = Mutex.create () in
+  let on_event ev =
+    Mutex.protect m (fun () -> events := ev :: !events)
+  in
+  let h0 = Session.submit session ~on_event (tiny 0 ~nets:600 ~seed:81 ~iters:3) in
+  wait_claimed session;
+  let h1 = Session.submit session ~on_event (tiny 1 ~seed:82) in
+  Alcotest.(check bool) "cancel of a queued job wins" true (Session.cancel session ~id:1);
+  (* the queued job's Finished fired on this domain before cancel returned *)
+  (match Session.await h1 with
+  | Job.Cancelled { partial = None } -> ()
+  | t -> Alcotest.failf "queued-then-cancelled job settled %s" (Job.status_string t));
+  (match Session.await h0 with
+  | Job.Done _ -> ()
+  | t -> Alcotest.failf "running job disturbed by the cancel: %s" (Job.status_string t));
+  Session.drain session;
+  let evs = List.rev !events in
+  let of_job id =
+    List.filter
+      (function
+        | Session.Submitted s | Session.Started s | Session.Progress (s, _)
+        | Session.Finished (s, _) ->
+            s.Job.id = id)
+      evs
+  in
+  (match of_job 1 with
+  | [ Session.Submitted _; Session.Finished (_, Job.Cancelled _) ] -> ()
+  | l ->
+      Alcotest.failf "queued job saw %d events; it must never start" (List.length l));
+  Alcotest.(check bool) "cancel of a settled job loses" false (Session.cancel session ~id:1)
+
+let test_session_deadline_from_arrival () =
+  (* deadlines are a latency SLA measured from submit: a job whose budget
+     is consumed entirely by queue wait settles Timed_out without ever
+     computing (no Started, no Progress) *)
+  let session = Session.create ~workers:1 () in
+  let events = ref [] in
+  let m = Mutex.create () in
+  let on_event ev = Mutex.protect m (fun () -> events := ev :: !events) in
+  let h0 = Session.submit session ~on_event (tiny 0 ~nets:1200 ~seed:83 ~iters:6) in
+  wait_claimed session;
+  (* job 0 has ~1s of compute left; job 1's whole budget burns in queue *)
+  let h1 =
+    Session.submit session ~on_event (tiny 1 ~seed:84 ~deadline_s:0.05)
+  in
+  (match Session.await h1 with
+  | Job.Timed_out _ -> ()
+  | t -> Alcotest.failf "expired-while-queued job settled %s" (Job.status_string t));
+  (match Session.await h0 with
+  | Job.Done _ -> ()
+  | t -> Alcotest.failf "slow job settled %s" (Job.status_string t));
+  Session.drain session;
+  let progressed =
+    List.exists
+      (function Session.Progress (s, _) -> s.Job.id = 1 | _ -> false)
+      !events
+  in
+  Alcotest.(check bool) "expired job never reported progress" false progressed
+
 (* ---- report --------------------------------------------------------------- *)
 
 let test_report_lines () =
@@ -301,5 +384,9 @@ let suite =
       test_poison_isolation_matches_sequential;
     Alcotest.test_case "scheduler: parallel batch == sequential runs" `Quick
       test_parallel_matches_sequential;
+    Alcotest.test_case "session: queued-then-cancelled job never starts" `Quick
+      test_session_queued_then_cancelled;
+    Alcotest.test_case "session: deadline measured from arrival, not claim" `Quick
+      test_session_deadline_from_arrival;
     Alcotest.test_case "report: line and summary format" `Quick test_report_lines;
   ]
