@@ -529,6 +529,39 @@ let run_obs_overhead () =
       (Printf.sprintf "obs/overhead: disabled instrumentation costs %.2f%% (budget 2%%)"
          (100.0 *. overhead))
 
+(* ---- lint wall time --------------------------------------------------------- *)
+
+(* Whole-tree cpla-lint wall time: both interprocedural passes (symtab,
+   call graph, purity/allocation/blocking fixpoints) plus every file-local
+   check over lib/bin/bench/test.  Keeping this in the trajectory makes a
+   superlinear regression in the analyses as visible as one in the
+   kernels.  Requires the sources on disk, so it runs from the repo root
+   and is skipped elsewhere. *)
+let run_lint () =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "lint — whole-tree static analysis wall time\n";
+  Printf.printf "==================================================================\n%!";
+  let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ] in
+  if roots = [] then print_endline "sources not on disk; skipping"
+  else begin
+    let findings = ref [] in
+    let lint () = findings := Cpla_lint.Engine.lint_paths roots in
+    lint () (* warm the fs cache out of the measured window *);
+    let reps = 5 in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Cpla_util.Timer.now_ns () in
+      lint ();
+      let dt = Int64.to_float (Int64.sub (Cpla_util.Timer.now_ns ()) t0) in
+      if dt < !best then best := dt
+    done;
+    Bench_out.record ~section:"lint" ~kernel:"lint/whole-tree" ~design:"repo"
+      ~ns_per_op:!best ();
+    Printf.printf "whole-tree lint: %.1f ms (min of %d), %d findings\n" (!best /. 1e6)
+      reps
+      (List.length !findings)
+  end
+
 (* ---- entry ----------------------------------------------------------------- *)
 
 let sections =
@@ -547,6 +580,7 @@ let sections =
     ("obs", run_obs_overhead);
     ("micro", fun () -> run_micro ());
     ("batch", fun () -> run_batch ());
+    ("lint", run_lint);
   ]
 
 let () =

@@ -279,14 +279,8 @@ let solve_leaves_parallel config eng asg ?check leaves =
                 solve_one ~sdp_ws ~ilp_ws f))
           batch)
   in
-  (* sanctioned impurity: the ILP branch-and-bound inside [solve_batch]
-     polls a wall-clock budget (Solver.elapsed_s).  The budget only caps
-     node count — the incumbent it returns is still a function of the
-     formulation, and per-leaf determinism is covered by the
-     scratch-vs-incremental tests *)
   let per_batch =
-    (Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve_batch batches
-    [@cpla.allow "impure-kernel"])
+    Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve_batch batches
   in
   let solutions = Array.make (Array.length formulations) None in
   Array.iteri

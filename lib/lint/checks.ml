@@ -82,12 +82,15 @@ let allow_ids ~malformed (attrs : attributes) =
 (* Every [@cpla.allow] in the file, paired with the source span of the node
    it annotates.  Whole-program rules report findings long after the
    per-file walk, so suppression for them is a containment test against
-   these spans rather than a live attribute stack. *)
+   these spans rather than a live attribute stack.  The id's own location
+   is the annotation's identity for [stale-allow] usage accounting (one
+   annotation can surface under two spans: a binding's attribute is noted
+   both at the binding and at its structure item). *)
 let allow_spans str =
   let spans = ref [] in
   let note (span : Location.t) attrs =
     List.iter
-      (fun (id, _) -> spans := (id, span) :: !spans)
+      (fun (id, id_loc) -> spans := (id, id_loc, span) :: !spans)
       (allow_ids ~malformed:(fun _ -> ()) attrs)
   in
   let it =
@@ -113,13 +116,14 @@ let allow_spans str =
   it#structure str;
   !spans
 
-let file_allows str =
+let file_allow_ids str =
   List.concat_map
     (fun (si : structure_item) ->
       match si.pstr_desc with
-      | Pstr_attribute a -> List.map fst (allow_ids ~malformed:(fun _ -> ()) [ a ])
+      | Pstr_attribute a -> allow_ids ~malformed:(fun _ -> ()) [ a ]
       | _ -> [])
     str
+
 
 (* ---- syntactic classifiers ------------------------------------------------ *)
 
@@ -227,9 +231,9 @@ let reraises var body =
 
 (* ---- analysis ------------------------------------------------------------- *)
 
-let analyze ~scope str =
+let analyze ?(on_allow_use = fun _ _ -> ()) ~scope str =
   let findings = ref [] in
-  let file_allowed = file_allows str in
+  let file_allowed = file_allow_ids str in
   (* Mutable-record types declared in this file: their literals at top level
      are shared mutable state just like a top-level [ref]. *)
   let mutable_fields = Hashtbl.create 16 in
@@ -250,15 +254,21 @@ let analyze ~scope str =
     end
   in
   collect_types#structure str;
-  (* suppression stack: one frame per attribute-bearing node on the spine *)
+  (* suppression stack: one frame per attribute-bearing node on the spine.
+     [find_suppressor] reports the annotation that won (innermost frame
+     first, then file-level) so stale-allow can tell live allows from dead
+     ones. *)
   let stack = ref [] in
-  let suppressed rule =
-    List.mem rule file_allowed
-    || List.exists (List.exists (fun (id, _) -> String.equal id rule)) !stack
+  let find_suppressor rule =
+    let hit frame = List.find_opt (fun (id, _) -> String.equal id rule) frame in
+    match List.find_map hit !stack with
+    | Some _ as s -> s
+    | None -> hit file_allowed
   in
   let emit rule loc msg =
-    if not (suppressed rule) then
-      findings := Finding.v ~file:scope.path ~loc ~rule ~msg :: !findings
+    match find_suppressor rule with
+    | Some (id, id_loc) -> on_allow_use id id_loc
+    | None -> findings := Finding.v ~file:scope.path ~loc ~rule ~msg :: !findings
   in
   let push attrs =
     let malformed loc =
@@ -320,23 +330,26 @@ let analyze ~scope str =
   let check_handler (pat : pattern) guard body =
     (* an allow on the handler body suppresses the case's finding, so the
        annotation can sit on the arm it is about *)
-    let body_allowed =
+    let body_allow =
       allow_ids ~malformed:(fun _ -> ()) body.pexp_attributes
-      |> List.exists (fun (id, _) -> String.equal id "catchall-async")
+      |> List.find_opt (fun (id, _) -> String.equal id "catchall-async")
     in
-    if (guard = None) && not body_allowed then
+    if guard = None then
       match catchall_var pat with
-      | Some var when not (reraises var body) ->
-          emit "catchall-async" pat.ppat_loc
-            (match var with
-            | None ->
-                "catch-all `_ ->` handler swallows Out_of_memory/Stack_overflow; \
-                 name the exception and call Util.Exn.reraise_if_async first"
-            | Some v ->
-                Printf.sprintf
-                  "catch-all handler must re-raise asynchronous exceptions: \
-                   call Util.Exn.reraise_if_async %s (or raise %s) first"
-                  v v)
+      | Some var when not (reraises var body) -> (
+          match body_allow with
+          | Some (id, id_loc) -> on_allow_use id id_loc
+          | None ->
+              emit "catchall-async" pat.ppat_loc
+                (match var with
+                | None ->
+                    "catch-all `_ ->` handler swallows Out_of_memory/Stack_overflow; \
+                     name the exception and call Util.Exn.reraise_if_async first"
+                | Some v ->
+                    Printf.sprintf
+                      "catch-all handler must re-raise asynchronous exceptions: \
+                       call Util.Exn.reraise_if_async %s (or raise %s) first"
+                      v v))
       | _ -> ()
   in
   let check_try cases =

@@ -24,6 +24,11 @@ val strip_stdlib : string list -> string list
 val last : string list -> string
 (** Last component, [""] on the empty list. *)
 
+val looks_float : Ppxlib.expression -> bool
+(** Syntactic float-valuedness heuristic (literals, float intrinsics,
+    float-typed constraints); shared by [float-equality] and the
+    boxing classification in {!Alloceffect}. *)
+
 val allow_ids :
   malformed:(Ppxlib.Location.t -> unit) ->
   Ppxlib.attributes ->
@@ -31,17 +36,26 @@ val allow_ids :
 (** Rule ids named by [\@cpla.allow] attributes, with the location of each;
     [malformed] is called for an attribute without a usable payload. *)
 
-val allow_spans : Ppxlib.structure -> (string * Ppxlib.Location.t) list
-(** Every [\@cpla.allow]-named rule id with the span of the annotated node
-    (expression, [let] binding, or whole structure item).  Whole-program
-    rules use a containment test on these to honour suppressions. *)
+val allow_spans :
+  Ppxlib.structure -> (string * Ppxlib.Location.t * Ppxlib.Location.t) list
+(** Every [\@cpla.allow]-named rule id as [(id, id_loc, span)]: the id's own
+    location (the annotation's identity, for [stale-allow] accounting) and
+    the span of the annotated node (expression, [let] binding, or whole
+    structure item).  Whole-program rules use a containment test on the
+    spans to honour suppressions. *)
 
-val file_allows : Ppxlib.structure -> string list
+val file_allow_ids : Ppxlib.structure -> (string * Ppxlib.Location.t) list
 (** Rule ids suppressed for the whole file by floating
-    [[\@\@\@cpla.allow "rule-id"]] attributes. *)
+    [[\@\@\@cpla.allow "rule-id"]] attributes, with each id's location. *)
 
-val analyze : scope:scope -> Ppxlib.structure -> Finding.t list
+val analyze :
+  ?on_allow_use:(string -> Ppxlib.Location.t -> unit) ->
+  scope:scope ->
+  Ppxlib.structure ->
+  Finding.t list
 (** Run every AST rule; returns unsuppressed findings in source order.
     Findings inside the static extent of a [[\@cpla.allow "rule-id"]]
     attribute (on an expression or a [let] binding) are dropped, as are
-    rule ids named by {!file_allows}. *)
+    rule ids named by {!file_allow_ids}.  Each time an allow actually
+    suppresses a finding, [on_allow_use] receives the winning annotation's
+    rule id and id location (default: ignore). *)

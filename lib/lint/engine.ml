@@ -11,25 +11,95 @@ type source = Symtab.source = { src_path : string; contents : string; linted : b
 
 (* [@cpla.allow] handling for findings produced outside the per-file walk:
    a finding is suppressed when a same-rule annotation's span contains its
-   location, or the rule is allowed file-wide. *)
+   location, or the rule is allowed file-wide.  Every successful
+   suppression is recorded against the winning annotation's identity (its
+   id location), and the per-file walk reports its suppressions through
+   [use] — what is left unrecorded at the end is stale. *)
 let within (span : Ppxlib.Location.t) (loc : Ppxlib.Location.t) =
   loc.loc_start.pos_cnum >= span.loc_start.pos_cnum
   && loc.loc_end.pos_cnum <= span.loc_end.pos_cnum
 
+type allows = {
+  allowed : string -> string -> Ppxlib.Location.t -> bool;
+      (** [allowed rule path loc]: is a finding of [rule] at [loc] in unit
+          [path] suppressed?  Records usage of the winning annotation. *)
+  use : string -> string -> Ppxlib.Location.t -> unit;
+      (** [use path id id_loc]: a suppression reported by {!Checks.analyze}. *)
+  stale : unit -> (string * string * Ppxlib.Location.t) list;
+      (** Known-rule allow annotations in linted units that recorded no use:
+          [(path, id, id_loc)]. *)
+}
+
 let build_allows symtab =
-  let tbl : (string, string list * (string * Ppxlib.Location.t) list) Hashtbl.t =
+  let tbl :
+      ( string,
+        (string * Ppxlib.Location.t) list
+        * (string * Ppxlib.Location.t * Ppxlib.Location.t) list )
+      Hashtbl.t =
     Hashtbl.create 64
   in
+  (* the audit set: every known-rule annotation in a linted unit, one entry
+     per identity (a binding attribute surfaces under two spans).
+     "stale-allow" annotations are themselves exempt from the audit — they
+     exist to silence it. *)
+  let annots : (string * string * Ppxlib.Location.t) list ref = ref [] in
+  let used : (string * string * int, unit) Hashtbl.t = Hashtbl.create 64 in
   for uid = 0 to Symtab.n_units symtab - 1 do
     let u = Symtab.unit symtab uid in
-    Hashtbl.replace tbl u.Symtab.path (Checks.file_allows u.Symtab.str, Checks.allow_spans u.Symtab.str)
+    let file_ids = Checks.file_allow_ids u.Symtab.str in
+    let spans = Checks.allow_spans u.Symtab.str in
+    Hashtbl.replace tbl u.Symtab.path (file_ids, spans);
+    if u.Symtab.linted then begin
+      let seen = Hashtbl.create 16 in
+      let audit id (id_loc : Ppxlib.Location.t) =
+        let k = (id, id_loc.loc_start.pos_cnum) in
+        if Rule.known id && (not (String.equal id "stale-allow")) && not (Hashtbl.mem seen k)
+        then begin
+          Hashtbl.replace seen k ();
+          annots := (u.Symtab.path, id, id_loc) :: !annots
+        end
+      in
+      List.iter (fun (id, id_loc, _) -> audit id id_loc) spans;
+      List.iter (fun (id, id_loc) -> audit id id_loc) file_ids
+    end
   done;
-  fun rule path (loc : Ppxlib.Location.t) ->
+  let use path id (id_loc : Ppxlib.Location.t) =
+    Hashtbl.replace used (path, id, id_loc.loc_start.pos_cnum) ()
+  in
+  let allowed rule path (loc : Ppxlib.Location.t) =
     match Hashtbl.find_opt tbl path with
     | None -> false
-    | Some (file_allowed, spans) ->
-        List.mem rule file_allowed
-        || List.exists (fun (id, span) -> String.equal id rule && within span loc) spans
+    | Some (file_ids, spans) -> (
+        (* innermost containing span takes the usage credit *)
+        let extent (s : Ppxlib.Location.t) = s.loc_end.pos_cnum - s.loc_start.pos_cnum in
+        let best =
+          List.fold_left
+            (fun acc (id, id_loc, span) ->
+              if String.equal id rule && within span loc then
+                match acc with
+                | Some (_, prev) when extent prev <= extent span -> acc
+                | _ -> Some (id_loc, span)
+              else acc)
+            None spans
+        in
+        match best with
+        | Some (id_loc, _) ->
+            use path rule id_loc;
+            true
+        | None -> (
+            match List.find_opt (fun (id, _) -> String.equal id rule) file_ids with
+            | Some (_, id_loc) ->
+                use path rule id_loc;
+                true
+            | None -> false))
+  in
+  let stale () =
+    List.filter
+      (fun (path, id, (id_loc : Ppxlib.Location.t)) ->
+        not (Hashtbl.mem used (path, id, id_loc.loc_start.pos_cnum)))
+      (List.rev !annots)
+  in
+  { allowed; use; stale }
 
 (* ---- whole-program rules --------------------------------------------------- *)
 
@@ -56,10 +126,9 @@ let impure_kernel ~allowed symtab cg =
       (fun (k : Callgraph.kernel_site) ->
         let u = Symtab.unit symtab k.Callgraph.k_unit in
         match k.Callgraph.k_target with
-        | Some key
-          when u.Symtab.linted
-               && u.Symtab.area <> Checks.Test
-               && not (allowed "impure-kernel" u.Symtab.path k.Callgraph.k_loc) -> (
+        | Some key when u.Symtab.linted && u.Symtab.area <> Checks.Test -> (
+            (* compute the impurities first: the allow is only consulted —
+               and counted as used — when there is a finding to suppress *)
             match
               List.sort compare
                 (List.filter_map
@@ -67,6 +136,7 @@ let impure_kernel ~allowed symtab cg =
                    (Callgraph.kinds cg key))
             with
             | [] -> None
+            | _ when allowed "impure-kernel" u.Symtab.path k.Callgraph.k_loc -> None
             | msgs ->
                 Some
                   (Finding.v ~file:u.Symtab.path ~loc:k.Callgraph.k_loc ~rule:"impure-kernel"
@@ -91,9 +161,7 @@ let impure_kernel ~allowed symtab cg =
           List.filter_map
             (fun (c : Callgraph.call) ->
               match c.Callgraph.callee with
-              | Symtab.Sym (cuid, cpath)
-                when c.Callgraph.in_loop
-                     && not (allowed "impure-kernel" u.Symtab.path c.Callgraph.call_loc) -> (
+              | Symtab.Sym (cuid, cpath) when c.Callgraph.in_loop -> (
                   match
                     List.sort compare
                       (List.filter_map
@@ -101,6 +169,8 @@ let impure_kernel ~allowed symtab cg =
                          (Callgraph.kinds cg (cuid, cpath)))
                   with
                   | [] -> None
+                  | _ when allowed "impure-kernel" u.Symtab.path c.Callgraph.call_loc ->
+                      None
                   | msgs ->
                       Some
                         (Finding.v ~file:u.Symtab.path ~loc:c.Callgraph.call_loc
@@ -124,10 +194,22 @@ let unused_export symtab cg =
       | Some intf ->
           List.iter
             (fun (e : Symtab.export) ->
-              if
-                (not e.Symtab.exp_suppressed)
-                && not (Callgraph.referenced cg (uid, e.Symtab.exp_path))
-              then
+              let refd = Callgraph.referenced cg (uid, e.Symtab.exp_path) in
+              if e.Symtab.exp_suppressed then begin
+                (* an extension-point allow on an export that is in fact
+                   referenced no longer suppresses anything *)
+                if refd then
+                  findings :=
+                    Finding.v ~file:intf ~loc:e.Symtab.exp_loc ~rule:"stale-allow"
+                      ~msg:
+                        (Printf.sprintf
+                           "[@@cpla.allow \"unused-export\"] on `%s` is stale: the \
+                            export is referenced outside %s; remove the annotation"
+                           (Symtab.string_of_path e.Symtab.exp_path)
+                           u.Symtab.modname)
+                    :: !findings
+              end
+              else if not refd then
                 findings :=
                   Finding.v ~file:intf ~loc:e.Symtab.exp_loc ~rule:"unused-export"
                     ~msg:
@@ -186,7 +268,8 @@ let check_not_threaded ~allowed symtab cg =
 let lint_sources sources =
   let symtab = Symtab.build sources in
   let cg = Callgraph.build symtab in
-  let allowed = build_allows symtab in
+  let allows = build_allows symtab in
+  let allowed = allows.allowed in
   let findings = ref [] in
   let add fs = findings := fs @ !findings in
   for uid = 0 to Symtab.n_units symtab - 1 do
@@ -195,18 +278,24 @@ let lint_sources sources =
       (match u.Symtab.parse_exn with
       | Some msg -> add [ Finding.file_level ~file:u.Symtab.path ~rule:"parse-error" ~msg ]
       | None ->
-          add (Checks.analyze ~scope:(Checks.scope_of_path u.Symtab.path) u.Symtab.str));
-      if
-        u.Symtab.parsed
-        && u.Symtab.area = Checks.Lib
-        && (not u.Symtab.has_intf)
-        && not (List.mem "missing-mli" (Checks.file_allows u.Symtab.str))
-      then
-        add
-          [
-            Finding.file_level ~file:u.Symtab.path ~rule:"missing-mli"
-              ~msg:"no corresponding .mli; every lib/ module needs an interface";
-          ];
+          add
+            (Checks.analyze
+               ~on_allow_use:(fun id id_loc -> allows.use u.Symtab.path id id_loc)
+               ~scope:(Checks.scope_of_path u.Symtab.path)
+               u.Symtab.str));
+      if u.Symtab.parsed && u.Symtab.area = Checks.Lib && not u.Symtab.has_intf then (
+        match
+          List.find_opt
+            (fun (id, _) -> String.equal id "missing-mli")
+            (Checks.file_allow_ids u.Symtab.str)
+        with
+        | Some (id, id_loc) -> allows.use u.Symtab.path id id_loc
+        | None ->
+            add
+              [
+                Finding.file_level ~file:u.Symtab.path ~rule:"missing-mli"
+                  ~msg:"no corresponding .mli; every lib/ module needs an interface";
+              ]);
       (match (u.Symtab.intf_path, u.Symtab.intf_parse_exn) with
       | Some intf, Some msg ->
           add [ Finding.file_level ~file:intf ~rule:"parse-error" ~msg ]
@@ -229,6 +318,21 @@ let lint_sources sources =
   add (impure_kernel ~allowed symtab cg);
   add (unused_export symtab cg);
   add (check_not_threaded ~allowed symtab cg);
+  add (Alloceffect.check ~allowed symtab cg);
+  add (Blocking.check ~allowed symtab cg);
+  (* stale-allow runs last: every rule above has by now recorded which
+     annotations earned their keep *)
+  add
+    (List.filter_map
+       (fun (path, id, id_loc) ->
+         if allowed "stale-allow" path id_loc then None
+         else
+           Some
+             (Finding.v ~file:path ~loc:id_loc ~rule:"stale-allow"
+                ~msg:
+                  (Printf.sprintf
+                     "[@cpla.allow %S] no longer suppresses any finding; remove it" id)))
+       (allows.stale ()));
   List.sort_uniq Finding.compare !findings
 
 let lint_string ?(has_mli = true) ~filename contents =

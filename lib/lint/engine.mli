@@ -3,10 +3,14 @@
     Phase 1 builds the project-wide {!Symtab}, {!Callgraph} and {!Dataflow}
     results from {e every} source handed in; phase 2 applies the file-local
     {!Checks} to each [linted] unit and layers the whole-program rules
-    ([domain-race], [impure-kernel], [unused-export], [check-not-threaded])
-    on top.  Sources with [linted = false] participate in resolution,
-    reference counting and flow analysis but produce no findings — so a
-    partial lint of one directory still sees the rest of the project. *)
+    ([domain-race], [impure-kernel], [unused-export], [check-not-threaded],
+    [alloc-in-kernel], [blocking-in-loop]) on top, then audits every
+    [[\@cpla.allow]] annotation in the linted units for staleness
+    ([stale-allow]: a known-rule allow that suppressed or pruned nothing
+    this run).  Sources with [linted = false] participate in resolution,
+    reference counting, flow and reachability analysis but produce no
+    findings (and their allows are not audited) — so a partial lint of one
+    directory still sees the rest of the project. *)
 
 type source = Symtab.source = {
   src_path : string;  (** project-relative path; [.ml] or [.mli] *)

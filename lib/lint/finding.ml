@@ -12,7 +12,10 @@ let compare a b =
       match Int.compare a.line b.line with
       | 0 -> (
           match Int.compare a.col b.col with
-          | 0 -> String.compare a.rule b.rule
+          | 0 -> (
+              match String.compare a.rule b.rule with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
           | c -> c)
       | c -> c)
   | c -> c

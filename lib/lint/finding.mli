@@ -15,7 +15,9 @@ val file_level : file:string -> rule:string -> msg:string -> t
 (** A finding about the file as a whole (e.g. a missing [.mli]); [line = 0]. *)
 
 val compare : t -> t -> int
-(** Order by file, line, column, then rule id. *)
+(** Order by file, line, column, rule id, then message — a total order on
+    distinct findings, so [List.sort_uniq compare] dedupes exact duplicates
+    without dropping co-located findings that say different things. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable [file:line: [rule-id] message] form. *)

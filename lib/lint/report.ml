@@ -1,4 +1,10 @@
+(* Deterministic rendering: every format sorts by (file, line, col, rule,
+   message) and drops exact duplicates, so CI logs and committed SARIF
+   artifacts diff stably whatever order the findings were produced in. *)
+let normalize findings = List.sort_uniq Finding.compare findings
+
 let human fmt findings =
+  let findings = normalize findings in
   List.iter (fun f -> Format.fprintf fmt "%a@." Finding.pp f) findings;
   let n = List.length findings in
   Format.fprintf fmt "cpla-lint: %d finding%s@." n (if n = 1 then "" else "s")
@@ -19,6 +25,7 @@ let escape s =
   Buffer.contents b
 
 let json fmt findings =
+  let findings = normalize findings in
   Format.fprintf fmt "{\"findings\":[";
   List.iteri
     (fun i (f : Finding.t) ->
@@ -45,6 +52,7 @@ let github_escape s =
   Buffer.contents b
 
 let github fmt findings =
+  let findings = normalize findings in
   List.iter
     (fun (f : Finding.t) ->
       Format.fprintf fmt "::error file=%s,line=%d,col=%d,title=cpla-lint %s::%s@."
@@ -59,6 +67,7 @@ let github fmt findings =
    one run, one result per finding, rule metadata in the driver so code
    scanning renders synopsis and rationale. *)
 let sarif fmt findings =
+  let findings = normalize findings in
   let fired = List.sort_uniq String.compare (List.map (fun f -> f.Finding.rule) findings) in
   let rules_meta = List.filter (fun (r : Rule.t) -> List.mem r.Rule.id fired) Rule.all in
   Format.fprintf fmt

@@ -1,5 +1,10 @@
 (** Rendering lint findings; all output goes through the caller's formatter,
-    so the library itself never writes to stdout. *)
+    so the library itself never writes to stdout.  Every renderer first runs
+    {!normalize}, so output order is deterministic whatever order findings
+    were produced in. *)
+
+val normalize : Finding.t list -> Finding.t list
+(** Sort by (file, line, col, rule, message) and drop exact duplicates. *)
 
 val human : Format.formatter -> Finding.t list -> unit
 (** One [file:line: [rule-id] message] line per finding, then a summary. *)

@@ -149,6 +149,43 @@ let all =
     };
     {
       analysis = Whole_program;
+      id = "alloc-in-kernel";
+      synopsis =
+        "a function annotated [@cpla.zero_alloc] allocates (closure / tuple / \
+         record / variant / array construction, ref cells that escape, \
+         allocator calls, partial application), directly or through a callee";
+      rationale =
+        "the batched SoA kernels' perf contract is zero allocation in inner \
+         loops; the dynamic Gc.allocated_bytes budgets only sample a few \
+         shapes, so the annotation makes the contract machine-checked on \
+         every build with a creation-to-call witness chain.";
+    };
+    {
+      analysis = Whole_program;
+      id = "blocking-in-loop";
+      synopsis =
+        "a blocking primitive (Unix.sleep / waitpid / blocking read/connect, \
+         Mutex.lock, Condition.wait, Domain.join, unbounded while-true) \
+         reachable from a function annotated [@cpla.event_loop]";
+      rationale =
+        "the daemon's select loop multiplexes every connection on one domain; \
+         one blocking call anywhere in its call graph stalls all clients.  \
+         Bounded waits (nonblocking fds, brief critical sections) are \
+         sanctioned per site with [@cpla.allow \"blocking-in-loop\"].";
+    };
+    {
+      analysis = Whole_program;
+      id = "stale-allow";
+      synopsis =
+        "a [@cpla.allow \"rule-id\"] / [@@@cpla.allow] annotation that no \
+         longer suppresses (or prunes) any finding";
+      rationale =
+        "a suppression that outlives the code it sanctioned is a hole in the \
+         gate: the next genuine finding at that site would be silently \
+         swallowed.  Sweeps stay honest when dead allows are removed.";
+    };
+    {
+      analysis = Whole_program;
       id = "check-not-threaded";
       synopsis =
         "a function taking the ?check cancellation hook calls another \

@@ -19,24 +19,31 @@ type decoded =
 
 (* The input accumulates into [buf] and is consumed from [pos]; when
    everything is consumed the buffer resets, and a large consumed prefix is
-   compacted away so long-lived connections don't grow without bound. *)
-type state =
+   compacted away so long-lived connections don't grow without bound.
+
+   The mode is a constant constructor plus a [need] counter rather than
+   [Body of int]/[Discard of int]: flipping a constant constructor and an
+   int field never allocates, where the carried-argument form boxed a fresh
+   state block on every header and every partial discard. *)
+type mode =
   | Header  (** waiting for 4 length bytes *)
-  | Body of int  (** waiting for this many payload bytes *)
-  | Discard of int  (** skipping the rest of an oversized payload *)
+  | Body  (** waiting for [need] payload bytes *)
+  | Discard  (** skipping [need] bytes of an oversized payload *)
 
 type decoder = {
   max_frame : int;
   buf : Buffer.t;
   mutable pos : int;
-  mutable state : state;
+  mutable mode : mode;
+  mutable need : int;  (** bytes still owed in [Body]/[Discard] *)
 }
 
 let decoder ?(max_frame = max_frame_default) () =
   if max_frame < 1 then invalid_arg "Frame.decoder: max_frame must be >= 1";
-  { max_frame; buf = Buffer.create 4096; pos = 0; state = Header }
+  { max_frame; buf = Buffer.create 4096; pos = 0; mode = Header; need = 0 }
 
 let feed d b ~off ~len = Buffer.add_subbytes d.buf b off len
+[@@cpla.zero_alloc]
 
 let feed_string d s = Buffer.add_string d.buf s
 
@@ -47,51 +54,61 @@ let compact d =
     Buffer.clear d.buf;
     d.pos <- 0
   end
-  else if d.pos > 65536 then begin
-    let rest = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
-    Buffer.clear d.buf;
-    Buffer.add_string d.buf rest;
-    d.pos <- 0
-  end
+  else if d.pos > 65536 then
+    begin
+      (* rare: only once the consumed prefix exceeds 64 KiB *)
+      let rest = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
+      Buffer.clear d.buf;
+      Buffer.add_string d.buf rest;
+      d.pos <- 0
+    end [@cpla.allow "alloc-in-kernel"]
+
+(* hoisted so [next] closes over nothing on the header path *)
+let byte d i = Char.code (Buffer.nth d.buf (d.pos + i))
+[@@cpla.zero_alloc]
 
 let rec next d =
   let avail = buffered d in
-  match d.state with
+  match d.mode with
   | Header ->
       if avail < header_len then None
       else begin
-        let byte i = Char.code (Buffer.nth d.buf (d.pos + i)) in
-        let len = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+        let len = (byte d 0 lsl 24) lor (byte d 1 lsl 16) lor (byte d 2 lsl 8) lor byte d 3 in
         d.pos <- d.pos + header_len;
         compact d;
         if len > d.max_frame then begin
-          d.state <- Discard len;
-          Some (Oversized len)
+          d.mode <- Discard;
+          d.need <- len;
+          (Some (Oversized len) [@cpla.allow "alloc-in-kernel"])
         end
         else begin
-          d.state <- Body len;
+          d.mode <- Body;
+          d.need <- len;
           next d
         end
       end
-  | Body len ->
+  | Body ->
+      let len = d.need in
       if avail < len then None
-      else begin
-        let payload = Buffer.sub d.buf d.pos len in
-        d.pos <- d.pos + len;
-        d.state <- Header;
-        compact d;
-        Some (Frame payload)
-      end
-  | Discard remaining ->
-      let take = min avail remaining in
+      else
+        begin
+          (* the decoded payload itself — the one allocation the caller asked
+             for *)
+          let payload = Buffer.sub d.buf d.pos len in
+          d.pos <- d.pos + len;
+          d.mode <- Header;
+          d.need <- 0;
+          compact d;
+          Some (Frame payload)
+        end [@cpla.allow "alloc-in-kernel"]
+  | Discard ->
+      let take = min avail d.need in
       d.pos <- d.pos + take;
-      let remaining = remaining - take in
+      d.need <- d.need - take;
       compact d;
-      if remaining = 0 then begin
-        d.state <- Header;
+      if d.need = 0 then begin
+        d.mode <- Header;
         next d
       end
-      else begin
-        d.state <- Discard remaining;
-        None
-      end
+      else None
+[@@cpla.zero_alloc]

@@ -116,7 +116,9 @@ let port t = t.bound_port
 
 let wake t =
   let b = Bytes.make 1 '!' in
-  try ignore (Unix.write t.wake_w b 0 1)
+  (* self-pipe write; the fd is non-blocking and a full pipe already means
+     a wake-up is pending *)
+  try ignore (Unix.write t.wake_w b 0 1 [@cpla.allow "blocking-in-loop"])
   with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) ->
     ()
@@ -130,15 +132,19 @@ let now t = Timer.elapsed_s t.clock
 (* ---- event plumbing (worker domains -> loop) ------------------------------ *)
 
 let push_event t conn ev =
-  Mutex.protect t.evq_m (fun () -> Queue.push (conn, ev) t.evq);
+  (* O(1) critical section shared with worker domains *)
+  (Mutex.protect t.evq_m (fun () -> Queue.push (conn, ev) t.evq)
+  [@cpla.allow "blocking-in-loop"]);
   wake t
 
 let pump_events t =
   let batch =
-    Mutex.protect t.evq_m (fun () ->
-        let l = List.of_seq (Queue.to_seq t.evq) in
-        Queue.clear t.evq;
-        l)
+    (* holders only push or swap the queue; the section is O(queued events) *)
+    (Mutex.protect t.evq_m (fun () ->
+         let l = List.of_seq (Queue.to_seq t.evq) in
+         Queue.clear t.evq;
+         l)
+    [@cpla.allow "blocking-in-loop"])
   in
   List.iter
     (fun (conn, (ev : Protocol.event)) ->
@@ -284,7 +290,8 @@ let drop_conn t conn =
     t.jobs
 
 let rec accept_loop t =
-  match Unix.accept ~cloexec:true t.listen_fd with
+  (* the listen fd is non-blocking; EAGAIN ends the accept burst below *)
+  match (Unix.accept ~cloexec:true t.listen_fd [@cpla.allow "blocking-in-loop"]) with
   | fd, addr ->
       Unix.set_nonblock fd;
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -302,7 +309,8 @@ let rec accept_loop t =
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
 
 let rec drain_wake t buf =
-  match Unix.read t.wake_r buf 0 (Bytes.length buf) with
+  (* non-blocking self-pipe read *)
+  match (Unix.read t.wake_r buf 0 (Bytes.length buf) [@cpla.allow "blocking-in-loop"]) with
   | 0 -> ()
   | _ -> drain_wake t buf
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
@@ -378,7 +386,8 @@ let serve t =
   (* anything the grace period left behind is cancelled, then the session
      settles every job before the pool goes down *)
   Hashtbl.iter (fun job _ -> ignore (Session.cancel t.session ~id:job)) t.jobs;
-  Session.drain t.session;
+  (* the loop has exited: blocking until the pool settles is the point *)
+  (Session.drain t.session [@cpla.allow "blocking-in-loop"]);
   pump_events t;
   List.iter (fun conn -> if Conn.wants_write conn then ignore (Conn.flush conn)) t.conns;
   List.iter Conn.close t.conns;
@@ -390,3 +399,4 @@ let serve t =
   close_quiet t.wake_r;
   close_quiet t.wake_w;
   t.cfg.log "drained"
+[@@cpla.event_loop]

@@ -61,45 +61,55 @@ module Ws = struct
     }
 
   let reserve ws n =
-    if n > ws.cap then begin
-      let cap = max n (max 16 (2 * ws.cap)) in
-      ws.g <- Array.make cap 0.0;
-      ws.gt <- Array.make cap 0.0;
-      ws.d <- Array.make cap 0.0;
-      ws.x0 <- Array.make cap 0.0;
-      ws.g0 <- Array.make cap 0.0;
-      ws.xt <- Array.make cap 0.0;
-      for i = 0 to ws.memory - 1 do
-        ws.s_mem.(i) <- Array.make cap 0.0;
-        ws.y_mem.(i) <- Array.make cap 0.0
-      done;
-      ws.cap <- cap
-    end
+    if n > ws.cap then
+      begin
+        (* amortised growth: the only sanctioned allocation under the
+           zero-alloc entry points, doubling so steady-state solves never
+           re-enter this branch *)
+        let cap = max n (max 16 (2 * ws.cap)) in
+        ws.g <- Array.make cap 0.0;
+        ws.gt <- Array.make cap 0.0;
+        ws.d <- Array.make cap 0.0;
+        ws.x0 <- Array.make cap 0.0;
+        ws.g0 <- Array.make cap 0.0;
+        ws.xt <- Array.make cap 0.0;
+        for i = 0 to ws.memory - 1 do
+          ws.s_mem.(i) <- Array.make cap 0.0;
+          ws.y_mem.(i) <- Array.make cap 0.0
+        done;
+        ws.cap <- cap
+      end [@cpla.allow "alloc-in-kernel"]
+
+  (* Ring index of the [k]-th newest pair when the newest lives at
+     [head - 1]; hoisted to top level so [direction_ws] closes over
+     nothing. *)
+  let ring_slot memory head k = (head - 1 - k + (2 * memory)) mod memory
+  [@@cpla.zero_alloc]
 
   (* Two-loop recursion into [ws.d]; the ring holds [count] pairs, newest at
      slot [head - 1].  Identical arithmetic to [direction] below: newest
      pair first, gamma scaling from the newest pair, reverse pass oldest
      first, final negation. *)
   let direction_ws ws ~n ~head ~count =
-    let slot k = (head - 1 - k + (2 * ws.memory)) mod ws.memory in
     Vec.copy_n n ws.g ws.d;
     for k = 0 to count - 1 do
-      let i = slot k in
+      let i = ring_slot ws.memory head k in
       let a = ws.rho.(i) *. Vec.dot_n n ws.s_mem.(i) ws.d in
       ws.alpha.(i) <- a;
       Vec.axpy_n ~alpha:(-.a) n ws.y_mem.(i) ws.d
     done;
     if count > 0 then begin
-      let i0 = slot 0 in
+      let i0 = ring_slot ws.memory head 0 in
       let yy = Vec.dot_n n ws.y_mem.(i0) ws.y_mem.(i0) in
       if yy > 0.0 then Vec.scale_n (Vec.dot_n n ws.s_mem.(i0) ws.y_mem.(i0) /. yy) n ws.d
     end;
     for k = count - 1 downto 0 do
-      let i = slot k in
+      let i = ring_slot ws.memory head k in
       let beta = ws.rho.(i) *. Vec.dot_n n ws.y_mem.(i) ws.d in
       Vec.axpy_n ~alpha:(ws.alpha.(i) -. beta) n ws.s_mem.(i) ws.d
     done;
     Vec.scale_n (-1.0) n ws.d
+  [@@cpla.zero_alloc]
 
   (* [eval x grad_out] must write f(x) into [ws.fx_out.(0)] and ∇f(x) into
      [grad_out] (first [n] cells); [x] is updated in place. *)
@@ -162,6 +172,7 @@ module Ws = struct
     ws.grad_norm <- Vec.norm_inf_n n ws.g;
     ws.iterations <- !iter;
     ws.converged <- !converged
+  [@@cpla.zero_alloc]
 
   let fx_out ws = ws.fx_out
   let f ws = ws.f

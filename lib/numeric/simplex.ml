@@ -181,6 +181,7 @@ let pivot tab ~row ~col =
     end
   done;
   tab.basis.(row) <- col
+[@@cpla.zero_alloc]
 
 (* Reduced costs for cost vector [c] (first ncols cells) under the current
    basis, into the workspace scratch: c̄_j = c_j − Σ_i c_{B(i)} · t_{ij}. *)
@@ -200,6 +201,7 @@ let reduced_costs ws tab c =
     end
   done;
   rc
+[@@cpla.zero_alloc]
 
 let objective_value tab c =
   let acc = ref 0.0 in
@@ -212,9 +214,11 @@ let objective_value tab c =
    enter the basis.  Returns [`Optimal], [`Unbounded] or [`Limit]. *)
 let iterate ws tab c blocked pivots max_pivots =
   let degenerate_run = ref 0 in
-  let result = ref None in
-  while !result = None do
-    if !pivots >= max_pivots then result := Some `Limit
+  (* constant polymorphic variants are immediate, so flipping the state
+     never allocates (an option would box [Some] per transition) *)
+  let result = ref `Running in
+  while !result = `Running do
+    if !pivots >= max_pivots then result := `Limit
     else begin
       let rc = reduced_costs ws tab c in
       (* Entering column: Dantzig (most negative) normally, Bland (first
@@ -239,7 +243,7 @@ let iterate ws tab c blocked pivots max_pivots =
           end
         done
       end;
-      if !enter < 0 then result := Some `Optimal
+      if !enter < 0 then result := `Optimal
       else begin
         let col = !enter in
         let leave = ref (-1) and best_ratio = ref infinity in
@@ -256,7 +260,7 @@ let iterate ws tab c blocked pivots max_pivots =
             end
           end
         done;
-        if !leave < 0 then result := Some `Unbounded
+        if !leave < 0 then result := `Unbounded
         else begin
           if !best_ratio < eps then incr degenerate_run else degenerate_run := 0;
           pivot tab ~row:!leave ~col;
@@ -265,7 +269,10 @@ let iterate ws tab c blocked pivots max_pivots =
       end
     end
   done;
-  match !result with Some r -> r | None -> assert false
+  match !result with
+  | `Running -> assert false
+  | (`Optimal | `Unbounded | `Limit) as r -> r
+[@@cpla.zero_alloc]
 
 let extract tab n =
   let x = Array.make n 0.0 in

@@ -53,6 +53,7 @@ let dot_n n x y =
     acc := !acc +. (x.(i) *. y.(i))
   done;
   !acc
+[@@cpla.zero_alloc]
 
 let norm_inf_n n x =
   check_cap x n "norm_inf_n";
@@ -61,6 +62,7 @@ let norm_inf_n n x =
     acc := Float.max !acc (Float.abs x.(i))
   done;
   !acc
+[@@cpla.zero_alloc]
 
 let axpy_n ~alpha n x y =
   check_cap x n "axpy_n";
@@ -68,21 +70,25 @@ let axpy_n ~alpha n x y =
   for i = 0 to n - 1 do
     y.(i) <- y.(i) +. (alpha *. x.(i))
   done
+[@@cpla.zero_alloc]
 
 let scale_n alpha n x =
   check_cap x n "scale_n";
   for i = 0 to n - 1 do
     x.(i) <- alpha *. x.(i)
   done
+[@@cpla.zero_alloc]
 
 let copy_n n src dst =
   check_cap src n "copy_n";
   check_cap dst n "copy_n";
   Array.blit src 0 dst 0 n
+[@@cpla.zero_alloc]
 
 let fill_n n x v =
   check_cap x n "fill_n";
   Array.fill x 0 n v
+[@@cpla.zero_alloc]
 
 let sub_n n x y dst =
   check_cap x n "sub_n";
@@ -91,4 +97,5 @@ let sub_n n x y dst =
   for i = 0 to n - 1 do
     dst.(i) <- x.(i) -. y.(i)
   done
+[@@cpla.zero_alloc]
 

@@ -50,7 +50,8 @@ let observe ?(lo = 0.0) ?(hi = 1000.0) ?(bins = 20) name v =
           Hist { m = Mutex.create (); h = Cpla_util.Histogram.create ~lo ~hi ~bins })
     with
     | Hist { m; h } ->
-        Mutex.lock m;
+        (* per-histogram lock around a single bin increment *)
+        (Mutex.lock m [@cpla.allow "blocking-in-loop"]);
         Cpla_util.Histogram.add h v;
         Mutex.unlock m
     | Counter _ | Gauge _ -> kind_error name

@@ -18,7 +18,6 @@ val is_empty : 'a t -> bool
 val add : 'a t -> priority:int -> cost:float -> 'a -> unit
 
 val pop : 'a t -> 'a option
-  [@@cpla.allow "unused-export"]
 (** Remove and return the next job by the policy above. *)
 
 val drain : 'a t -> 'a list

@@ -195,14 +195,16 @@ let create ?(workers = Pool.recommended_workers ()) () =
   }
 
 let locked t f =
-  Mutex.lock t.m;
+  (* queue-state lock: every critical section is a few field updates *)
+  (Mutex.lock t.m [@cpla.allow "blocking-in-loop"]);
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 (* Events come from whichever domain settles a job (workers, or [cancel]'s
    caller for queued jobs); one lock keeps consumer callbacks (printing,
    frame encoding, counters) from interleaving. *)
 let emitting t f =
-  Mutex.lock t.emit_m;
+  (* held only for one consumer callback at a time *)
+  (Mutex.lock t.emit_m [@cpla.allow "blocking-in-loop"]);
   Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_m) f
 
 (* Exactly one pool thunk is submitted per accepted job, and each thunk pops
@@ -268,7 +270,9 @@ let submit t ?(on_event = fun _ -> ()) (spec : Job.spec) =
     ();
   Cpla_obs.Metrics.incr "serve/jobs-submitted";
   entry.on_event (Submitted spec);
-  (match Pool.Persistent.submit t.pool (run_next t) with
+  (* [run_next] executes on a pool worker domain, never on the caller; its
+     waits are off the event loop by construction *)
+  (match (Pool.Persistent.submit t.pool (run_next t) [@cpla.allow "blocking-in-loop"]) with
   | (_ : unit Pool.Persistent.task) -> ()
   | exception Invalid_argument _ ->
       (* a concurrent [drain] shut the pool between admission and thunk

@@ -244,6 +244,140 @@ let test_simplex_alloc_budget () =
     (Printf.sprintf "simplex solve_ws allocates %.0f B/run (budget 16384)" per_run)
     true (per_run < 16384.0)
 
+let test_vec_alloc_budget () =
+  let n = 512 in
+  let x = Array.init n (fun i -> float_of_int i *. 0.5) in
+  let y = Array.init n (fun i -> float_of_int (n - i)) in
+  let dst = Array.make n 0.0 in
+  let sink = ref 0.0 in
+  let per_run =
+    bytes_per_run ~runs:100 (fun () ->
+        sink := !sink +. Vec.dot_n n x y;
+        sink := !sink +. Vec.norm_inf_n n x;
+        Vec.axpy_n ~alpha:0.5 n x y;
+        Vec.scale_n 0.999 n y;
+        Vec.copy_n n x dst;
+        Vec.fill_n n dst 0.0;
+        Vec.sub_n n x y dst)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "vec _n ops allocate %.0f B/run (budget 512)" per_run)
+    true (per_run < 512.0)
+
+let test_lbfgs_alloc_budget () =
+  (* strictly convex quadratic; the evaluator writes into caller storage so
+     a warmed solve allocates only boxed float returns and loop refs *)
+  let n = 32 in
+  let target = Array.init n (fun i -> float_of_int (i mod 7) -. 3.0) in
+  let ws = Lbfgs.Ws.create ~memory:6 () in
+  let fx = Lbfgs.Ws.fx_out ws in
+  let eval v grad =
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      let d = v.(i) -. target.(i) in
+      acc := !acc +. (d *. d);
+      grad.(i) <- 2.0 *. d
+    done;
+    fx.(0) <- !acc
+  in
+  let x = Array.make n 0.0 in
+  let per_run =
+    bytes_per_run ~runs:20 (fun () ->
+        Array.fill x 0 n 0.0;
+        Lbfgs.Ws.minimize ws ~n ~max_iter:50 ~grad_tol:1e-8 ~eval x)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "lbfgs ws minimize allocates %.0f B/run (budget 65536)" per_run)
+    true (per_run < 65536.0)
+
+let test_frame_alloc_budget () =
+  (* per decoded frame: the payload string, the [Frame] block and the
+     [Some] cell — the handed-to-caller values — and nothing else *)
+  let payload = String.make 48 'x' in
+  let wire = Bytes.to_string (Cpla_net.Frame.encode payload) in
+  let burst = String.concat "" (List.init 16 (fun _ -> wire)) in
+  let dec = Cpla_net.Frame.decoder () in
+  let drain () =
+    let rec go n =
+      match Cpla_net.Frame.next dec with
+      | Some (Cpla_net.Frame.Frame _) -> go (n + 1)
+      | Some (Cpla_net.Frame.Oversized _) -> go n
+      | None -> n
+    in
+    go 0
+  in
+  let per_run =
+    bytes_per_run ~runs:100 (fun () ->
+        Cpla_net.Frame.feed_string dec burst;
+        if drain () <> 16 then failwith "frame budget: short decode")
+  in
+  (* 16 frames/run; ~150 B of sanctioned output per frame, budget ~2x *)
+  Alcotest.(check bool)
+    (Printf.sprintf "frame decode allocates %.0f B/run (budget 8192)" per_run)
+    true (per_run < 8192.0)
+
+(* ---- static/dynamic agreement ----------------------------------------------- *)
+
+(* Every [@@cpla.zero_alloc] annotation in the tree must be covered by a
+   dynamic [Gc.allocated_bytes] budget above, and vice versa: this census
+   pins the per-file annotation counts so adding or removing an annotation
+   without updating the corresponding budget test fails here.  The static
+   verdict (cpla-lint's alloc-in-kernel pass, enforced at 0 findings by the
+   @lint alias) and the dynamic budgets then agree on the same set of
+   functions.  Runs against the source copies dune places next to the test
+   binary; skipped when they are absent (e.g. installed-package runs). *)
+let test_zero_alloc_census () =
+  let root = "../lib" in
+  if not (Sys.file_exists root && Sys.is_directory root) then ()
+  else begin
+    let count_in path =
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      let needle = "[@@cpla.zero_alloc]" in
+      let n = String.length needle in
+      let rec go i acc =
+        if i + n > String.length s then acc
+        else if String.sub s i n = needle then go (i + n) (acc + 1)
+        else go (i + 1) acc
+      in
+      go 0 0
+    in
+    let expected =
+      [
+        ("numeric/vec.ml", 7);
+        ("numeric/lbfgs.ml", 3);
+        ("numeric/simplex.ml", 3);
+        ("sdp/kernel.ml", 1);
+        ("net/frame.ml", 3);
+      ]
+    in
+    List.iter
+      (fun (rel, n) ->
+        let path = Filename.concat root rel in
+        Alcotest.(check int)
+          (Printf.sprintf "zero_alloc annotations in %s" rel)
+          n (count_in path))
+      expected;
+    (* and no annotated file outside the census *)
+    let rec walk dir acc =
+      Array.fold_left
+        (fun acc name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then walk p acc
+          else if Filename.check_suffix name ".ml" && count_in p > 0 then p :: acc
+          else acc)
+        acc (Sys.readdir dir)
+    in
+    let annotated = List.sort compare (walk root []) in
+    let expected_files =
+      List.sort compare (List.map (fun (rel, _) -> Filename.concat root rel) expected)
+    in
+    Alcotest.(check (list string)) "annotated files all have budget tests"
+      expected_files annotated
+  end
+
 let suite =
   [
     Alcotest.test_case "sdp: ws reuse bitwise across buckets" `Quick test_sdp_ws_reuse;
@@ -252,4 +386,8 @@ let suite =
     Alcotest.test_case "ilp: ws reuse bitwise" `Quick test_ilp_ws_reuse;
     Alcotest.test_case "sdp kernel allocation budget" `Quick test_sdp_alloc_budget;
     Alcotest.test_case "simplex allocation budget" `Quick test_simplex_alloc_budget;
+    Alcotest.test_case "vec prefix-op allocation budget" `Quick test_vec_alloc_budget;
+    Alcotest.test_case "lbfgs ws allocation budget" `Quick test_lbfgs_alloc_budget;
+    Alcotest.test_case "frame decode allocation budget" `Quick test_frame_alloc_budget;
+    Alcotest.test_case "zero_alloc census: static = dynamic" `Quick test_zero_alloc_census;
   ]

@@ -252,6 +252,252 @@ let test_check_not_threaded () =
   Alcotest.(check int) "threading the hook clears it" 0
     (List.length (hits "check-not-threaded" (project true)))
 
+(* ---- alloc-in-kernel ------------------------------------------------------- *)
+
+let test_alloc_direct () =
+  match
+    hits "alloc-in-kernel"
+      [
+        src "lib/fixture/k.ml" "let pair x = (x, x)\n[@@cpla.zero_alloc]\n";
+        src "lib/fixture/k.mli" "val pair : int -> int * int\n";
+      ]
+  with
+  | [ (file, _, msg) ] ->
+      Alcotest.(check string) "reported at the annotated binding" "lib/fixture/k.ml" file;
+      check_msg "direct allocation" msg
+        [ "`K.pair`"; "[@cpla.zero_alloc]"; "allocates a tuple" ]
+  | fs -> Alcotest.failf "expected exactly one alloc finding, got %d" (List.length fs)
+
+let test_alloc_cross_module_chain () =
+  (* the allocation lives two calls away in another module: the diagnostic
+     must carry the whole creation-to-allocation chain *)
+  match
+    hits "alloc-in-kernel"
+      [
+        src "lib/fixture/helper.ml" "let box x = [ x ]\nlet via x = box x\n";
+        src "lib/fixture/helper.mli" "val box : int -> int list\nval via : int -> int list\n";
+        src "lib/fixture/hot.ml" "let kernel x = Helper.via x\n[@@cpla.zero_alloc]\n";
+        src "lib/fixture/hot.mli" "val kernel : int -> int list\n";
+      ]
+  with
+  | [ (file, _, msg) ] ->
+      Alcotest.(check string) "reported at the root" "lib/fixture/hot.ml" file;
+      check_msg "witness chain" msg
+        [
+          "`Hot.kernel`";
+          "calls `Helper.via` at lib/fixture/hot.ml:1";
+          "calls `Helper.box` at lib/fixture/helper.ml:2";
+          "allocates a list cell at lib/fixture/helper.ml:1";
+        ]
+  | fs -> Alcotest.failf "expected exactly one alloc finding, got %d" (List.length fs)
+
+let test_alloc_allow_sites () =
+  (* sanctioned at the allocation site itself... *)
+  let at_site =
+    [
+      src "lib/fixture/k.ml"
+        "let pair x = ((x, x) [@cpla.allow \"alloc-in-kernel\"])\n[@@cpla.zero_alloc]\n";
+      src "lib/fixture/k.mli" "val pair : int -> int * int\n";
+    ]
+  in
+  (* ...and on a call edge, pruning everything behind the callee *)
+  let at_edge =
+    [
+      src "lib/fixture/helper.ml" "let box x = [ x ]\n";
+      src "lib/fixture/helper.mli" "val box : int -> int list\n";
+      src "lib/fixture/hot.ml"
+        "let kernel x = (Helper.box x [@cpla.allow \"alloc-in-kernel\"])\n\
+         [@@cpla.zero_alloc]\n";
+      src "lib/fixture/hot.mli" "val kernel : int -> int list\n";
+    ]
+  in
+  Alcotest.(check int) "site allow" 0 (List.length (hits "alloc-in-kernel" at_site));
+  Alcotest.(check int) "edge allow" 0 (List.length (hits "alloc-in-kernel" at_edge))
+
+let test_alloc_accumulator_ref () =
+  (* a local ref consumed only through !/:=/incr stays in registers: the
+     canonical [let acc = ref 0.0 in ... !acc] kernel shape must verify *)
+  let accumulator =
+    [
+      src "lib/fixture/k.ml"
+        "let sum xs =\n\
+        \  let acc = ref 0 in\n\
+        \  for i = 0 to Array.length xs - 1 do\n\
+        \    acc := !acc + xs.(i)\n\
+        \  done;\n\
+        \  !acc\n\
+         [@@cpla.zero_alloc]\n";
+      src "lib/fixture/k.mli" "val sum : int array -> int\n";
+    ]
+  in
+  (* but a ref that escapes as a value really is a heap cell *)
+  let escaping =
+    [
+      src "lib/fixture/k.ml"
+        "let cell x =\n  let r = ref x in\n  ignore (Fun.id r);\n  !r\n[@@cpla.zero_alloc]\n";
+      src "lib/fixture/k.mli" "val cell : int -> int\n";
+    ]
+  in
+  Alcotest.(check int) "accumulator is clean" 0 (List.length (hits "alloc-in-kernel" accumulator));
+  match hits "alloc-in-kernel" escaping with
+  | [ (_, _, msg) ] -> check_msg "escape" msg [ "allocates a ref cell"; "`r` escapes" ]
+  | fs -> Alcotest.failf "expected exactly one escape finding, got %d" (List.length fs)
+
+let test_alloc_partial_application () =
+  match
+    hits "alloc-in-kernel"
+      [
+        src "lib/fixture/k.ml"
+          "let add a b = a + b\nlet curry1 x = add x\n[@@cpla.zero_alloc]\n";
+        src "lib/fixture/k.mli" "val add : int -> int -> int\nval curry1 : int -> int -> int\n";
+      ]
+  with
+  | [ (_, _, msg) ] ->
+      check_msg "partial application" msg [ "partially applies `K.add`"; "allocates a closure" ]
+  | fs -> Alcotest.failf "expected exactly one partial-app finding, got %d" (List.length fs)
+
+(* ---- blocking-in-loop ------------------------------------------------------- *)
+
+let test_blocking_direct () =
+  match
+    hits "blocking-in-loop"
+      [
+        src "lib/fixture/loop.ml" "let run () = Unix.sleep 1\n[@@cpla.event_loop]\n";
+        src "lib/fixture/loop.mli" "val run : unit -> unit\n";
+      ]
+  with
+  | [ (file, line, msg) ] ->
+      (* reported at the blocking site, not at the annotation *)
+      Alcotest.(check string) "file" "lib/fixture/loop.ml" file;
+      Alcotest.(check int) "line" 1 line;
+      check_msg "direct blocking" msg
+        [ "`Unix.sleep` may block the event loop"; "directly inside [@cpla.event_loop] `Loop.run`" ]
+  | fs -> Alcotest.failf "expected exactly one blocking finding, got %d" (List.length fs)
+
+let test_blocking_cross_module_chain () =
+  match
+    hits "blocking-in-loop"
+      [
+        src "lib/fixture/store.ml"
+          "let m = Mutex.create ()\nlet locked f = Mutex.lock m; f (); Mutex.unlock m\n";
+        src "lib/fixture/store.mli" "val m : Mutex.t\nval locked : (unit -> unit) -> unit\n";
+        src "lib/fixture/loop.ml"
+          "let tick () = Store.locked (fun () -> ())\n\
+           let run () = tick ()\n\
+           [@@cpla.event_loop]\n";
+        src "lib/fixture/loop.mli" "val tick : unit -> unit\nval run : unit -> unit\n";
+      ]
+  with
+  | [ (file, line, msg) ] ->
+      Alcotest.(check string) "reported where the primitive is" "lib/fixture/store.ml" file;
+      Alcotest.(check int) "line" 2 line;
+      check_msg "reachability chain" msg
+        [
+          "`Mutex.lock` may block the event loop";
+          "reachable from [@cpla.event_loop] `Loop.run`";
+          "calls `Loop.tick` at lib/fixture/loop.ml:2";
+          "calls `Store.locked` at lib/fixture/loop.ml:1";
+        ]
+  | fs -> Alcotest.failf "expected exactly one blocking finding, got %d" (List.length fs)
+
+let test_blocking_allow_and_while_true () =
+  let allowed =
+    [
+      src "lib/fixture/loop.ml"
+        "let run () = (Unix.sleep 1 [@cpla.allow \"blocking-in-loop\"])\n[@@cpla.event_loop]\n";
+      src "lib/fixture/loop.mli" "val run : unit -> unit\n";
+    ]
+  in
+  let spin select =
+    [
+      src "lib/fixture/loop.ml"
+        (Printf.sprintf
+           "let run () =\n  while true do\n    %s\n  done\n[@@cpla.event_loop]\n"
+           (if select then "ignore (Unix.select [] [] [] 0.1)" else "ignore (Sys.opaque_identity 0)"));
+      src "lib/fixture/loop.mli" "val run : unit -> unit\n";
+    ]
+  in
+  Alcotest.(check int) "site allow" 0 (List.length (hits "blocking-in-loop" allowed));
+  Alcotest.(check int) "select loop is the sanctioned shape" 0
+    (List.length (hits "blocking-in-loop" (spin true)));
+  match hits "blocking-in-loop" (spin false) with
+  | [ (_, _, msg) ] -> check_msg "busy loop" msg [ "while true"; "without select/poll" ]
+  | fs -> Alcotest.failf "expected exactly one busy-loop finding, got %d" (List.length fs)
+
+(* ---- stale-allow ------------------------------------------------------------ *)
+
+let test_stale_allow () =
+  (* one live allow (it suppresses an obj-magic) and one stale (nothing to
+     suppress): only the stale one is reported, at its own annotation *)
+  match
+    hits "stale-allow"
+      [
+        src "lib/fixture/mix.ml"
+          "let live x = (Obj.magic x [@cpla.allow \"obj-magic\"])\n\
+           let stale x = (x [@cpla.allow \"obj-magic\"])\n";
+        src "lib/fixture/mix.mli" "val live : 'a -> 'b\nval stale : int -> int\n";
+      ]
+  with
+  | [ (file, line, msg) ] ->
+      Alcotest.(check string) "file" "lib/fixture/mix.ml" file;
+      Alcotest.(check int) "line" 2 line;
+      check_msg "stale" msg [ "obj-magic"; "no longer suppresses" ]
+  | fs -> Alcotest.failf "expected exactly one stale-allow finding, got %d" (List.length fs)
+
+let test_stale_allow_file_level_and_context () =
+  (* a file-wide allow with nothing to suppress is stale too *)
+  let file_wide =
+    [
+      src "lib/fixture/mix.ml" "[@@@cpla.allow \"obj-magic\"]\n\nlet f x = x + 1\n";
+      src "lib/fixture/mix.mli" "val f : int -> int\n";
+    ]
+  in
+  (* allows in non-linted context units are not audited *)
+  let context_only =
+    [
+      src ~linted:false "lib/fixture/mix.ml" "let stale x = (x [@cpla.allow \"obj-magic\"])\n";
+      src "lib/fixture/other.ml" "let g x = x\n";
+      src "lib/fixture/other.mli" "val g : int -> int\n";
+    ]
+  in
+  (match hits "stale-allow" file_wide with
+  | [ (_, line, _) ] -> Alcotest.(check int) "at the floating attribute" 1 line
+  | fs -> Alcotest.failf "expected exactly one stale-allow finding, got %d" (List.length fs));
+  Alcotest.(check int) "context allows unaudited" 0
+    (List.length (hits "stale-allow" context_only))
+
+(* ---- deterministic output --------------------------------------------------- *)
+
+let test_report_normalize () =
+  let f file line rule =
+    {
+      Finding.file;
+      line;
+      col = 0;
+      rule;
+      message = Printf.sprintf "%s in %s" rule file;
+    }
+  in
+  let shuffled =
+    [
+      f "lib/b.ml" 3 "obj-magic";
+      f "lib/a.ml" 9 "missing-mli";
+      f "lib/b.ml" 3 "obj-magic" (* exact duplicate: dropped *);
+      f "lib/b.ml" 1 "obj-magic";
+      f "lib/a.ml" 9 "missing-mli" (* exact duplicate: dropped *);
+    ]
+  in
+  let got = Report.normalize shuffled in
+  Alcotest.(check (list string))
+    "sorted by (file, line, col, rule) with duplicates removed"
+    [ "lib/a.ml:9"; "lib/b.ml:1"; "lib/b.ml:3" ]
+    (List.map (fun (x : Finding.t) -> Printf.sprintf "%s:%d" x.Finding.file x.Finding.line) got);
+  (* co-located findings from different rules must both survive *)
+  let colocated = [ f "lib/a.ml" 1 "rule-b"; f "lib/a.ml" 1 "rule-a" ] in
+  Alcotest.(check (list string))
+    "distinct rules at one site are kept, rule-sorted" [ "rule-a"; "rule-b" ]
+    (List.map (fun (x : Finding.t) -> x.Finding.rule) (Report.normalize colocated))
+
 (* ---- reporters ------------------------------------------------------------- *)
 
 let sample_findings () =
@@ -300,6 +546,22 @@ let suite =
     Alcotest.test_case "impure-kernel: pure/allow" `Quick test_impure_kernel_pure_and_allow;
     Alcotest.test_case "unused-export" `Quick test_unused_export;
     Alcotest.test_case "check-not-threaded" `Quick test_check_not_threaded;
+    Alcotest.test_case "alloc-in-kernel: direct" `Quick test_alloc_direct;
+    Alcotest.test_case "alloc-in-kernel: cross-module chain" `Quick
+      test_alloc_cross_module_chain;
+    Alcotest.test_case "alloc-in-kernel: allow sites" `Quick test_alloc_allow_sites;
+    Alcotest.test_case "alloc-in-kernel: accumulator ref" `Quick test_alloc_accumulator_ref;
+    Alcotest.test_case "alloc-in-kernel: partial application" `Quick
+      test_alloc_partial_application;
+    Alcotest.test_case "blocking-in-loop: direct" `Quick test_blocking_direct;
+    Alcotest.test_case "blocking-in-loop: cross-module chain" `Quick
+      test_blocking_cross_module_chain;
+    Alcotest.test_case "blocking-in-loop: allow and while-true" `Quick
+      test_blocking_allow_and_while_true;
+    Alcotest.test_case "stale-allow: live vs stale" `Quick test_stale_allow;
+    Alcotest.test_case "stale-allow: file-level and context" `Quick
+      test_stale_allow_file_level_and_context;
+    Alcotest.test_case "report: normalize" `Quick test_report_normalize;
     Alcotest.test_case "github reporter" `Quick test_github_format;
     Alcotest.test_case "sarif reporter" `Quick test_sarif_format;
   ]
