@@ -531,12 +531,14 @@ let run_obs_overhead () =
 
 (* ---- lint wall time --------------------------------------------------------- *)
 
-(* Whole-tree cpla-lint wall time: both interprocedural passes (symtab,
-   call graph, purity/allocation/blocking fixpoints) plus every file-local
-   check over lib/bin/bench/test.  Keeping this in the trajectory makes a
-   superlinear regression in the analyses as visible as one in the
-   kernels.  Requires the sources on disk, so it runs from the repo root
-   and is skipped elsewhere. *)
+(* Whole-tree cpla-lint wall time, three regimes over the same in-memory
+   sources: a cold run (empty summary cache), a warm run with nothing
+   changed (every summary reused), and a warm run after touching one file
+   (that file plus its importers re-summarized).  Keeping cold in the
+   trajectory makes a superlinear regression in the analyses as visible as
+   one in the kernels; the warm/cold ratio gates the point of the
+   incremental engine.  Requires the sources on disk, so it runs from the
+   repo root and is skipped elsewhere. *)
 let run_lint () =
   Printf.printf "\n==================================================================\n";
   Printf.printf "lint — whole-tree static analysis wall time\n";
@@ -544,22 +546,50 @@ let run_lint () =
   let roots = List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ] in
   if roots = [] then print_endline "sources not on disk; skipping"
   else begin
-    let findings = ref [] in
-    let lint () = findings := Cpla_lint.Engine.lint_paths roots in
-    lint () (* warm the fs cache out of the measured window *);
-    let reps = 5 in
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Cpla_util.Timer.now_ns () in
-      lint ();
-      let dt = Int64.to_float (Int64.sub (Cpla_util.Timer.now_ns ()) t0) in
-      if dt < !best then best := dt
-    done;
-    Bench_out.record ~section:"lint" ~kernel:"lint/whole-tree" ~design:"repo"
-      ~ns_per_op:!best ();
-    Printf.printf "whole-tree lint: %.1f ms (min of %d), %d findings\n" (!best /. 1e6)
-      reps
-      (List.length !findings)
+    let sources, _ = Cpla_lint.Engine.read_sources roots in
+    let lint ~cache srcs =
+      let cache, findings, stats = Cpla_lint.Engine.lint_incremental ~cache srcs in
+      (cache, findings, stats)
+    in
+    let warm_cache, cold_findings, _ = lint ~cache:Cpla_lint.Summary.empty sources in
+    (* the 1-dirty variant: append a comment to one mid-sized util module *)
+    let dirty_path = "lib/util/stats.ml" in
+    let dirtied =
+      List.map
+        (fun (s : Cpla_lint.Engine.source) ->
+          if String.equal s.src_path dirty_path then
+            { s with contents = s.contents ^ "\n(* bench: touched *)\n" }
+          else s)
+        sources
+    in
+    let measure name f =
+      let reps = 5 in
+      let best = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Cpla_util.Timer.now_ns () in
+        f ();
+        let dt = Int64.to_float (Int64.sub (Cpla_util.Timer.now_ns ()) t0) in
+        if dt < !best then best := dt
+      done;
+      Bench_out.record ~section:"lint" ~kernel:name ~design:"repo" ~ns_per_op:!best ();
+      !best
+    in
+    let t_cold = measure "lint/cold" (fun () -> ignore (lint ~cache:Cpla_lint.Summary.empty sources)) in
+    let t_warm = measure "lint/warm-clean" (fun () -> ignore (lint ~cache:warm_cache sources)) in
+    let t_dirty = measure "lint/warm-1-dirty" (fun () -> ignore (lint ~cache:warm_cache dirtied)) in
+    let _, warm_findings, warm_stats = lint ~cache:warm_cache sources in
+    Printf.printf
+      "cold: %.1f ms   warm-clean: %.1f ms (%d/%d reused)   warm-1-dirty: %.1f ms\n"
+      (t_cold /. 1e6) (t_warm /. 1e6) warm_stats.Cpla_lint.Summary.reused
+      warm_stats.Cpla_lint.Summary.files (t_dirty /. 1e6);
+    Printf.printf "findings: %d (cold)\n" (List.length cold_findings);
+    if warm_findings <> cold_findings then
+      failwith "lint/warm-clean: findings differ from the cold run";
+    if t_warm *. 5.0 > t_cold then
+      failwith
+        (Printf.sprintf
+           "lint/warm-clean: %.1f ms is not >=5x faster than cold %.1f ms"
+           (t_warm /. 1e6) (t_cold /. 1e6))
   end
 
 (* ---- entry ----------------------------------------------------------------- *)

@@ -4,24 +4,27 @@
    project-wide symbol table and call graph, and enforces the project's
    domain-safety / determinism / hygiene rules (see `--rules` or
    DESIGN.md).  Paths not being linted are still loaded as resolution
-   context, so a partial lint sees the whole project.  Exit status:
-   0 clean, 1 findings, 124 usage/IO error — so CI can gate on it. *)
+   context, so a partial lint sees the whole project.  Per-file summaries
+   persist across runs (`--cache`, default _build/.cpla-lint-cache), so a
+   warm run only re-analyzes changed files and their importers.  Exit
+   status: 0 clean, 1 findings, 124 usage/IO error — so CI can gate on
+   it. *)
 
 open Cmdliner
 
 type format = Human | Json | Github | Sarif
 
-let render = function
+let render ?stats = function
   | Human -> Cpla_lint.Report.human
-  | Json -> Cpla_lint.Report.json
+  | Json -> Cpla_lint.Report.json ?stats
   | Github -> Cpla_lint.Report.github
   | Sarif -> Cpla_lint.Report.sarif
 
 (* machine formats must stay well-formed even on a clean tree *)
-let render_empty fmt formatter =
+let render_empty ?stats fmt formatter =
   match fmt with
   | Human -> Format.fprintf formatter "cpla-lint: 0 findings@."
-  | f -> render f formatter []
+  | f -> render ?stats f formatter []
 
 let parse_filter filter =
   match filter with
@@ -39,7 +42,7 @@ let parse_filter filter =
              (String.concat ", " unknown))
       else Ok (Some ids)
 
-let run fmt filter list_rules paths =
+let run fmt filter list_rules cache no_cache workers paths =
   if list_rules then begin
     Cpla_lint.Report.rules Format.std_formatter;
     0
@@ -50,8 +53,9 @@ let run fmt filter list_rules paths =
         Format.eprintf "cpla-lint: %s@." msg;
         124
     | Ok filter -> (
-        match Cpla_lint.Engine.lint_paths paths with
-        | all -> (
+        let cache_file = if no_cache then None else Some cache in
+        match Cpla_lint.Engine.lint_paths ~workers ?cache_file paths with
+        | all, stats -> (
             let findings =
               match filter with
               | None -> all
@@ -59,10 +63,10 @@ let run fmt filter list_rules paths =
             in
             match findings with
             | [] ->
-                render_empty fmt Format.std_formatter;
+                render_empty ~stats fmt Format.std_formatter;
                 0
             | findings ->
-                render fmt Format.std_formatter findings;
+                render ~stats fmt Format.std_formatter findings;
                 1)
         | exception Sys_error msg ->
             Format.eprintf "cpla-lint: %s@." msg;
@@ -98,6 +102,31 @@ let list_rules =
           "List the rule registry (with each rule's file-local vs whole-program \
            analysis tier) and exit.")
 
+let cache =
+  Arg.(
+    value
+    & opt string Cpla_lint.Summary.default_path
+    & info [ "cache" ] ~docv:"PATH"
+        ~doc:
+          "Summary cache file.  Loaded before the run (stale or corrupt caches \
+           degrade to a cold run) and refreshed after; a warm run only \
+           re-analyzes files whose content — or whose imports' content — \
+           changed.  Findings are identical either way.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Neither read nor write the summary cache (always a cold run).")
+
+let workers =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Domains used to summarize files in parallel (parsing stays \
+           sequential).  Findings do not depend on $(docv).")
+
 let paths =
   Arg.(
     value
@@ -128,6 +157,6 @@ let cmd =
     (Cmd.info "cpla_lint" ~doc ~man ~exits:[])
     Term.(
       const (fun fmt json -> run (if json then Json else fmt))
-      $ fmt $ json $ filter $ list_rules $ paths)
+      $ fmt $ json $ filter $ list_rules $ cache $ no_cache $ workers $ paths)
 
 let () = exit (Cmd.eval' cmd)

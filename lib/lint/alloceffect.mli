@@ -20,12 +20,21 @@
     off-budget; ordinary boxed-float returns are left to the dynamic
     [Gc.allocated_bytes] budget tests. *)
 
+type unit_facts
+(** One unit's marshalable allocation slice: annotated roots and
+    per-binding allocation witnesses, keyed by value path. *)
+
+val collect : Symtab.unit_info -> Ppxlib.structure -> unit_facts
+(** Syntactic, AST-only walk of one unit — no symtab reads, safe on any
+    domain. *)
+
 val check :
   allowed:(string -> string -> Ppxlib.Location.t -> bool) ->
   Symtab.t ->
   Callgraph.t ->
+  unit_facts array ->
   Finding.t list
-(** [check ~allowed symtab cg] — [allowed rule path loc] is the engine's
-    recording suppression predicate.  Findings are only emitted for roots
-    in linted units; traversal (and therefore allow-usage accounting) runs
-    over the whole project. *)
+(** [check ~allowed symtab cg facts] — [allowed rule path loc] is the
+    engine's recording suppression predicate; [facts] is indexed by uid.
+    Findings are only emitted for roots in linted units; traversal (and
+    therefore allow-usage accounting) runs over the whole project. *)

@@ -64,7 +64,7 @@ let mentions_select body =
   it#expression body;
   !found
 
-let collect_unit (u : Symtab.unit_info) ~on_root ~on_witness =
+let collect_unit (str : structure) ~on_root ~on_witness =
   let walk key =
     object
       inherit Ast_traverse.iter as super
@@ -105,8 +105,8 @@ let collect_unit (u : Symtab.unit_info) ~on_root ~on_witness =
           (fun (vb : value_binding) ->
             let key =
               match Symtab.pattern_names vb.pvb_pat with
-              | [ (name, _) ] -> (u.Symtab.uid, mpath @ [ name ])
-              | _ -> (u.Symtab.uid, mpath @ [ "<init>" ])
+              | [ (name, _) ] -> mpath @ [ name ]
+              | _ -> mpath @ [ "<init>" ]
             in
             if has_annot vb.pvb_attributes || has_annot vb.pvb_expr.pexp_attributes then
               on_root key vb.pvb_loc;
@@ -129,7 +129,23 @@ let collect_unit (u : Symtab.unit_info) ~on_root ~on_witness =
     | Pmod_constraint (me, _) -> module_expr mpath me
     | _ -> ()
   in
-  items [] u.Symtab.str
+  items [] str
+
+(* ---- per-unit facts -------------------------------------------------------- *)
+
+(* Keys are value paths within the summarized unit (attribution is always
+   own-unit); the engine re-keys them under the run's uids when merging. *)
+type unit_facts = {
+  bf_roots : (string list * Location.t) list;
+  bf_witnesses : (string list * witness) list;  (** in collection order *)
+}
+
+let collect (_u : Symtab.unit_info) (str : structure) =
+  let roots = ref [] and witnesses = ref [] in
+  collect_unit str
+    ~on_root:(fun key loc -> roots := (key, loc) :: !roots)
+    ~on_witness:(fun key w -> witnesses := (key, w) :: !witnesses);
+  { bf_roots = List.rev !roots; bf_witnesses = List.rev !witnesses }
 
 (* ---- reachability ---------------------------------------------------------- *)
 
@@ -140,7 +156,7 @@ let site (loc : Location.t) =
 
 let max_depth = 12
 
-let check ~allowed symtab cg =
+let check ~allowed symtab cg (facts : unit_facts array) =
   let witnesses : (Callgraph.key, witness list ref) Hashtbl.t = Hashtbl.create 64 in
   let roots = ref [] in
   let on_witness key w =
@@ -148,10 +164,11 @@ let check ~allowed symtab cg =
     | Some l -> l := w :: !l
     | None -> Hashtbl.replace witnesses key (ref [ w ])
   in
-  for uid = 0 to Symtab.n_units symtab - 1 do
-    let u = Symtab.unit symtab uid in
-    collect_unit u ~on_root:(fun key loc -> roots := (key, loc) :: !roots) ~on_witness
-  done;
+  Array.iteri
+    (fun uid f ->
+      List.iter (fun (path, loc) -> roots := ((uid, path), loc) :: !roots) f.bf_roots;
+      List.iter (fun (path, w) -> on_witness (uid, path) w) f.bf_witnesses)
+    facts;
   let edges : (Callgraph.key, (Callgraph.key * Location.t) list) Hashtbl.t =
     Hashtbl.create 256
   in

@@ -15,12 +15,21 @@
     allow on a call edge sanctions everything reached through that edge
     (e.g. a thunk that actually runs on a worker domain). *)
 
+type unit_facts
+(** One unit's marshalable blocking slice: [[\@cpla.event_loop]] roots and
+    per-binding blocking witnesses, keyed by value path. *)
+
+val collect : Symtab.unit_info -> Ppxlib.structure -> unit_facts
+(** Syntactic, AST-only walk of one unit — no symtab reads, safe on any
+    domain. *)
+
 val check :
   allowed:(string -> string -> Ppxlib.Location.t -> bool) ->
   Symtab.t ->
   Callgraph.t ->
+  unit_facts array ->
   Finding.t list
-(** [check ~allowed symtab cg] — [allowed rule path loc] is the engine's
-    recording suppression predicate.  Findings are only emitted at sites
-    in linted units; traversal (and allow-usage accounting) runs over the
-    whole project. *)
+(** [check ~allowed symtab cg facts] — [allowed rule path loc] is the
+    engine's recording suppression predicate; [facts] is indexed by uid.
+    Findings are only emitted at sites in linted units; traversal (and
+    allow-usage accounting) runs over the whole project. *)

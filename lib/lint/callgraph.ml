@@ -43,6 +43,56 @@ type t = {
   kinds : (key, (kind * witness) list) Hashtbl.t;
 }
 
+(* ---- per-unit facts (the cacheable summary slice) ------------------------- *)
+
+(* Everything below is uid-free: function keys are paths within the
+   summarized unit itself (every key a walk creates is own-unit), and
+   cross-unit references are path-symbolic {!Symtab.sym}s internalized at
+   assembly time. *)
+
+type xresolved = Xsym of Symtab.sym | Xext of string list | Xlocal of string
+
+type xcall = {
+  xc_callee : xresolved;
+  xc_labels : arg_label list;
+  xc_loc : Location.t;
+  xc_in_loop : bool;
+}
+
+type xfn = {
+  xf_path : string list;
+  xf_loc : Location.t;
+  xf_params : arg_label list;
+  xf_calls : xcall list;
+  xf_imps : (kind * string * Location.t) list;
+}
+
+type xkernel = {
+  xk_prim : Symtab.primitive;
+  xk_loc : Location.t;
+  xk_target : Symtab.sym option;
+}
+
+type unit_facts = {
+  uf_fns : xfn list;
+  uf_kernels : xkernel list;
+  uf_refs : Symtab.sym list;
+  uf_included : string list;
+}
+
+let xresolved_of symtab = function
+  | Symtab.Sym (uid, p) -> Xsym { Symtab.s_unit = Symtab.path_of symtab uid; s_path = p }
+  | Symtab.Ext p -> Xext p
+  | Symtab.Local n -> Xlocal n
+
+let resolved_of symtab = function
+  | Xsym s -> (
+      match Symtab.internalize symtab s with
+      | Some (uid, p) -> Symtab.Sym (uid, p)
+      | None -> Symtab.Ext s.Symtab.s_path)
+  | Xext p -> Symtab.Ext p
+  | Xlocal n -> Symtab.Local n
+
 (* ---- impure external idents ----------------------------------------------- *)
 
 let io_ident = function
@@ -80,9 +130,16 @@ let mutator_ident = function
 
 (* A custom recursion (rather than [Ast_traverse]) because resolution needs
    the binding environment: which names are local, which modules are open,
-   what the current nested-module path is. *)
+   what the current nested-module path is.
 
-let walk_unit t (u : Symtab.unit_info) =
+   The walk writes into per-unit sinks only (plus reads of the shared
+   symtab), so {!collect} is safe to run for different units on different
+   domains.  Returns the function keys in creation order so the facts list
+   — and therefore every downstream hashtable's insertion sequence — is a
+   deterministic function of the unit's content. *)
+
+let walk_unit ~symtab ~fns ~refs ~included ~kernels (u : Symtab.unit_info) (str : structure) =
+  let order = ref [] in
   let scope : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let locals name = Hashtbl.mem scope name in
   let bind name = Hashtbl.add scope name 0 in
@@ -95,11 +152,12 @@ let walk_unit t (u : Symtab.unit_info) =
   let local_fns : (string * key) list ref = ref [] in
   let fn_stack : fn list ref = ref [] in
   let get_fn key loc params =
-    match Hashtbl.find_opt t.fns key with
+    match Hashtbl.find_opt fns key with
     | Some f -> f
     | None ->
         let f = { fn_key = key; fn_loc = loc; fn_params = params; fn_calls = []; fn_imps = [] } in
-        Hashtbl.replace t.fns key f;
+        Hashtbl.replace fns key f;
+        order := key :: !order;
         f
   in
   let record_call c = List.iter (fun f -> f.fn_calls <- c :: f.fn_calls) !fn_stack in
@@ -110,9 +168,9 @@ let walk_unit t (u : Symtab.unit_info) =
           f.fn_imps <- (kind, why, loc) :: f.fn_imps)
       !fn_stack
   in
-  let resolve ~mpath env lid = Symtab.resolve t.symtab ~cur:u ~mpath ~locals env lid in
+  let resolve ~mpath env lid = Symtab.resolve symtab ~cur:u ~mpath ~locals env lid in
   let record_ref = function
-    | Symtab.Sym (uid, path) when uid <> u.uid -> Hashtbl.replace t.refs (uid, path) ()
+    | Symtab.Sym (uid, path) when uid <> u.Symtab.uid -> Hashtbl.replace refs (uid, path) ()
     | _ -> ()
   in
   let gensym = ref 0 in
@@ -132,7 +190,7 @@ let walk_unit t (u : Symtab.unit_info) =
           | _ -> ())
     | Pexp_apply (({ pexp_desc = Pexp_ident lid; _ } as f), args) -> (
         let r = resolve ~mpath env lid.txt in
-        match Symtab.primitive_of_resolved t.symtab r with
+        match Symtab.primitive_of_resolved symtab r with
         | Some prim ->
             expr ~mpath ~env ~in_loop f;
             kernel_apply ~mpath ~env ~in_loop prim e.pexp_loc args
@@ -144,7 +202,7 @@ let walk_unit t (u : Symtab.unit_info) =
                | Some (_, { pexp_desc = Pexp_ident target; _ }) -> (
                    match resolve ~mpath env target.txt with
                    | Symtab.Sym (uid, path)
-                     when (match Symtab.find_def (Symtab.unit t.symtab uid) path with
+                     when (match Symtab.find_def (Symtab.unit symtab uid) path with
                           | Some d -> d.Symtab.def_mut <> None
                           | None -> false) ->
                        record_imp Global_mut
@@ -194,7 +252,9 @@ let walk_unit t (u : Symtab.unit_info) =
                 (* a named local closure gets its own purity identity so a
                    later [parallel_map f xs] can look it up *)
                 incr gensym;
-                let key = (u.uid, mpath @ [ Printf.sprintf "<local:%s:%d>" name !gensym ]) in
+                let key =
+                  (u.Symtab.uid, mpath @ [ Printf.sprintf "<local:%s:%d>" name !gensym ])
+                in
                 local_fns := (name, key) :: !local_fns;
                 let f = get_fn key vb.pvb_loc (Symtab.params_of vb.pvb_expr) in
                 fn_stack := f :: !fn_stack;
@@ -236,13 +296,14 @@ let walk_unit t (u : Symtab.unit_info) =
     let kernel = List.nth_opt nolabels (Symtab.kernel_position prim) in
     let record target =
       if prim <> Symtab.Pool_submit then
-        t.kernels <- { k_unit = u.uid; k_prim = prim; k_loc = loc; k_target = target } :: t.kernels
+        kernels :=
+          { k_unit = u.Symtab.uid; k_prim = prim; k_loc = loc; k_target = target } :: !kernels
     in
     let walked =
       match kernel with
       | Some (_, ({ pexp_desc = Pexp_function _; _ } as lam)) ->
           incr gensym;
-          let key = (u.uid, mpath @ [ Printf.sprintf "<kernel:%d>" !gensym ]) in
+          let key = (u.Symtab.uid, mpath @ [ Printf.sprintf "<kernel:%d>" !gensym ]) in
           let f = get_fn key lam.pexp_loc (Symtab.params_of lam) in
           fn_stack := f :: !fn_stack;
           expr ~mpath ~env ~in_loop lam;
@@ -297,8 +358,8 @@ let walk_unit t (u : Symtab.unit_info) =
           mbs;
         env
     | Pstr_include { pincl_mod = { pmod_desc = Pmod_ident lid; _ }; _ } ->
-        (match Symtab.resolve_unit t.symtab ~cur:u env lid.txt with
-        | Some uid -> Hashtbl.replace t.included uid ()
+        (match Symtab.resolve_unit symtab ~cur:u env lid.txt with
+        | Some uid -> Hashtbl.replace included uid ()
         | None -> ());
         env
     | Pstr_include { pincl_mod; _ } ->
@@ -309,8 +370,9 @@ let walk_unit t (u : Symtab.unit_info) =
           (fun (vb : value_binding) ->
             let key, params =
               match Symtab.pattern_names vb.pvb_pat with
-              | [ (name, _) ] -> ((u.uid, mpath @ [ name ]), Symtab.params_of vb.pvb_expr)
-              | _ -> ((u.uid, mpath @ [ "<init>" ]), [])
+              | [ (name, _) ] ->
+                  ((u.Symtab.uid, mpath @ [ name ]), Symtab.params_of vb.pvb_expr)
+              | _ -> ((u.Symtab.uid, mpath @ [ "<init>" ]), [])
             in
             let f = get_fn key vb.pvb_loc params in
             fn_stack := [ f ];
@@ -320,7 +382,7 @@ let walk_unit t (u : Symtab.unit_info) =
           vbs;
         env
     | Pstr_eval (e, _) ->
-        let f = get_fn (u.uid, mpath @ [ "<init>" ]) si.pstr_loc [] in
+        let f = get_fn (u.Symtab.uid, mpath @ [ "<init>" ]) si.pstr_loc [] in
         fn_stack := [ f ];
         local_fns := [];
         expr ~mpath ~env ~in_loop:false e;
@@ -333,7 +395,61 @@ let walk_unit t (u : Symtab.unit_info) =
     | Pmod_constraint (me, _) -> module_expr ~mpath ~env me
     | _ -> ()
   in
-  items ~mpath:[] ~env:Symtab.env0 u.Symtab.str
+  items ~mpath:[] ~env:Symtab.env0 str;
+  List.rev !order
+
+(* ---- collect / assemble --------------------------------------------------- *)
+
+let collect symtab (u : Symtab.unit_info) (str : structure) =
+  let fns = Hashtbl.create 64 in
+  let refs = Hashtbl.create 64 in
+  let included = Hashtbl.create 4 in
+  let kernels = ref [] in
+  let order = walk_unit ~symtab ~fns ~refs ~included ~kernels u str in
+  let xsym (uid, path) = { Symtab.s_unit = Symtab.path_of symtab uid; s_path = path } in
+  let uf_fns =
+    List.map
+      (fun key ->
+        let f = Hashtbl.find fns key in
+        {
+          xf_path = snd key;
+          xf_loc = f.fn_loc;
+          xf_params = f.fn_params;
+          xf_calls =
+            List.map
+              (fun c ->
+                {
+                  xc_callee = xresolved_of symtab c.callee;
+                  xc_labels = c.arg_labels;
+                  xc_loc = c.call_loc;
+                  xc_in_loop = c.in_loop;
+                })
+              f.fn_calls;
+          xf_imps = f.fn_imps;
+        })
+      order
+  in
+  let uf_refs =
+    Hashtbl.fold (fun k () acc -> xsym k :: acc) refs [] |> List.sort compare
+  in
+  let uf_included =
+    Hashtbl.fold (fun uid () acc -> Symtab.path_of symtab uid :: acc) included []
+    |> List.sort compare
+  in
+  let uf_kernels =
+    List.map
+      (fun k -> { xk_prim = k.k_prim; xk_loc = k.k_loc; xk_target = Option.map xsym k.k_target })
+      !kernels
+  in
+  { uf_fns; uf_kernels; uf_refs; uf_included }
+
+(* Unit paths this summary's facts were derived against: every unit whose
+   content can change the facts (global-mutability lookups, includes)
+   without changing this file — the engine re-summarizes dependents of a
+   dirty file through this. *)
+let facts_deps uf =
+  List.sort_uniq String.compare
+    (List.map (fun s -> s.Symtab.s_unit) uf.uf_refs @ uf.uf_included)
 
 (* ---- purity fixpoint ------------------------------------------------------ *)
 
@@ -368,7 +484,11 @@ let fixpoint t =
       t.fns
   done
 
-let build symtab =
+(* Assemble the whole-program graph from per-unit facts (in uid order — the
+   insertion sequence, and with it every hashtable's iteration order, is
+   identical no matter which facts came from the cache and which were just
+   collected) and run the purity fixpoint. *)
+let build_of_facts symtab (facts : unit_facts array) =
   let t =
     {
       symtab;
@@ -379,9 +499,57 @@ let build symtab =
       kinds = Hashtbl.create 512;
     }
   in
-  for uid = 0 to Symtab.n_units symtab - 1 do
-    walk_unit t (Symtab.unit symtab uid)
-  done;
+  Array.iteri
+    (fun uid uf ->
+      List.iter
+        (fun xf ->
+          let key = (uid, xf.xf_path) in
+          Hashtbl.replace t.fns key
+            {
+              fn_key = key;
+              fn_loc = xf.xf_loc;
+              fn_params = xf.xf_params;
+              fn_calls =
+                List.map
+                  (fun xc ->
+                    {
+                      callee = resolved_of symtab xc.xc_callee;
+                      arg_labels = xc.xc_labels;
+                      call_loc = xc.xc_loc;
+                      in_loop = xc.xc_in_loop;
+                    })
+                  xf.xf_calls;
+              fn_imps = xf.xf_imps;
+            })
+        uf.uf_fns;
+      List.iter
+        (fun s ->
+          match Symtab.internalize symtab s with
+          | Some k -> Hashtbl.replace t.refs k ()
+          | None -> ())
+        uf.uf_refs;
+      List.iter
+        (fun p ->
+          match Symtab.uid_of_path symtab p with
+          | Some iuid -> Hashtbl.replace t.included iuid ()
+          | None -> ())
+        uf.uf_included)
+    facts;
+  t.kernels <-
+    List.concat
+      (List.mapi
+         (fun uid uf ->
+           List.map
+             (fun xk ->
+               {
+                 k_unit = uid;
+                 k_prim = xk.xk_prim;
+                 k_loc = xk.xk_loc;
+                 k_target =
+                   Option.bind xk.xk_target (fun s -> Symtab.internalize symtab s);
+               })
+             uf.uf_kernels)
+         (Array.to_list facts));
   fixpoint t;
   t
 

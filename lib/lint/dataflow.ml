@@ -32,12 +32,48 @@ type binding = Plain | Mut of minfo | Closure of capture list
 
 type key = int * string list
 
-type st = {
-  symtab : Symtab.t;
-  esc : (key * param_id, esc_info) Hashtbl.t;
-  def_caps : (key, capture list) Hashtbl.t;
-  mutable races : race list;
-  mutable emitting : bool;
+(* ---- per-unit facts ------------------------------------------------------- *)
+
+(* The escape analysis needs whole-program rounds (a parameter's escape is
+   discovered while walking one unit and consumed while walking another),
+   but everything the rounds consume can be computed from one unit's AST
+   alone.  [collect] therefore classifies, at every relevant site, what the
+   walk {e would} do — unconditional escape seeds and already-gated races,
+   plus deferred events whose outcome depends on the global escape table or
+   def-capture table — and [solve] replays the event streams in uid order
+   until the escape table is stable, then once more to emit races.  The
+   event list preserves walk order, so first-seed-wins tie-breaking is a
+   deterministic function of the merged facts. *)
+
+type arg_class =
+  | A_mut of minfo  (** ident bound [Mut] in local scope *)
+  | A_closure of string * capture list  (** ident bound [Closure] in scope *)
+  | A_param of param_id  (** ident that is an enclosing-fn parameter *)
+  | A_global of minfo  (** ident resolving to a top-level mutable *)
+  | A_lambda of capture list  (** literal [fun] argument *)
+
+type event =
+  | E_seed of string list * param_id * esc_info
+      (** unconditional [add_esc] on (own-unit fn path, param) *)
+  | E_race of race  (** unconditional race, already linted/area/risky-gated *)
+  | E_defcaps of {
+      dc_fn : string list;
+      dc_target : Symtab.sym;
+      dc_prim : string;
+      dc_loc : Location.t;
+    }  (** resolved-symbol kernel: consult the target's def-captures *)
+  | E_arg of {
+      a_fn : string list;
+      a_callee : Symtab.sym;
+      a_pid : param_id;
+      a_cls : arg_class;
+      a_loc : Location.t;
+    }  (** argument handed to a possibly-escaping parameter *)
+
+type unit_facts = {
+  df_fire_ok : bool;  (** linted and not under [test/]: may emit races *)
+  df_def_caps : (string list * capture list) list;
+  df_events : event list;  (** in walk order *)
 }
 
 let at (loc : Location.t) =
@@ -94,16 +130,16 @@ let shallow_iter e ~f =
   in
   it#expression e
 
-let pretty st ((uid, path) : key) =
-  Printf.sprintf "%s.%s" (Symtab.unit st.symtab uid).Symtab.modname (Symtab.string_of_path path)
+let pretty symtab ((uid, path) : key) =
+  Printf.sprintf "%s.%s" (Symtab.unit symtab uid).Symtab.modname (Symtab.string_of_path path)
 
-let global_minfo st (uid, path) (d : Symtab.def) =
+let global_minfo symtab (uid, path) (d : Symtab.def) =
   let kind = Option.get d.Symtab.def_mut in
-  let name = pretty st (uid, path) in
+  let name = pretty symtab (uid, path) in
   {
     m_kind = kind;
     m_chain = [ Printf.sprintf "top-level `%s` (%s) defined at %s" name kind (at d.Symtab.def_loc) ];
-    m_origin = ((Symtab.unit st.symtab uid).Symtab.path, d.Symtab.def_loc);
+    m_origin = ((Symtab.unit symtab uid).Symtab.path, d.Symtab.def_loc);
   }
 
 (* ---- free mutable variables of a closure ---------------------------------- *)
@@ -112,7 +148,7 @@ let global_minfo st (uid, path) (d : Symtab.def) =
    bindings, the enclosing definition's parameters, and top-level mutable
    symbols (same unit or cross-module).  [written] is sticky per name and
    records whether the closure itself mutates the value. *)
-let collect_captures st ~(u : Symtab.unit_info) ~mpath ~env ~scope ~params lam =
+let collect_captures symtab ~(u : Symtab.unit_info) ~mpath ~env ~scope ~params lam =
   let inner : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let caps : (string, capture) Hashtbl.t = Hashtbl.create 8 in
   let order = ref [] in
@@ -145,13 +181,13 @@ let collect_captures st ~(u : Symtab.unit_info) ~mpath ~env ~scope ~params lam =
     | [ name ] when Hashtbl.mem params name ->
         note name (Param (Hashtbl.find params name)) ~written lid.loc
     | _ -> (
-        match Symtab.resolve st.symtab ~cur:u ~mpath ~locals env lid.txt with
+        match Symtab.resolve symtab ~cur:u ~mpath ~locals env lid.txt with
         | Symtab.Sym (uid, path) -> (
-            match Symtab.find_def (Symtab.unit st.symtab uid) path with
+            match Symtab.find_def (Symtab.unit symtab uid) path with
             | Some d when d.Symtab.def_mut <> None ->
                 note
-                  (pretty st (uid, path))
-                  (Outer (global_minfo st (uid, path) d))
+                  (pretty symtab (uid, path))
+                  (Outer (global_minfo symtab (uid, path) d))
                   ~written lid.loc
             | _ -> ())
         | _ -> ())
@@ -223,46 +259,46 @@ let collect_captures st ~(u : Symtab.unit_info) ~mpath ~env ~scope ~params lam =
   expr ~env lam;
   List.rev_map (Hashtbl.find caps) !order
 
-(* ---- per-unit walk -------------------------------------------------------- *)
+(* ---- per-unit collection -------------------------------------------------- *)
 
-let walk_unit st (u : Symtab.unit_info) =
-  let mut_fields = Symtab.mutable_fields_of u.Symtab.str in
+let collect symtab (u : Symtab.unit_info) (str : structure) =
+  let mut_fields = Symtab.mutable_fields_of str in
   let scope : (string, binding) Hashtbl.t = Hashtbl.create 64 in
-  let fire ~loc ~name ~kind ~origin steps =
-    ignore name;
-    ignore kind;
-    if st.emitting && u.Symtab.linted && u.Symtab.area <> Checks.Test then
-      st.races <-
-        {
-          r_path = u.Symtab.path;
-          r_loc = loc;
-          r_msg =
-            Printf.sprintf "mutable state shared across domains: %s"
-              (String.concat "; then " steps);
-          r_origin = Some origin;
-        }
-        :: st.races
+  let fire_ok = u.Symtab.linted && u.Symtab.area <> Checks.Test in
+  let events = ref [] in
+  let def_caps = ref [] in
+  let emit ev = events := ev :: !events in
+  let xsym (uid, path) = { Symtab.s_unit = Symtab.path_of symtab uid; s_path = path } in
+  let fire ~loc ~origin steps =
+    if fire_ok then
+      emit
+        (E_race
+           {
+             r_path = u.Symtab.path;
+             r_loc = loc;
+             r_msg =
+               Printf.sprintf "mutable state shared across domains: %s"
+                 (String.concat "; then " steps);
+             r_origin = Some origin;
+           })
   in
-  let fire_info ~loc ~written info ~name step =
-    if risky info.m_kind ~written then
-      fire ~loc ~name ~kind:info.m_kind ~origin:info.m_origin (info.m_chain @ step)
-  in
-  let add_esc key pid (ei : esc_info) =
-    if not (Hashtbl.mem st.esc (key, pid)) then Hashtbl.replace st.esc (key, pid) ei
+  let fire_info ~loc ~written info step =
+    if risky info.m_kind ~written then fire ~loc ~origin:info.m_origin (info.m_chain @ step)
   in
   let rec walk ~ckey ~params ~mpath ~env (e : expression) =
     let expr = walk ~ckey ~params ~mpath ~env in
     let locals n = Hashtbl.mem scope n || Hashtbl.mem params n in
-    let resolve env lid = Symtab.resolve st.symtab ~cur:u ~mpath ~locals env lid in
-    let collect lam = collect_captures st ~u ~mpath ~env ~scope ~params lam in
+    let resolve env lid = Symtab.resolve symtab ~cur:u ~mpath ~locals env lid in
+    let collect lam = collect_captures symtab ~u ~mpath ~env ~scope ~params lam in
+    let add_esc pid ei = emit (E_seed (snd ckey, pid, ei)) in
     (* mutable values captured by a closure about to run on another domain *)
     let handle_caps ~loc ~step_of caps =
       List.iter
         (fun c ->
           match c.c_what with
-          | Outer info -> fire_info ~loc ~written:c.c_written info ~name:c.c_name [ step_of c ]
+          | Outer info -> fire_info ~loc ~written:c.c_written info [ step_of c ]
           | Param pid ->
-              add_esc ckey pid { e_kind = Captured; e_written = c.c_written; e_desc = step_of c })
+              add_esc pid { e_kind = Captured; e_written = c.c_written; e_desc = step_of c })
         caps
     in
     let kernel_value prim loc (k : expression) =
@@ -286,7 +322,7 @@ let walk_unit st (u : Symtab.unit_info) =
                     caps
               | _ -> ())
           | [ name ] when Hashtbl.mem params name ->
-              add_esc ckey (Hashtbl.find params name)
+              add_esc (Hashtbl.find params name)
                 {
                   e_kind = Kernel;
                   e_written = false;
@@ -296,101 +332,45 @@ let walk_unit st (u : Symtab.unit_info) =
                 }
           | _ -> (
               match resolve env lid.txt with
-              | Symtab.Sym (uid, path) -> (
-                  match Hashtbl.find_opt st.def_caps (uid, path) with
-                  | Some caps ->
-                      handle_caps ~loc
-                        ~step_of:(fun c ->
-                          Printf.sprintf "referenced%s by `%s`, used as the kernel of %s at %s"
-                            (if c.c_written then " and written" else "")
-                            (pretty st (uid, path)) (Symtab.primitive_name prim) (at loc))
-                        caps
-                  | None -> ())
+              | Symtab.Sym (uid, path) ->
+                  emit
+                    (E_defcaps
+                       {
+                         dc_fn = snd ckey;
+                         dc_target = xsym (uid, path);
+                         dc_prim = Symtab.primitive_name prim;
+                         dc_loc = loc;
+                       })
               | _ -> ()))
       | _ -> ()
     in
-    (* a mutable value / closure handed to a function whose parameter is known
-       (via escape summaries) to reach another domain *)
-    let arg_flow (uid, path) pid (ei : esc_info) loc (a : expression) =
-      let callee = pretty st (uid, path) in
-      let pass_step =
-        Printf.sprintf "passed to %s (%s) at %s" callee (describe_pid pid) (at loc)
-      in
-      match (a.pexp_desc, ei.e_kind) with
-      | Pexp_ident lid, _ -> (
+    (* a value handed to a function parameter: classify what it is now; the
+       solver decides later whether that parameter escapes *)
+    let classify_arg (a : expression) =
+      match a.pexp_desc with
+      | Pexp_ident lid -> (
           match Checks.flatten lid.txt with
           | [ name ] when Hashtbl.mem scope name -> (
-              match (Hashtbl.find scope name, ei.e_kind) with
-              | Mut info, Captured ->
-                  fire_info ~loc ~written:ei.e_written info ~name [ pass_step; ei.e_desc ]
-              | Closure caps, Kernel ->
-                  List.iter
-                    (fun c ->
-                      match c.c_what with
-                      | Outer info ->
-                          fire_info ~loc ~written:c.c_written info ~name:c.c_name
-                            [
-                              Printf.sprintf "captured%s by `%s`"
-                                (if c.c_written then " and written" else "")
-                                name;
-                              pass_step;
-                              ei.e_desc;
-                            ]
-                      | Param pid' ->
-                          add_esc ckey pid'
-                            {
-                              e_kind = Captured;
-                              e_written = c.c_written;
-                              e_desc =
-                                Printf.sprintf "captured by `%s`, %s, then %s" name pass_step
-                                  ei.e_desc;
-                            })
-                    caps
-              | _ -> ())
-          | [ name ] when Hashtbl.mem params name ->
-              add_esc ckey (Hashtbl.find params name)
-                {
-                  e_kind = ei.e_kind;
-                  e_written = ei.e_written;
-                  e_desc = Printf.sprintf "%s, then %s" pass_step ei.e_desc;
-                }
+              match Hashtbl.find scope name with
+              | Mut info -> Some (A_mut info)
+              | Closure caps -> Some (A_closure (name, caps))
+              | Plain -> None)
+          | [ name ] when Hashtbl.mem params name -> Some (A_param (Hashtbl.find params name))
           | _ -> (
-              match (resolve env lid.txt, ei.e_kind) with
-              | Symtab.Sym (guid, gpath), Captured -> (
-                  match Symtab.find_def (Symtab.unit st.symtab guid) gpath with
+              match resolve env lid.txt with
+              | Symtab.Sym (guid, gpath) -> (
+                  match Symtab.find_def (Symtab.unit symtab guid) gpath with
                   | Some d when d.Symtab.def_mut <> None ->
-                      let info = global_minfo st (guid, gpath) d in
-                      fire_info ~loc ~written:ei.e_written info
-                        ~name:(pretty st (guid, gpath))
-                        [ pass_step; ei.e_desc ]
-                  | _ -> ())
-              | _ -> ()))
-      | Pexp_function _, Kernel ->
-          List.iter
-            (fun c ->
-              match c.c_what with
-              | Outer info ->
-                  fire_info ~loc ~written:c.c_written info ~name:c.c_name
-                    [
-                      Printf.sprintf "captured%s by a closure %s"
-                        (if c.c_written then " and written" else "")
-                        pass_step;
-                      ei.e_desc;
-                    ]
-              | Param pid' ->
-                  add_esc ckey pid'
-                    {
-                      e_kind = Captured;
-                      e_written = c.c_written;
-                      e_desc = Printf.sprintf "captured by a closure %s, then %s" pass_step ei.e_desc;
-                    })
-            (collect a)
-      | _ -> ()
+                      Some (A_global (global_minfo symtab (guid, gpath) d))
+                  | _ -> None)
+              | _ -> None))
+      | Pexp_function _ -> Some (A_lambda (collect a))
+      | _ -> None
     in
     match e.pexp_desc with
     | Pexp_apply (({ pexp_desc = Pexp_ident lid; _ } as f), args) ->
         let r = resolve env lid.txt in
-        (match Symtab.primitive_of_resolved st.symtab r with
+        (match Symtab.primitive_of_resolved symtab r with
         | Some prim -> (
             let nolabels = List.filter (fun (l, _) -> l = Nolabel) args in
             match List.nth_opt nolabels (Symtab.kernel_position prim) with
@@ -401,8 +381,17 @@ let walk_unit st (u : Symtab.unit_info) =
             | Symtab.Sym (uid, path) ->
                 List.iter
                   (fun (pid, a) ->
-                    match Hashtbl.find_opt st.esc ((uid, path), pid) with
-                    | Some ei -> arg_flow (uid, path) pid ei e.pexp_loc a
+                    match classify_arg a with
+                    | Some cls ->
+                        emit
+                          (E_arg
+                             {
+                               a_fn = snd ckey;
+                               a_callee = xsym (uid, path);
+                               a_pid = pid;
+                               a_cls = cls;
+                               a_loc = e.pexp_loc;
+                             })
                     | None -> ())
                   (pid_of_args args)
             | _ -> ()));
@@ -418,7 +407,7 @@ let walk_unit st (u : Symtab.unit_info) =
                   let b =
                     match vb.pvb_expr.pexp_desc with
                     | Pexp_function _ ->
-                        Closure (collect_captures st ~u ~mpath ~env ~scope ~params vb.pvb_expr)
+                        Closure (collect_captures symtab ~u ~mpath ~env ~scope ~params vb.pvb_expr)
                     | Pexp_ident lid -> (
                         match Checks.flatten lid.txt with
                         | [ n ] when Hashtbl.mem scope n -> (
@@ -438,9 +427,9 @@ let walk_unit st (u : Symtab.unit_info) =
                         | _ -> (
                             match resolve env lid.txt with
                             | Symtab.Sym (uid, path) -> (
-                                match Symtab.find_def (Symtab.unit st.symtab uid) path with
+                                match Symtab.find_def (Symtab.unit symtab uid) path with
                                 | Some d when d.Symtab.def_mut <> None ->
-                                    let info = global_minfo st (uid, path) d in
+                                    let info = global_minfo symtab (uid, path) d in
                                     Mut
                                       {
                                         info with
@@ -571,11 +560,13 @@ let walk_unit st (u : Symtab.unit_info) =
                 (* remember which top-level mutables the body touches, so a
                    cross-module [parallel_map M.f xs] can be audited *)
                 let caps =
-                  collect_captures st ~u ~mpath ~env ~scope:(Hashtbl.create 1)
+                  collect_captures symtab ~u ~mpath ~env ~scope:(Hashtbl.create 1)
                     ~params:(Hashtbl.create 1) vb.pvb_expr
                 in
-                let caps = List.filter (fun c -> match c.c_what with Outer _ -> true | _ -> false) caps in
-                Hashtbl.replace st.def_caps ckey caps
+                let caps =
+                  List.filter (fun c -> match c.c_what with Outer _ -> true | _ -> false) caps
+                in
+                def_caps := (snd ckey, caps) :: !def_caps
             | _ -> ());
             walk ~ckey ~params ~mpath ~env vb.pvb_expr)
           vbs;
@@ -592,36 +583,148 @@ let walk_unit st (u : Symtab.unit_info) =
     | Pmod_constraint (me, _) -> module_expr ~mpath ~env me
     | _ -> ()
   in
-  items ~mpath:[] ~env:Symtab.env0 u.Symtab.str
+  items ~mpath:[] ~env:Symtab.env0 str;
+  { df_fire_ok = fire_ok; df_def_caps = List.rev !def_caps; df_events = List.rev !events }
 
-(* ---- driver --------------------------------------------------------------- *)
+(* ---- solver --------------------------------------------------------------- *)
 
-let analyze symtab =
-  let st =
-    {
-      symtab;
-      esc = Hashtbl.create 64;
-      def_caps = Hashtbl.create 128;
-      races = [];
-      emitting = false;
-    }
+let solve symtab (facts : unit_facts array) =
+  let esc : (key * param_id, esc_info) Hashtbl.t = Hashtbl.create 64 in
+  let def_caps : (key, capture list) Hashtbl.t = Hashtbl.create 128 in
+  Array.iteri
+    (fun uid f ->
+      List.iter (fun (p, caps) -> Hashtbl.replace def_caps (uid, p) caps) f.df_def_caps)
+    facts;
+  let races = ref [] in
+  let add_esc key pid (ei : esc_info) =
+    if not (Hashtbl.mem esc (key, pid)) then Hashtbl.replace esc (key, pid) ei
   in
-  let walk_all () =
-    for uid = 0 to Symtab.n_units symtab - 1 do
-      walk_unit st (Symtab.unit symtab uid)
-    done
+  let process ~emitting uid (f : unit_facts) =
+    let u_path = (Symtab.unit symtab uid).Symtab.path in
+    let fire ~loc ~origin steps =
+      if emitting && f.df_fire_ok then
+        races :=
+          {
+            r_path = u_path;
+            r_loc = loc;
+            r_msg =
+              Printf.sprintf "mutable state shared across domains: %s"
+                (String.concat "; then " steps);
+            r_origin = Some origin;
+          }
+          :: !races
+    in
+    let fire_info ~loc ~written info step =
+      if risky info.m_kind ~written then fire ~loc ~origin:info.m_origin (info.m_chain @ step)
+    in
+    List.iter
+      (fun ev ->
+        match ev with
+        | E_seed (fn, pid, ei) -> add_esc (uid, fn) pid ei
+        | E_race r -> if emitting then races := r :: !races
+        | E_defcaps { dc_fn; dc_target; dc_prim; dc_loc } -> (
+            match Symtab.internalize symtab dc_target with
+            | Some tkey -> (
+                match Hashtbl.find_opt def_caps tkey with
+                | Some caps ->
+                    let step_of c =
+                      Printf.sprintf "referenced%s by `%s`, used as the kernel of %s at %s"
+                        (if c.c_written then " and written" else "")
+                        (pretty symtab tkey) dc_prim (at dc_loc)
+                    in
+                    List.iter
+                      (fun c ->
+                        match c.c_what with
+                        | Outer info ->
+                            fire_info ~loc:dc_loc ~written:c.c_written info [ step_of c ]
+                        | Param pid ->
+                            add_esc (uid, dc_fn) pid
+                              { e_kind = Captured; e_written = c.c_written; e_desc = step_of c })
+                      caps
+                | None -> ())
+            | None -> ())
+        | E_arg { a_fn; a_callee; a_pid; a_cls; a_loc } -> (
+            match Symtab.internalize symtab a_callee with
+            | None -> ()
+            | Some ckey -> (
+                match Hashtbl.find_opt esc (ckey, a_pid) with
+                | None -> ()
+                | Some ei -> (
+                    let pass_step =
+                      Printf.sprintf "passed to %s (%s) at %s" (pretty symtab ckey)
+                        (describe_pid a_pid) (at a_loc)
+                    in
+                    match (a_cls, ei.e_kind) with
+                    | A_mut info, Captured ->
+                        fire_info ~loc:a_loc ~written:ei.e_written info [ pass_step; ei.e_desc ]
+                    | A_closure (name, caps), Kernel ->
+                        List.iter
+                          (fun c ->
+                            match c.c_what with
+                            | Outer info ->
+                                fire_info ~loc:a_loc ~written:c.c_written info
+                                  [
+                                    Printf.sprintf "captured%s by `%s`"
+                                      (if c.c_written then " and written" else "")
+                                      name;
+                                    pass_step;
+                                    ei.e_desc;
+                                  ]
+                            | Param pid' ->
+                                add_esc (uid, a_fn) pid'
+                                  {
+                                    e_kind = Captured;
+                                    e_written = c.c_written;
+                                    e_desc =
+                                      Printf.sprintf "captured by `%s`, %s, then %s" name
+                                        pass_step ei.e_desc;
+                                  })
+                          caps
+                    | A_param pid_local, _ ->
+                        add_esc (uid, a_fn) pid_local
+                          {
+                            e_kind = ei.e_kind;
+                            e_written = ei.e_written;
+                            e_desc = Printf.sprintf "%s, then %s" pass_step ei.e_desc;
+                          }
+                    | A_global info, Captured ->
+                        fire_info ~loc:a_loc ~written:ei.e_written info [ pass_step; ei.e_desc ]
+                    | A_lambda caps, Kernel ->
+                        List.iter
+                          (fun c ->
+                            match c.c_what with
+                            | Outer info ->
+                                fire_info ~loc:a_loc ~written:c.c_written info
+                                  [
+                                    Printf.sprintf "captured%s by a closure %s"
+                                      (if c.c_written then " and written" else "")
+                                      pass_step;
+                                    ei.e_desc;
+                                  ]
+                            | Param pid' ->
+                                add_esc (uid, a_fn) pid'
+                                  {
+                                    e_kind = Captured;
+                                    e_written = c.c_written;
+                                    e_desc =
+                                      Printf.sprintf "captured by a closure %s, then %s" pass_step
+                                        ei.e_desc;
+                                  })
+                          caps
+                    | _ -> ()))))
+      f.df_events
   in
+  let process_all ~emitting = Array.iteri (process ~emitting) facts in
   (* escape summaries only ever gain entries, so the table size is a fixpoint
      witness; the round cap bounds pathological call chains *)
   let stable = ref false and rounds = ref 0 in
   while (not !stable) && !rounds < 8 do
-    let before = Hashtbl.length st.esc in
-    walk_all ();
-    stable := Hashtbl.length st.esc = before;
+    let before = Hashtbl.length esc in
+    process_all ~emitting:false;
+    stable := Hashtbl.length esc = before;
     incr rounds
   done;
-  st.emitting <- true;
-  walk_all ();
+  process_all ~emitting:true;
   let cmp a b =
     compare
       (a.r_path, a.r_loc.loc_start.pos_lnum, a.r_loc.loc_start.pos_cnum, a.r_msg)
@@ -632,4 +735,4 @@ let analyze symtab =
     | a :: rest -> a :: dedup rest
     | [] -> []
   in
-  dedup (List.sort cmp st.races)
+  dedup (List.sort cmp !races)

@@ -14,6 +14,15 @@
     "caller allocates -> helper forwards -> worker captures" are reported
     with the complete hop-by-hop story.
 
+    The incremental split: {!collect} walks one unit's AST and records a
+    marshalable event stream — unconditional escape seeds and races, plus
+    deferred events whose outcome depends on the whole-program escape or
+    def-capture tables; {!solve} replays the merged streams in uid order to
+    the fixpoint and then once more to emit races, never re-touching an
+    AST.  Event order mirrors walk order, so the first-seed-wins
+    tie-breaking (and with it every message) is a deterministic function
+    of the merged facts.
+
     Arrays and bytes only race once a domain writes them, so read-only
     captures of those kinds are not reported; the other kinds fire on any
     cross-domain sharing. *)
@@ -28,5 +37,15 @@ type race = {
       (** creation site, so [[\@cpla.allow]] works there too *)
 }
 
-val analyze : Symtab.t -> race list
-(** Deterministic: results are sorted by (path, position, message). *)
+type unit_facts
+(** One unit's marshalable mutable-flow slice: its def-captures and its
+    walk-ordered event stream. *)
+
+val collect : Symtab.t -> Symtab.unit_info -> structure -> unit_facts
+(** Walk one unit's AST.  Reads only the shared symtab, so different units
+    may be collected on different domains concurrently. *)
+
+val solve : Symtab.t -> unit_facts array -> race list
+(** Run the escape fixpoint and emission pass over per-unit facts indexed
+    by uid.  Deterministic: results are sorted by (path, position,
+    message). *)

@@ -1,9 +1,19 @@
-(* Two-phase driver.  Phase 1 parses every source into a {!Symtab},
-   builds the {!Callgraph} (purity + references) and runs the {!Dataflow}
-   mutable-flow analysis.  Phase 2 re-walks each linted unit with the
-   file-local {!Checks} and then reports the whole-program rules
-   ([domain-race], [impure-kernel], [unused-export], [check-not-threaded])
-   against the phase-1 results. *)
+(* Summary-based incremental driver.
+
+   Phase 1 turns each compilation unit into a self-contained {!Summary.entry}:
+   AST-free {!Symtab} metadata, the file-local {!Checks} findings and allow
+   spans, and the per-unit fact slices of the four whole-program analyses.
+   Parsing stays sequential (compiler-libs' lexer is global state); the
+   analysis collectors run in parallel over {!Cpla_util.Pool}.  On a warm run
+   only digest-changed units — plus units whose recorded imports changed —
+   are re-summarized; everything else is reused from the cache.
+
+   Phase 2 never touches an AST: it assembles the symtab from entry metadata,
+   rebuilds the {!Callgraph} and replays the {!Dataflow} event streams from
+   entry facts, and layers the whole-program rules on top.  Cold and warm
+   runs share this code path verbatim, so findings are a deterministic
+   function of the entries alone — byte-identical regardless of cache state
+   or which domains summarized what. *)
 
 type source = Symtab.source = { src_path : string; contents : string; linted : bool }
 
@@ -13,8 +23,8 @@ type source = Symtab.source = { src_path : string; contents : string; linted : b
    a finding is suppressed when a same-rule annotation's span contains its
    location, or the rule is allowed file-wide.  Every successful
    suppression is recorded against the winning annotation's identity (its
-   id location), and the per-file walk reports its suppressions through
-   [use] — what is left unrecorded at the end is stale. *)
+   id location), and the per-file walk's suppressions are replayed from the
+   summaries through [use] — what is left unrecorded at the end is stale. *)
 let within (span : Ppxlib.Location.t) (loc : Ppxlib.Location.t) =
   loc.loc_start.pos_cnum >= span.loc_start.pos_cnum
   && loc.loc_end.pos_cnum <= span.loc_end.pos_cnum
@@ -24,13 +34,13 @@ type allows = {
       (** [allowed rule path loc]: is a finding of [rule] at [loc] in unit
           [path] suppressed?  Records usage of the winning annotation. *)
   use : string -> string -> Ppxlib.Location.t -> unit;
-      (** [use path id id_loc]: a suppression reported by {!Checks.analyze}. *)
+      (** [use path id id_loc]: a suppression recorded by {!Checks.analyze}. *)
   stale : unit -> (string * string * Ppxlib.Location.t) list;
       (** Known-rule allow annotations in linted units that recorded no use:
           [(path, id, id_loc)]. *)
 }
 
-let build_allows symtab =
+let build_allows symtab (entries : Summary.entry array) =
   let tbl :
       ( string,
         (string * Ppxlib.Location.t) list
@@ -44,25 +54,26 @@ let build_allows symtab =
      exist to silence it. *)
   let annots : (string * string * Ppxlib.Location.t) list ref = ref [] in
   let used : (string * string * int, unit) Hashtbl.t = Hashtbl.create 64 in
-  for uid = 0 to Symtab.n_units symtab - 1 do
-    let u = Symtab.unit symtab uid in
-    let file_ids = Checks.file_allow_ids u.Symtab.str in
-    let spans = Checks.allow_spans u.Symtab.str in
-    Hashtbl.replace tbl u.Symtab.path (file_ids, spans);
-    if u.Symtab.linted then begin
-      let seen = Hashtbl.create 16 in
-      let audit id (id_loc : Ppxlib.Location.t) =
-        let k = (id, id_loc.loc_start.pos_cnum) in
-        if Rule.known id && (not (String.equal id "stale-allow")) && not (Hashtbl.mem seen k)
-        then begin
-          Hashtbl.replace seen k ();
-          annots := (u.Symtab.path, id, id_loc) :: !annots
-        end
-      in
-      List.iter (fun (id, id_loc, _) -> audit id id_loc) spans;
-      List.iter (fun (id, id_loc) -> audit id id_loc) file_ids
-    end
-  done;
+  Array.iteri
+    (fun uid (e : Summary.entry) ->
+      let u = Symtab.unit symtab uid in
+      let file_ids = e.Summary.e_file_allows in
+      let spans = e.Summary.e_allow_spans in
+      Hashtbl.replace tbl u.Symtab.path (file_ids, spans);
+      if u.Symtab.linted then begin
+        let seen = Hashtbl.create 16 in
+        let audit id (id_loc : Ppxlib.Location.t) =
+          let k = (id, id_loc.loc_start.pos_cnum) in
+          if Rule.known id && (not (String.equal id "stale-allow")) && not (Hashtbl.mem seen k)
+          then begin
+            Hashtbl.replace seen k ();
+            annots := (u.Symtab.path, id, id_loc) :: !annots
+          end
+        in
+        List.iter (fun (id, id_loc, _) -> audit id id_loc) spans;
+        List.iter (fun (id, id_loc) -> audit id id_loc) file_ids
+      end)
+    entries;
   let use path id (id_loc : Ppxlib.Location.t) =
     Hashtbl.replace used (path, id, id_loc.loc_start.pos_cnum) ()
   in
@@ -103,7 +114,7 @@ let build_allows symtab =
 
 (* ---- whole-program rules --------------------------------------------------- *)
 
-let domain_race ~allowed symtab =
+let domain_race ~allowed races =
   List.filter_map
     (fun (r : Dataflow.race) ->
       let suppressed =
@@ -118,7 +129,7 @@ let domain_race ~allowed symtab =
         Some
           (Finding.v ~file:r.Dataflow.r_path ~loc:r.Dataflow.r_loc ~rule:"domain-race"
              ~msg:r.Dataflow.r_msg))
-    (Dataflow.analyze symtab)
+    races
 
 let impure_kernel ~allowed symtab cg =
   let kernels =
@@ -263,63 +274,95 @@ let check_not_threaded ~allowed symtab cg =
       else [])
     (Callgraph.fns cg)
 
-(* ---- phase-2 driver -------------------------------------------------------- *)
+(* ---- phase 1: summarize one unit ------------------------------------------- *)
 
-let lint_sources sources =
-  let symtab = Symtab.build sources in
-  let cg = Callgraph.build symtab in
-  let allows = build_allows symtab in
+let summarize symtab (u : Symtab.unit_info) (str : Ppxlib.structure) ~digest ~intf_digest =
+  let uses = ref [] in
+  let local_findings =
+    if u.Symtab.linted && u.Symtab.parse_exn = None then
+      Checks.analyze
+        ~on_allow_use:(fun id id_loc -> uses := (id, id_loc) :: !uses)
+        ~scope:(Checks.scope_of_path u.Symtab.path)
+        str
+    else []
+  in
+  let cg = Callgraph.collect symtab u str in
+  {
+    Summary.e_digest = digest;
+    e_intf_digest = intf_digest;
+    e_meta = u;
+    e_file_allows = Checks.file_allow_ids str;
+    e_allow_spans = Checks.allow_spans str;
+    e_local_findings = local_findings;
+    e_local_uses = List.rev !uses;
+    e_cg = cg;
+    e_df = Dataflow.collect symtab u str;
+    e_alloc = Alloceffect.collect u str;
+    e_block = Blocking.collect u str;
+    e_deps =
+      List.filter (fun p -> not (String.equal p u.Symtab.path)) (Callgraph.facts_deps cg);
+  }
+
+(* ---- phase 2: findings from entries alone ----------------------------------- *)
+
+let solve_entries symtab (entries : Summary.entry array) =
+  let cg =
+    Callgraph.build_of_facts symtab (Array.map (fun e -> e.Summary.e_cg) entries)
+  in
+  let allows = build_allows symtab entries in
   let allowed = allows.allowed in
   let findings = ref [] in
   let add fs = findings := fs @ !findings in
-  for uid = 0 to Symtab.n_units symtab - 1 do
-    let u = Symtab.unit symtab uid in
-    if u.Symtab.linted then begin
-      (match u.Symtab.parse_exn with
-      | Some msg -> add [ Finding.file_level ~file:u.Symtab.path ~rule:"parse-error" ~msg ]
-      | None ->
-          add
-            (Checks.analyze
-               ~on_allow_use:(fun id id_loc -> allows.use u.Symtab.path id id_loc)
-               ~scope:(Checks.scope_of_path u.Symtab.path)
-               u.Symtab.str));
-      if u.Symtab.parsed && u.Symtab.area = Checks.Lib && not u.Symtab.has_intf then (
-        match
-          List.find_opt
-            (fun (id, _) -> String.equal id "missing-mli")
-            (Checks.file_allow_ids u.Symtab.str)
-        with
-        | Some (id, id_loc) -> allows.use u.Symtab.path id id_loc
-        | None ->
+  Array.iteri
+    (fun uid (e : Summary.entry) ->
+      let u = Symtab.unit symtab uid in
+      if u.Symtab.linted then begin
+        List.iter (fun (id, id_loc) -> allows.use u.Symtab.path id id_loc) e.Summary.e_local_uses;
+        (match u.Symtab.parse_exn with
+        | Some msg -> add [ Finding.file_level ~file:u.Symtab.path ~rule:"parse-error" ~msg ]
+        | None -> add e.Summary.e_local_findings);
+        if u.Symtab.parsed && u.Symtab.area = Checks.Lib && not u.Symtab.has_intf then (
+          match
+            List.find_opt
+              (fun (id, _) -> String.equal id "missing-mli")
+              e.Summary.e_file_allows
+          with
+          | Some (id, id_loc) -> allows.use u.Symtab.path id id_loc
+          | None ->
+              add
+                [
+                  Finding.file_level ~file:u.Symtab.path ~rule:"missing-mli"
+                    ~msg:"no corresponding .mli; every lib/ module needs an interface";
+                ]);
+        (match (u.Symtab.intf_path, u.Symtab.intf_parse_exn) with
+        | Some intf, Some msg ->
+            add [ Finding.file_level ~file:intf ~rule:"parse-error" ~msg ]
+        | _ -> ());
+        match u.Symtab.intf_path with
+        | Some intf ->
             add
-              [
-                Finding.file_level ~file:u.Symtab.path ~rule:"missing-mli"
-                  ~msg:"no corresponding .mli; every lib/ module needs an interface";
-              ]);
-      (match (u.Symtab.intf_path, u.Symtab.intf_parse_exn) with
-      | Some intf, Some msg ->
-          add [ Finding.file_level ~file:intf ~rule:"parse-error" ~msg ]
-      | _ -> ());
-      match u.Symtab.intf_path with
-      | Some intf ->
-          add
-            (List.map
-               (fun (id, loc) ->
-                 Finding.v ~file:intf ~loc ~rule:"unknown-allow"
-                   ~msg:
-                     (match id with
-                     | Some id -> Printf.sprintf "unknown rule id %S in [@cpla.allow]" id
-                     | None -> "[@cpla.allow] expects rule-id string literal(s)"))
-               u.Symtab.intf_bad_allows)
-      | None -> ()
-    end
-  done;
-  add (domain_race ~allowed symtab);
+              (List.map
+                 (fun (id, loc) ->
+                   Finding.v ~file:intf ~loc ~rule:"unknown-allow"
+                     ~msg:
+                       (match id with
+                       | Some id -> Printf.sprintf "unknown rule id %S in [@cpla.allow]" id
+                       | None -> "[@cpla.allow] expects rule-id string literal(s)"))
+                 u.Symtab.intf_bad_allows)
+        | None -> ()
+      end)
+    entries;
+  add
+    (domain_race ~allowed
+       (Dataflow.solve symtab (Array.map (fun e -> e.Summary.e_df) entries)));
   add (impure_kernel ~allowed symtab cg);
   add (unused_export symtab cg);
   add (check_not_threaded ~allowed symtab cg);
-  add (Alloceffect.check ~allowed symtab cg);
-  add (Blocking.check ~allowed symtab cg);
+  add
+    (Alloceffect.check ~allowed symtab cg
+       (Array.map (fun e -> e.Summary.e_alloc) entries));
+  add
+    (Blocking.check ~allowed symtab cg (Array.map (fun e -> e.Summary.e_block) entries));
   (* stale-allow runs last: every rule above has by now recorded which
      annotations earned their keep *)
   add
@@ -334,6 +377,116 @@ let lint_sources sources =
                      "[@cpla.allow %S] no longer suppresses any finding; remove it" id)))
        (allows.stale ()));
   List.sort_uniq Finding.compare !findings
+
+(* ---- incremental driver ----------------------------------------------------- *)
+
+let norm p = (Checks.scope_of_path p).Checks.path
+
+(* The worklist shape: ordered (path, linted, has_intf) triples.  Any change
+   — a unit added, removed, reordered, or flipping its linted/interface
+   status — invalidates the whole cache, so entry-level reuse only ever has
+   to reason about content edits to a fixed unit set. *)
+let shape_of pairs =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (List.map
+             (fun ((s : source), intf) ->
+               Printf.sprintf "%s\x01%b\x01%b" (norm s.src_path) s.linted (intf <> None))
+             pairs)))
+
+let pair_sources (sources : source list) =
+  let impls = List.filter (fun s -> Filename.check_suffix s.src_path ".ml") sources in
+  let intfs = List.filter (fun s -> Filename.check_suffix s.src_path ".mli") sources in
+  let intf_for path = List.find_opt (fun s -> String.equal s.src_path (path ^ "i")) intfs in
+  List.map (fun (s : source) -> (s, intf_for s.src_path)) impls
+
+let lint_incremental ?(workers = 1) ~cache sources =
+  let pairs = pair_sources sources in
+  let shape = shape_of pairs in
+  let keyed =
+    List.map
+      (fun ((s : source), intf) ->
+        ( s,
+          intf,
+          norm s.src_path,
+          Digest.string s.contents,
+          Option.map (fun (i : source) -> Digest.string i.contents) intf ))
+      pairs
+  in
+  (* dirty = digest-changed ∪ units importing a digest-changed unit.  One hop
+     suffices: the cross-module fixpoints are recomputed from all entries
+     every run, and a change in the *set* of units is a shape change. *)
+  let reusable =
+    List.map
+      (fun (_, _, path, digest, intf_digest) ->
+        match Summary.find cache ~shape path with
+        | Some e
+          when String.equal e.Summary.e_digest digest
+               && e.Summary.e_intf_digest = intf_digest ->
+            Some e
+        | _ -> None)
+      keyed
+  in
+  let changed : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter2
+    (fun (_, _, path, _, _) reuse ->
+      if reuse = None then Hashtbl.replace changed path ())
+    keyed reusable;
+  let items =
+    List.map2
+      (fun (s, intf, path, digest, intf_digest) reuse ->
+        match reuse with
+        | Some e when not (List.exists (Hashtbl.mem changed) e.Summary.e_deps) ->
+            `Reused e
+        | _ ->
+            (* sequential: compiler-libs' lexer state is global *)
+            let u, str = Symtab.parse_source s ~intf in
+            `Dirty (u, str, path, digest, intf_digest))
+      keyed reusable
+  in
+  let symtab =
+    Symtab.assemble
+      (List.map
+         (function `Reused e -> e.Summary.e_meta | `Dirty (u, _, _, _, _) -> u)
+         items)
+  in
+  let dirty =
+    List.filter_map
+      (function
+        | uid, `Dirty (_, str, _, digest, intf_digest) ->
+            Some (uid, str, digest, intf_digest)
+        | _, `Reused _ -> None)
+      (List.mapi (fun uid it -> (uid, it)) items)
+  in
+  let fresh =
+    Cpla_util.Pool.parallel_map ~workers
+      (fun (uid, str, digest, intf_digest) ->
+        (uid, summarize symtab (Symtab.unit symtab uid) str ~digest ~intf_digest))
+      (Array.of_list dirty)
+  in
+  let fresh_tbl : (int, Summary.entry) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter (fun (uid, e) -> Hashtbl.replace fresh_tbl uid e) fresh;
+  let entries =
+    Array.of_list
+      (List.mapi
+         (fun uid -> function
+           | `Reused e -> e
+           | `Dirty _ -> Hashtbl.find fresh_tbl uid)
+         items)
+  in
+  let findings = solve_entries symtab entries in
+  let cache' =
+    Summary.v ~shape
+      (Array.to_list (Array.mapi (fun uid e -> (Symtab.path_of symtab uid, e)) entries))
+  in
+  let files = Array.length entries in
+  let summarized = Array.length fresh in
+  (cache', findings, { Summary.files; summarized; reused = files - summarized })
+
+let lint_sources ?workers sources =
+  let _, findings, _ = lint_incremental ?workers ~cache:Summary.empty sources in
+  findings
 
 let lint_string ?(has_mli = true) ~filename contents =
   let path = (Checks.scope_of_path filename).Checks.path in
@@ -357,20 +510,27 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let rec source_files path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.concat_map (fun entry ->
-           if String.length entry > 0 && entry.[0] = '.' then []
-           else if String.equal entry "_build" then []
-           else source_files (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then [ path ]
-  else []
-
+  match Sys.is_directory path with
+  | true ->
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.concat_map (fun entry ->
+             if String.length entry > 0 && entry.[0] = '.' then []
+             else if String.equal entry "_build" then []
+             else source_files (Filename.concat path entry))
+  | false ->
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+        [ path ]
+      else []
+  | exception Sys_error _ ->
+      (* dangling symlink (readdir lists it, stat fails): keep sources so the
+         read failure surfaces as a finding, drop anything else *)
+      if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then
+        [ path ]
+      else []
 
 let default_roots = [ "lib"; "bin"; "bench"; "test" ]
 
-let lint_paths ?(context = default_roots) paths =
-  let norm p = (Checks.scope_of_path p).Checks.path in
+let read_sources ?(context = default_roots) paths =
   let files = List.concat_map source_files paths in
   let seen = Hashtbl.create 256 in
   List.iter (fun p -> Hashtbl.replace seen (norm p) ()) files;
@@ -380,6 +540,24 @@ let lint_paths ?(context = default_roots) paths =
     |> List.concat_map source_files
     |> List.filter (fun p -> not (Hashtbl.mem seen (norm p)))
   in
-  let src linted p = { src_path = norm p; contents = read_file p; linted } in
-  lint_sources (List.map (src true) files @ List.map (src false) ctx)
+  let findings = ref [] in
+  let src linted p =
+    match read_file p with
+    | contents -> Some { src_path = norm p; contents; linted }
+    | exception Sys_error msg ->
+        if linted then
+          findings :=
+            Finding.file_level ~file:(norm p) ~rule:"read-error" ~msg :: !findings;
+        None
+  in
+  let sources = List.filter_map (src true) files @ List.filter_map (src false) ctx in
+  (sources, List.rev !findings)
 
+let lint_paths ?context ?workers ?cache_file paths =
+  let sources, read_findings = read_sources ?context paths in
+  let cache =
+    match cache_file with Some f -> Summary.load f | None -> Summary.empty
+  in
+  let cache', findings, stats = lint_incremental ?workers ~cache sources in
+  (match cache_file with Some f -> Summary.save f cache' | None -> ());
+  (List.sort_uniq Finding.compare (read_findings @ findings), stats)

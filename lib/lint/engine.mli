@@ -1,16 +1,20 @@
-(** Driving the lint.
+(** Driving the lint, incrementally.
 
-    Phase 1 builds the project-wide {!Symtab}, {!Callgraph} and {!Dataflow}
-    results from {e every} source handed in; phase 2 applies the file-local
-    {!Checks} to each [linted] unit and layers the whole-program rules
-    ([domain-race], [impure-kernel], [unused-export], [check-not-threaded],
-    [alloc-in-kernel], [blocking-in-loop]) on top, then audits every
-    [[\@cpla.allow]] annotation in the linted units for staleness
-    ([stale-allow]: a known-rule allow that suppressed or pruned nothing
-    this run).  Sources with [linted = false] participate in resolution,
-    reference counting, flow and reachability analysis but produce no
-    findings (and their allows are not audited) — so a partial lint of one
-    directory still sees the rest of the project. *)
+    Phase 1 summarizes each compilation unit into a self-contained
+    {!Summary.entry} (file-local findings, allow spans, and the per-unit
+    fact slices of every whole-program analysis); parsing is sequential but
+    the analysis collectors fan out over [workers] domains.  Phase 2
+    recomputes the cross-module rules ([domain-race], [impure-kernel],
+    [unused-export], [check-not-threaded], [alloc-in-kernel],
+    [blocking-in-loop]) from the entries alone — never re-reading an AST —
+    then audits every [[\@cpla.allow]] in the linted units for staleness.
+    Cold and warm runs share the phase-2 code path, so findings are
+    byte-identical regardless of cache state or scheduling.
+
+    Sources with [linted = false] participate in resolution, reference
+    counting, flow and reachability analysis but produce no findings (and
+    their allows are not audited) — so a partial lint of one directory
+    still sees the rest of the project. *)
 
 type source = Symtab.source = {
   src_path : string;  (** project-relative path; [.ml] or [.mli] *)
@@ -18,10 +22,21 @@ type source = Symtab.source = {
   linted : bool;
 }
 
-val lint_sources : source list -> Finding.t list
-(** Run both phases over an in-memory project.  Findings are sorted and
-    de-duplicated; whole-program findings honour [[\@cpla.allow]] spans at
-    the reporting site (and, for [domain-race], at the creation site). *)
+val lint_sources : ?workers:int -> source list -> Finding.t list
+(** Run both phases cold over an in-memory project.  Findings are sorted
+    and de-duplicated; whole-program findings honour [[\@cpla.allow]] spans
+    at the reporting site (and, for [domain-race], at the creation site).
+    [workers] (default [1]) parallelises phase-1 summarization. *)
+
+val lint_incremental :
+  ?workers:int ->
+  cache:Summary.t ->
+  source list ->
+  Summary.t * Finding.t list * Summary.stats
+(** Like {!lint_sources} but reusing [cache] entries whose unit digests are
+    unchanged and whose recorded imports are all unchanged too; returns the
+    refreshed cache for the next run and the phase-1 work accounting.
+    Passing {!Summary.empty} is exactly a cold run. *)
 
 val lint_string : ?has_mli:bool -> filename:string -> string -> Finding.t list
 (** Lint one implementation given as a string.  [filename] (a
@@ -29,10 +44,23 @@ val lint_string : ?has_mli:bool -> filename:string -> string -> Finding.t list
     rules apply; it does not have to exist on disk.  [has_mli] (default
     [true]) feeds the [missing-mli] rule.  Findings are sorted. *)
 
-val lint_paths : ?context:string list -> string list -> Finding.t list
-(** Lint every [.ml]/[.mli] under the given files/directories (recursively,
-    skipping [_build] and dot-directories).  Directories in [context]
-    (default [["lib"; "bin"; "bench"; "test"]]) are loaded as non-linted
-    resolution context so partial lints resolve cross-module references.
-    Findings are sorted and de-duplicated.  @raise Sys_error on an
-    unreadable path. *)
+val read_sources :
+  ?context:string list -> string list -> source list * Finding.t list
+(** Collect every [.ml]/[.mli] under the given files/directories
+    (recursively, skipping [_build] and dot-directories) as linted sources,
+    plus the [context] directories (default [["lib"; "bin"; "bench";
+    "test"]]) as non-linted resolution context.  A linted path that exists
+    but cannot be read (dangling symlink, permissions) becomes a file-level
+    [read-error] finding instead of aborting; unreadable context is
+    skipped silently.  Never raises [Sys_error]. *)
+
+val lint_paths :
+  ?context:string list ->
+  ?workers:int ->
+  ?cache_file:string ->
+  string list ->
+  Finding.t list * Summary.stats
+(** {!read_sources} + {!lint_incremental}: lints the given paths, loading
+    the summary cache from [cache_file] before the run and saving the
+    refreshed cache after (no persistence when [cache_file] is omitted).
+    Findings are sorted and de-duplicated and include any [read-error]s. *)

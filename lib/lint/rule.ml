@@ -113,6 +113,15 @@ let all =
          keeps the lint gate conservative.";
     };
     {
+      analysis = File_local;
+      id = "read-error";
+      synopsis = "source file that exists but cannot be read";
+      rationale =
+        "an unreadable file (dangling symlink, permissions) cannot be \
+         audited; reporting it and linting the rest keeps one bad path from \
+         aborting the whole run while the gate stays conservative.";
+    };
+    {
       analysis = Whole_program;
       id = "domain-race";
       synopsis =

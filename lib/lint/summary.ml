@@ -1,0 +1,86 @@
+(* Persisted per-file summaries for the incremental engine.
+
+   An [entry] is everything phase 2 needs about one compilation unit —
+   AST-free metadata, syntactic findings, allow spans, and the four
+   analysis fact slices — keyed by the content digests of the [.ml] and
+   its optional [.mli].  The cache file is a one-line text header (format
+   tag, engine version, rule-set digest) followed by a [Marshal]ed body;
+   any mismatch, short read, or corruption degrades to an empty cache — a
+   cold run — never an error. *)
+
+type entry = {
+  e_digest : string;  (* Digest.string of the .ml contents *)
+  e_intf_digest : string option;
+  e_meta : Symtab.unit_info;  (* uid is stale; Symtab.assemble reassigns *)
+  e_file_allows : (string * Ppxlib.Location.t) list;
+  e_allow_spans : (string * Ppxlib.Location.t * Ppxlib.Location.t) list;
+  e_local_findings : Finding.t list;
+  e_local_uses : (string * Ppxlib.Location.t) list;
+  e_cg : Callgraph.unit_facts;
+  e_df : Dataflow.unit_facts;
+  e_alloc : Alloceffect.unit_facts;
+  e_block : Blocking.unit_facts;
+  e_deps : string list;
+}
+
+type stats = { files : int; summarized : int; reused : int }
+
+type t = { shape : string; entries : (string * entry) list }
+
+let empty = { shape = ""; entries = [] }
+
+let find cache ~shape path =
+  if not (String.equal cache.shape shape) then None
+  else List.assoc_opt path cache.entries
+
+let v ~shape entries = { shape; entries }
+
+(* ---- persistence ---------------------------------------------------------- *)
+
+(* Bump when the summary format or any analysis semantics change: a stale
+   version must force a full rebuild, not a misread. *)
+let engine_version = 1
+
+let format_tag = "cpla-lint-cache/1"
+
+let rules_digest =
+  lazy (Digest.to_hex (Digest.string (String.concat "," (List.map (fun r -> r.Rule.id) Rule.all))))
+
+let header () =
+  Printf.sprintf "%s engine=%d rules=%s\n" format_tag engine_version (Lazy.force rules_digest)
+
+let default_path = "_build/.cpla-lint-cache"
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error _ -> empty
+  | ic ->
+      let cache =
+        match
+          let line = input_line ic in
+          if not (String.equal (line ^ "\n") (header ())) then empty
+          else (Marshal.from_channel ic : t)
+        with
+        | cache -> cache
+        | exception e ->
+            Cpla_util.Exn.reraise_if_async e;
+            empty
+      in
+      close_in_noerr ic;
+      cache
+
+(* Best-effort: the @lint alias runs inside dune's sandbox where the cache
+   directory may not be writable; a failed save must never fail the lint. *)
+let save path cache =
+  try
+    let dir = Filename.dirname path in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (header ());
+    Marshal.to_channel oc cache [];
+    close_out oc;
+    Sys.rename tmp path
+  with e ->
+    Cpla_util.Exn.reraise_if_async e;
+    ()

@@ -1,0 +1,56 @@
+(** Digest-keyed per-file summaries and their on-disk cache.
+
+    A summary {!entry} is self-contained: once phase 1 has produced one, every
+    cross-module fixpoint (call-graph purity, mutable-escape dataflow, alloc
+    and blocking reachability, unused exports, stale allows) can be recomputed
+    from entries alone without re-parsing or re-walking any AST.  Entries are
+    keyed by the content digests of the [.ml] and its optional [.mli], and the
+    whole cache by a shape digest over the ordered worklist, the engine
+    version, and the rule-set digest — any mismatch degrades to a cold run. *)
+
+type entry = {
+  e_digest : string;  (** [Digest.string] of the [.ml] contents *)
+  e_intf_digest : string option;  (** same for the [.mli], when present *)
+  e_meta : Symtab.unit_info;
+      (** AST-free unit metadata; [uid] is stale and reassigned on assembly *)
+  e_file_allows : (string * Ppxlib.Location.t) list;
+  e_allow_spans : (string * Ppxlib.Location.t * Ppxlib.Location.t) list;
+  e_local_findings : Finding.t list;  (** single-file syntactic findings *)
+  e_local_uses : (string * Ppxlib.Location.t) list;
+      (** allow spans consumed by local findings, replayed for stale-allow *)
+  e_cg : Callgraph.unit_facts;
+  e_df : Dataflow.unit_facts;
+  e_alloc : Alloceffect.unit_facts;
+  e_block : Blocking.unit_facts;
+  e_deps : string list;
+      (** unit paths this summary read through the symtab; a digest change in
+          any of them dirties this entry even if its own digest is unchanged *)
+}
+
+type stats = { files : int; summarized : int; reused : int }
+(** Phase-1 work accounting for one run: [summarized + reused = files]. *)
+
+type t
+(** A cache: a shape digest plus entries keyed by project-relative path. *)
+
+val empty : t
+
+val v : shape:string -> (string * entry) list -> t
+
+val find : t -> shape:string -> string -> entry option
+(** [None] whenever the cache was built for a different worklist shape. *)
+
+val engine_version : int
+(** Bumped when summary format or analysis semantics change; part of the
+    cache header, so stale caches rebuild from scratch instead of misreading. *)
+
+val default_path : string
+(** [_build/.cpla-lint-cache] *)
+
+val load : string -> t
+(** Header or body mismatch, short read, corruption, missing file — all
+    degrade to {!empty}.  Never raises. *)
+
+val save : string -> t -> unit
+(** Best-effort (write to temp, rename); failures are swallowed so a
+    read-only cache directory (e.g. dune's sandbox) cannot fail the lint. *)

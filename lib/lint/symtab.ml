@@ -19,13 +19,17 @@ type export = {
   exp_suppressed : bool;
 }
 
+(* [unit_info] is the AST-free per-unit metadata.  It is what the
+   incremental cache persists, so everything here must stay marshalable
+   (records, variants, {!Location.t} — no closures, no ASTs).  [uid] is
+   positional and reassigned by {!assemble} on every run; a cached value's
+   stale uid is never trusted. *)
 type unit_info = {
   uid : int;
   path : string;
   area : Checks.area;
   lib : string option;
   modname : string;
-  str : structure;
   parsed : bool;
   parse_exn : string option;
   has_intf : bool;
@@ -41,6 +45,7 @@ type unit_info = {
 type t = {
   units : unit_info array;
   by_lib : (string * string, int) Hashtbl.t;
+  by_path : (string, int) Hashtbl.t;
   libs : (string, unit) Hashtbl.t;
 }
 
@@ -270,8 +275,11 @@ let exports_of_signature sg =
   items [] sg;
   (List.rev !exports, List.rev !bad, file_allowed)
 
-(* ---- building ------------------------------------------------------------- *)
+(* ---- parsing -------------------------------------------------------------- *)
 
+(* NOTE: compiler-libs' lexer keeps global mutable buffers, so parsing must
+   stay on one domain; the per-file *analysis* over the resulting ASTs is
+   what the engine parallelises. *)
 let parse_impl ~filename contents =
   let lexbuf = Lexing.from_string contents in
   Lexing.set_filename lexbuf filename;
@@ -282,71 +290,73 @@ let parse_intf ~filename contents =
   Lexing.set_filename lexbuf filename;
   Parse.interface lexbuf
 
-let build (sources : source list) =
-  let impls = List.filter (fun s -> Filename.check_suffix s.src_path ".ml") sources in
-  let intfs = List.filter (fun s -> Filename.check_suffix s.src_path ".mli") sources in
-  let intf_for path = List.find_opt (fun s -> String.equal s.src_path (path ^ "i")) intfs in
-  let units =
-    List.mapi
-      (fun uid (s : source) ->
-        let scope = Checks.scope_of_path s.src_path in
-        let str, parsed, parse_exn =
-          match parse_impl ~filename:scope.Checks.path s.contents with
-          | str -> (str, true, None)
-          | exception e ->
-              Cpla_util.Exn.reraise_if_async e;
-              ([], false, Some (Printexc.to_string e))
-        in
-        let intf = intf_for s.src_path in
-        let exports, intf_bad_allows, intf_parse_exn =
-          match intf with
-          | None -> ([], [], None)
-          | Some i -> (
-              let ipath = (Checks.scope_of_path i.src_path).Checks.path in
-              match parse_intf ~filename:ipath i.contents with
-              | sg ->
-                  let exports, bad, _ = exports_of_signature sg in
-                  (exports, bad, None)
-              | exception e ->
-                  Cpla_util.Exn.reraise_if_async e;
-                  ([], [], Some (Printexc.to_string e)))
-        in
-        {
-          uid;
-          path = scope.Checks.path;
-          area = scope.Checks.area;
-          lib = library_of_segments scope.Checks.segments;
-          modname = modname_of_path s.src_path;
-          str;
-          parsed;
-          parse_exn;
-          has_intf = intf <> None;
-          intf_path =
-            Option.map (fun i -> (Checks.scope_of_path i.src_path).Checks.path) intf;
-          exports;
-          intf_bad_allows;
-          intf_parse_exn;
-          defs = defs_of_structure str;
-          linted = s.linted;
-        })
-      impls
+(* Parse one implementation (plus its optional interface) into AST-free unit
+   metadata and the AST itself.  [uid] is a placeholder until {!assemble}. *)
+let parse_source (s : source) ~(intf : source option) =
+  let scope = Checks.scope_of_path s.src_path in
+  let str, parsed, parse_exn =
+    match parse_impl ~filename:scope.Checks.path s.contents with
+    | str -> (str, true, None)
+    | exception e ->
+        Cpla_util.Exn.reraise_if_async e;
+        ([], false, Some (Printexc.to_string e))
   in
+  let exports, intf_bad_allows, intf_parse_exn =
+    match intf with
+    | None -> ([], [], None)
+    | Some i -> (
+        let ipath = (Checks.scope_of_path i.src_path).Checks.path in
+        match parse_intf ~filename:ipath i.contents with
+        | sg ->
+            let exports, bad, _ = exports_of_signature sg in
+            (exports, bad, None)
+        | exception e ->
+            Cpla_util.Exn.reraise_if_async e;
+            ([], [], Some (Printexc.to_string e)))
+  in
+  ( {
+      uid = -1;
+      path = scope.Checks.path;
+      area = scope.Checks.area;
+      lib = library_of_segments scope.Checks.segments;
+      modname = modname_of_path s.src_path;
+      parsed;
+      parse_exn;
+      has_intf = intf <> None;
+      intf_path =
+        Option.map (fun (i : source) -> (Checks.scope_of_path i.src_path).Checks.path) intf;
+      exports;
+      intf_bad_allows;
+      intf_parse_exn;
+      defs = defs_of_structure str;
+      linted = s.linted;
+    },
+    str )
+
+let assemble (units : unit_info list) =
   let units = Array.of_list units in
+  let units = Array.mapi (fun uid u -> { u with uid }) units in
   let by_lib = Hashtbl.create 64 in
+  let by_path = Hashtbl.create 64 in
   let libs = Hashtbl.create 16 in
   Array.iter
     (fun u ->
+      Hashtbl.replace by_path u.path u.uid;
       match u.lib with
       | Some l ->
           Hashtbl.replace libs l ();
           Hashtbl.replace by_lib (l, u.modname) u.uid
       | None -> ())
     units;
-  { units; by_lib; libs }
+  { units; by_lib; by_path; libs }
 
 let unit t uid = t.units.(uid)
 
 let n_units t = Array.length t.units
+
+let path_of t uid = t.units.(uid).path
+
+let uid_of_path t path = Hashtbl.find_opt t.by_path path
 
 let find_def u path = List.find_opt (fun d -> d.def_path = path) u.defs
 
@@ -356,6 +366,15 @@ type resolved =
   | Sym of int * string list
   | Ext of string list
   | Local of string
+
+(* Path-symbolic cross-unit reference: what the per-file summaries persist
+   instead of positional uids, so a cached summary survives runs. *)
+type sym = { s_unit : string; s_path : string list }
+
+let internalize t { s_unit; s_path } =
+  match uid_of_path t s_unit with
+  | Some uid -> Some (uid, s_path)
+  | None -> None
 
 type env = { opens : string list list; aliases : (string * string list) list }
 

@@ -1,11 +1,17 @@
 (** Phase-1 whole-program symbol table.
 
-    Parses every [.ml]/[.mli] in the project, records each compilation
-    unit's top-level (and nested-module) value definitions with a
-    shared-mutability classification, its [.mli] export list, and resolves
-    longidents against the project's module structure — dune-wrapped
-    library names ([Cpla_util.Pool.parallel_map]), same-library siblings
-    ([Elmore.analyze] from [lib/timing]), [open]s and module aliases. *)
+    Each compilation unit's top-level (and nested-module) value definitions
+    with a shared-mutability classification and its [.mli] export list are
+    recorded as AST-free, marshalable {!unit_info} metadata; longidents
+    resolve against the project's module structure — dune-wrapped library
+    names ([Cpla_util.Pool.parallel_map]), same-library siblings
+    ([Elmore.analyze] from [lib/timing]), [open]s and module aliases.
+
+    The incremental engine splits construction in two: {!parse_source}
+    produces one unit's metadata plus its AST (cacheable metadata,
+    throwaway AST), and {!assemble} indexes the full ordered unit list —
+    mixing freshly parsed and cache-loaded entries — assigning positional
+    uids. *)
 
 open Ppxlib
 
@@ -33,12 +39,11 @@ type export = {
 }
 
 type unit_info = {
-  uid : int;
+  uid : int;  (** positional; reassigned by {!assemble} every run *)
   path : string;
   area : Checks.area;
   lib : string option;  (** wrapped library module name, e.g. ["Cpla_util"] *)
   modname : string;  (** unit module name, e.g. ["Pool"] *)
-  str : structure;  (** empty when the file does not parse *)
   parsed : bool;
   parse_exn : string option;
   has_intf : bool;
@@ -54,13 +59,24 @@ type unit_info = {
 
 type t
 
-val build : source list -> t
-(** Parse and index every source.  Files that fail to parse keep an entry
-    (with [parsed = false]) so the engine can report them. *)
+val parse_source : source -> intf:source option -> unit_info * structure
+(** Parse one implementation and its optional interface into metadata plus
+    the AST.  A file that fails to parse still yields an entry (with
+    [parsed = false] and an empty structure) so the engine can report it.
+    [uid] is a placeholder until {!assemble}.  Parsing uses compiler-libs'
+    global lexer state — callers must not invoke this from multiple
+    domains. *)
+
+val assemble : unit_info list -> t
+(** Index an ordered unit list, assigning [uid = position]. *)
 
 val unit : t -> int -> unit_info
 
 val n_units : t -> int
+
+val path_of : t -> int -> string
+
+val uid_of_path : t -> string -> int option
 
 val find_def : unit_info -> string list -> def option
 
@@ -70,6 +86,15 @@ type resolved =
   | Sym of int * string list  (** unit id, value path within that unit *)
   | Ext of string list  (** canonical path of an external (non-project) name *)
   | Local of string  (** shadowed by a local binding of the walker's scope *)
+
+type sym = { s_unit : string; s_path : string list }
+(** Path-symbolic cross-unit reference: the persistable form of
+    [Sym (uid, path)].  Cached summaries store these (unit paths are
+    stable across runs; uids are not) and {!internalize} maps them back
+    once the run's symtab is assembled. *)
+
+val internalize : t -> sym -> (int * string list) option
+(** [None] when the referenced unit no longer exists. *)
 
 type env
 (** Per-position resolution context: the [open]s and module aliases in

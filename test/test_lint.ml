@@ -169,12 +169,13 @@ let test_json_report () =
   let findings =
     Engine.lint_string ~filename:"lib/fixture/snippet.ml" "let f x = Obj.magic x\n"
   in
-  let s = Format.asprintf "%a" Report.json findings in
+  let s = Format.asprintf "%a" (fun fmt -> Report.json fmt) findings in
   Alcotest.(check bool) "has rule" true (contains s "\"rule\":\"obj-magic\"");
   Alcotest.(check bool) "has file" true (contains s "\"file\":\"lib/fixture/snippet.ml\"");
   Alcotest.(check bool) "has count" true (contains s "\"count\":1");
   let escaped =
-    Format.asprintf "%a" Report.json
+    Format.asprintf "%a"
+      (fun fmt -> Report.json fmt)
       [ Finding.file_level ~file:"a\"b.ml" ~rule:"parse-error" ~msg:"x\ny" ]
   in
   Alcotest.(check bool) "escapes quote" true (contains escaped "a\\\"b.ml");
@@ -188,6 +189,37 @@ let test_human_report () =
   Alcotest.(check bool) "diagnostic line" true
     (contains s "lib/fixture/snippet.ml:1: [obj-magic]");
   Alcotest.(check bool) "summary" true (contains s "cpla-lint: 1 finding")
+
+(* An unreadable file (here: a dangling symlink, which readdir lists but
+   stat/open fail on) must surface as a file-level [read-error] finding
+   while the rest of the tree is still linted. *)
+let test_read_error () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cpla-lint-read-error-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let good = Filename.concat dir "good.ml" in
+      let oc = open_out good in
+      output_string oc "let f x = Obj.magic x\n";
+      close_out oc;
+      Unix.symlink (Filename.concat dir "nowhere.ml") (Filename.concat dir "bad.ml");
+      let findings, _ = Engine.lint_paths ~context:[] [ dir ] in
+      let rules = List.map (fun (f : Finding.t) -> f.Finding.rule) findings in
+      Alcotest.(check bool) "read-error reported" true (List.mem "read-error" rules);
+      Alcotest.(check bool) "good file still linted" true (List.mem "obj-magic" rules);
+      match
+        List.find_opt (fun (f : Finding.t) -> f.Finding.rule = "read-error") findings
+      with
+      | Some f ->
+          Alcotest.(check bool) "finding names the symlink" true
+            (contains f.Finding.file "bad.ml")
+      | None -> Alcotest.fail "no read-error finding")
 
 let suite =
   [
@@ -208,4 +240,5 @@ let suite =
     Alcotest.test_case "rule registry" `Quick test_registry;
     Alcotest.test_case "json report" `Quick test_json_report;
     Alcotest.test_case "human report" `Quick test_human_report;
+    Alcotest.test_case "read-error keeps linting" `Quick test_read_error;
   ]

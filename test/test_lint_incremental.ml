@@ -1,0 +1,228 @@
+(* The incremental engine's contract: whatever the cache contains, however
+   the edits arrived, findings are byte-identical to a cold from-scratch run
+   — and a warm run only re-summarizes the changed files plus their
+   importers. *)
+
+module Engine = Cpla_lint.Engine
+module Finding = Cpla_lint.Finding
+module Summary = Cpla_lint.Summary
+
+let src ?(linted = true) src_path contents = { Engine.src_path; contents; linted }
+
+(* ---- a small project with every cross-module interaction ------------------- *)
+
+(* Three units in one fixture library: [a] hosts a parallel kernel whose body
+   (pure / racy / racy-but-allowed) is an edit dimension, [b] optionally
+   references [a]'s second export (driving [unused-export] and the import
+   edge a warm run must honour), and [c] can appear or disappear (a worklist
+   shape change, which must invalidate the whole cache). *)
+type state = {
+  touch : int;  (* trailing-comment counter on a.ml: content change, same AST *)
+  a_body : int;  (* 0 pure, 1 domain-race, 2 race under [@cpla.allow] *)
+  b_uses_scale : bool;  (* flips the A.scale reference, and with it an import *)
+  with_c : bool;  (* third unit present: shape change *)
+}
+
+let initial = { touch = 0; a_body = 0; b_uses_scale = true; with_c = false }
+
+let a_ml st =
+  let kernel =
+    match st.a_body mod 3 with
+    | 0 -> "let run xs = Cpla_util.Pool.parallel_map ~workers:2 (scale 2) xs\n"
+    | 1 ->
+        "let run xs =\n\
+        \  let total = ref 0 in\n\
+        \  Cpla_util.Pool.parallel_map ~workers:2 (fun x -> total := !total + x; x) xs\n"
+    | _ ->
+        "let run xs =\n\
+        \  let total = ref 0 in\n\
+        \  (Cpla_util.Pool.parallel_map ~workers:2 (fun x -> total := !total + x; x) xs)\n\
+        \  [@cpla.allow \"domain-race\"]\n"
+  in
+  "let scale k x = k * x\n" ^ kernel
+  ^ String.concat "" (List.init st.touch (fun i -> Printf.sprintf "(* t%d *)\n" i))
+
+let a_mli = "val scale : int -> int -> int\nval run : int array -> int array\n"
+
+let b_ml st =
+  if st.b_uses_scale then "let go xs = ignore (A.scale 2 3); A.run xs\n"
+  else "let go xs = A.run xs\n"
+
+let b_mli = "val go : int array -> int array\n"
+
+let c_ml = "let helper x = x + 1\nlet use = helper 3\n"
+
+let c_mli = "val helper : int -> int\nval use : int\n"
+
+let sources st =
+  [
+    src "lib/fx/a.ml" (a_ml st);
+    src "lib/fx/a.mli" a_mli;
+    src "lib/fx/b.ml" (b_ml st);
+    src "lib/fx/b.mli" b_mli;
+  ]
+  @ (if st.with_c then [ src "lib/fx/c.ml" c_ml; src "lib/fx/c.mli" c_mli ] else [])
+
+(* ---- random edit sequences -------------------------------------------------- *)
+
+type op = Touch | Body of int | Flip_scale | Flip_c
+
+let apply st = function
+  | Touch -> { st with touch = st.touch + 1 }
+  | Body n -> { st with a_body = n }
+  | Flip_scale -> { st with b_uses_scale = not st.b_uses_scale }
+  | Flip_c -> { st with with_c = not st.with_c }
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Touch);
+        (3, map (fun n -> Body n) (int_range 0 2));
+        (2, return Flip_scale);
+        (1, return Flip_c);
+      ])
+
+let op_print = function
+  | Touch -> "Touch"
+  | Body n -> Printf.sprintf "Body %d" n
+  | Flip_scale -> "Flip_scale"
+  | Flip_c -> "Flip_c"
+
+let op_arb = QCheck.make ~print:op_print op_gen
+
+let show_findings fs =
+  String.concat "\n"
+    (List.map
+       (fun (f : Finding.t) ->
+         Printf.sprintf "%s:%d [%s] %s" f.Finding.file f.Finding.line f.Finding.rule
+           f.Finding.message)
+       fs)
+
+let equal_findings a b = List.compare Finding.compare a b = 0
+
+(* After every step of a random edit sequence, the incremental run over the
+   inherited cache must equal a from-scratch run — under both sequential and
+   parallel summarization. *)
+let incremental_equals_scratch =
+  QCheck.Test.make ~name:"incremental lint equals from-scratch after any edits"
+    ~count:20
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) op_arb)
+    (fun ops ->
+      let cache = ref Summary.empty in
+      let st = ref initial in
+      let step i op =
+        st := apply !st op;
+        let srcs = sources !st in
+        let workers = 1 + (i mod 2) in
+        let cache', warm, _ = Engine.lint_incremental ~workers ~cache:!cache srcs in
+        cache := cache';
+        let cold = Engine.lint_sources srcs in
+        if not (equal_findings warm cold) then
+          QCheck.Test.fail_reportf
+            "after %s (step %d):@.-- warm --@.%s@.-- cold --@.%s"
+            (String.concat "; " (List.map op_print ops))
+            i (show_findings warm) (show_findings cold)
+      in
+      List.iteri step ops;
+      true)
+
+(* ---- targeted incrementality ------------------------------------------------ *)
+
+(* A 1-file edit re-summarizes exactly the edited unit and its importers —
+   witnessed by the stats counter — with identical findings. *)
+let test_dirty_counter () =
+  let st = { initial with with_c = true } in
+  let cache, cold, stats0 = Engine.lint_incremental ~cache:Summary.empty (sources st) in
+  Alcotest.(check int) "cold summarizes everything" 3 stats0.Summary.summarized;
+  let cache, warm, stats1 = Engine.lint_incremental ~cache (sources st) in
+  Alcotest.(check bool) "warm-clean findings match" true (equal_findings warm cold);
+  Alcotest.(check int) "warm-clean summarizes nothing" 0 stats1.Summary.summarized;
+  Alcotest.(check int) "warm-clean reuses everything" 3 stats1.Summary.reused;
+  let st' = { st with touch = st.touch + 1 } in
+  let _, warm', stats2 = Engine.lint_incremental ~cache (sources st') in
+  let cold' = Engine.lint_sources (sources st') in
+  Alcotest.(check bool) "warm-1-dirty findings match" true (equal_findings warm' cold');
+  (* a.ml changed; b imports A; c is untouched and unrelated *)
+  Alcotest.(check int) "1-dirty summarizes the file and its importer" 2
+    stats2.Summary.summarized;
+  Alcotest.(check int) "1-dirty reuses the unrelated unit" 1 stats2.Summary.reused
+
+(* An edit to the .mli alone (drop an export) dirties that unit. *)
+let test_intf_edit_dirties () =
+  let st = initial in
+  let cache, _, _ = Engine.lint_incremental ~cache:Summary.empty (sources st) in
+  let srcs' =
+    List.map
+      (fun (s : Engine.source) ->
+        if String.equal s.src_path "lib/fx/a.mli" then
+          { s with contents = "val scale : int -> int -> int\nval run : int array -> int array\n(* doc *)\n" }
+        else s)
+      (sources st)
+  in
+  let _, warm, stats = Engine.lint_incremental ~cache srcs' in
+  let cold = Engine.lint_sources srcs' in
+  Alcotest.(check bool) "findings match" true (equal_findings warm cold);
+  Alcotest.(check bool) "the unit was re-summarized" true (stats.Summary.summarized >= 1)
+
+(* ---- cache persistence ------------------------------------------------------- *)
+
+let tmp_cache name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_cache_roundtrip () =
+  let path = tmp_cache "cpla-lint-cache-roundtrip" in
+  let st = initial in
+  let cache, cold, _ = Engine.lint_incremental ~cache:Summary.empty (sources st) in
+  Summary.save path cache;
+  let cache' = Summary.load path in
+  let _, warm, stats = Engine.lint_incremental ~cache:cache' (sources st) in
+  Sys.remove path;
+  Alcotest.(check bool) "findings survive the round trip" true (equal_findings warm cold);
+  Alcotest.(check int) "nothing re-summarized" 0 stats.Summary.summarized
+
+(* A cache written by a different engine version must be ignored — a full
+   rebuild, never a crash or a misread. *)
+let test_cache_stale_version () =
+  let path = tmp_cache "cpla-lint-cache-stale" in
+  let st = initial in
+  let cache, cold, _ = Engine.lint_incremental ~cache:Summary.empty (sources st) in
+  Summary.save path cache;
+  (* rewrite the header to a future engine version, keeping the body *)
+  let ic = open_in_bin path in
+  let _header = input_line ic in
+  let body = really_input_string ic (in_channel_length ic - pos_in ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  Printf.fprintf oc "cpla-lint-cache/1 engine=%d rules=deadbeef\n"
+    (Summary.engine_version + 1);
+  output_string oc body;
+  close_out oc;
+  let stale = Summary.load path in
+  let _, warm, stats = Engine.lint_incremental ~cache:stale (sources st) in
+  Sys.remove path;
+  Alcotest.(check bool) "findings still match" true (equal_findings warm cold);
+  Alcotest.(check int) "stale version forces a full rebuild" 2 stats.Summary.summarized
+
+let test_cache_corrupt () =
+  let path = tmp_cache "cpla-lint-cache-corrupt" in
+  let oc = open_out_bin path in
+  output_string oc "not a cache at all\x00\x01\x02";
+  close_out oc;
+  let c = Summary.load path in
+  Sys.remove path;
+  let _, warm, stats = Engine.lint_incremental ~cache:c (sources initial) in
+  Alcotest.(check bool) "corrupt cache degrades to cold" true
+    (stats.Summary.summarized = stats.Summary.files);
+  Alcotest.(check bool) "and still lints" true
+    (equal_findings warm (Engine.lint_sources (sources initial)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest incremental_equals_scratch;
+    Alcotest.test_case "dirty counter: 1 edit = file + importer" `Quick
+      test_dirty_counter;
+    Alcotest.test_case "mli edit dirties its unit" `Quick test_intf_edit_dirties;
+    Alcotest.test_case "cache round trip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "stale cache version rebuilds" `Quick test_cache_stale_version;
+    Alcotest.test_case "corrupt cache degrades to cold" `Quick test_cache_corrupt;
+  ]
