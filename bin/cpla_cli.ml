@@ -364,12 +364,20 @@ let daemon_cmd =
     let doc = "Seconds to let in-flight jobs settle on drain before cancelling them." in
     Arg.(value & opt positive_float 5.0 & info [ "drain-grace" ] ~docv:"SECONDS" ~doc)
   in
+  let solve_cache_arg =
+    let doc =
+      "Share a content-addressed solve cache across all jobs: partition subproblems \
+       whose canonical formulation was already solved skip the solver.  Hit/miss totals \
+       appear in $(b,submit --stats) output."
+    in
+    Arg.(value & flag & info [ "solve-cache" ] ~doc)
+  in
   let quiet_arg =
     let doc = "Suppress per-connection lifecycle notices." in
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
   in
   let run host port workers deadline queue_bound cost_bound quota_rate quota_burst grace
-      quiet trace metrics =
+      solve_cache quiet trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let log = if quiet then ignore else fun line -> Printf.printf "# %s\n%!" line in
     let config =
@@ -384,6 +392,7 @@ let daemon_cmd =
         quota_burst;
         default_deadline_s = deadline;
         drain_grace_s = grace;
+        solve_cache;
         log;
       }
     in
@@ -409,8 +418,8 @@ let daemon_cmd =
     (exit_ok Term.(
       term_result
         (const run $ host_arg $ port_arg $ workers_arg $ deadline_arg $ queue_arg
-       $ cost_arg $ quota_rate_arg $ quota_burst_arg $ grace_arg $ quiet_arg $ trace_arg
-       $ metrics_arg)))
+       $ cost_arg $ quota_rate_arg $ quota_burst_arg $ grace_arg $ solve_cache_arg
+       $ quiet_arg $ trace_arg $ metrics_arg)))
 
 (* ---- submit ---------------------------------------------------------------- *)
 
@@ -539,9 +548,11 @@ let submit_cmd =
         | _, true, _, _ -> (
             match Client.call ?timeout_s client ?trace:trace_id Protocol.Stats with
             | Ok (Protocol.Result { resp = Protocol.Stats_r s; _ }) ->
-                Printf.printf "pending=%d running=%d settled=%d shed=%d draining=%b\n"
+                Printf.printf
+                  "pending=%d running=%d settled=%d shed=%d draining=%b cache_hits=%d \
+                   cache_misses=%d\n"
                   s.Protocol.pending s.Protocol.running s.Protocol.settled s.Protocol.shed
-                  s.Protocol.draining;
+                  s.Protocol.draining s.Protocol.cache_hits s.Protocol.cache_misses;
                 Ok 0
             | Ok _ -> Error (`Msg "unexpected response to stats")
             | Error e -> Error (`Msg e))

@@ -111,6 +111,56 @@ let cell_args (leaf : Partition.leaf) =
     ("segments", Cpla_obs.Event.Int (List.length leaf.Partition.items));
   ]
 
+let poll_check check = match check with Some f -> f () | None -> ()
+
+(* Uncoupled partitions (no shared capacity rows, no intra-partition via
+   pairs) decompose exactly: each segment independently takes its cheapest
+   layer.  This covers the many sparse leaves quickly for both methods. *)
+let uncoupled (f : Formulation.t) =
+  Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0
+
+let argmin_layers (f : Formulation.t) =
+  Array.map
+    (fun (v : Formulation.var) ->
+      let best = ref 0 in
+      Array.iteri (fun ci ts -> if ts < v.Formulation.ts.(!best) then best := ci) v.Formulation.ts;
+      v.Formulation.cands.(!best))
+    f.Formulation.vars
+
+(* Bucket subproblem indices by the power-of-two class of their candidate
+   count, keep input order within a bucket, and chunk each bucket into
+   batches of at most [batch_size].  Same-shaped solves then share one
+   per-domain workspace with no intervening growth, and scheduling overhead
+   is paid per batch instead of per cell. *)
+let size_class (f : Formulation.t) =
+  let total =
+    Array.fold_left
+      (fun a (v : Formulation.var) -> a + Array.length v.Formulation.cands)
+      0 f.Formulation.vars
+  in
+  let c = ref 0 and t = ref total in
+  while !t > 1 do
+    incr c;
+    t := !t lsr 1
+  done;
+  !c
+
+let size_batches ~batch_size classes =
+  let acc = ref [] in
+  let max_class = Array.fold_left max 0 classes in
+  let bs = max 1 batch_size in
+  for cls = 0 to max_class do
+    let idxs = ref [] in
+    Array.iteri (fun i c -> if c = cls then idxs := i :: !idxs) classes;
+    let idxs = Array.of_list (List.rev !idxs) in
+    let n = Array.length idxs in
+    for b = 0 to ((n + bs - 1) / bs) - 1 do
+      let lo = b * bs in
+      acc := (cls, Array.sub idxs lo (min n (lo + bs) - lo)) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
 let solve_leaf_body config eng asg ?check (leaf : Partition.leaf) =
   (* Freeze the coefficients of the nets touching this partition at the
      current assignment so later partitions see the effect of earlier ones
@@ -129,17 +179,15 @@ let solve_leaf_body config eng asg ?check (leaf : Partition.leaf) =
     Formulation.build ~boundary_coupling:config.Config.boundary_coupling asg
       ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items
   in
-  (* Uncoupled partitions (no shared capacity rows, no intra-partition via
-     pairs) decompose exactly: each segment independently takes its cheapest
-     layer.  This covers the many sparse leaves quickly for both methods. *)
-  if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
-    Array.iter
-      (fun (v : Formulation.var) ->
-        let best = ref 0 in
-        Array.iteri (fun ci ts -> if ts < v.Formulation.ts.(!best) then best := ci) v.Formulation.ts;
-        Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg
-          ~layer:v.Formulation.cands.(!best))
-      f.Formulation.vars
+  if uncoupled f then begin
+    (* even a sweep dominated by sparse leaves must stay cancellable *)
+    poll_check check;
+    Array.iteri
+      (fun vi layer ->
+        let v = f.Formulation.vars.(vi) in
+        Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer)
+      (argmin_layers f)
+  end
   else
   let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
   match config.Config.method_ with
@@ -199,18 +247,11 @@ let solve_leaves_parallel config eng asg ?check leaves =
          leaves)
   in
   let solve_one ~sdp_ws ~ilp_ws (f : Formulation.t) =
-    if Array.length f.Formulation.pairs = 0 && Array.length f.Formulation.cap_rows = 0 then
-      (* uncoupled: exact per-segment argmin, same fast path as sequential *)
-      `Layers
-        (Some
-           (Array.map
-              (fun (v : Formulation.var) ->
-                let best = ref 0 in
-                Array.iteri
-                  (fun ci ts -> if ts < v.Formulation.ts.(!best) then best := ci)
-                  v.Formulation.ts;
-                v.Formulation.cands.(!best))
-              f.Formulation.vars))
+    if uncoupled f then begin
+      (* exact per-segment argmin, same (cancellable) fast path as sequential *)
+      poll_check check;
+      `Layers (Some (argmin_layers f))
+    end
     else
       match config.Config.method_ with
       | Config.Sdp ->
@@ -221,43 +262,11 @@ let solve_leaves_parallel config eng asg ?check leaves =
             (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
                ~ws:ilp_ws ?check f)
   in
-  (* Batched fan-out: bucket the subproblems by size class (power-of-two
-     class of the total candidate count), keep input order within a bucket,
-     and chunk each bucket into batches of at most [batch_size].  One pool
-     task per batch: same-shaped solves share one per-domain workspace with
-     no intervening growth, and scheduling overhead is paid per batch
-     instead of per cell.  Solvers are pure given their formulation, so
-     batching changes scheduling granularity only. *)
-  let size_class (f : Formulation.t) =
-    let total =
-      Array.fold_left
-        (fun a (v : Formulation.var) -> a + Array.length v.Formulation.cands)
-        0 f.Formulation.vars
-    in
-    let c = ref 0 and t = ref total in
-    while !t > 1 do
-      incr c;
-      t := !t lsr 1
-    done;
-    !c
-  in
+  (* Batched fan-out: one pool task per size-class batch; solvers are pure
+     given their formulation, so batching changes scheduling granularity
+     only. *)
   let classes = Array.map (fun (_, f) -> size_class f) formulations in
-  let batches =
-    let acc = ref [] in
-    let max_class = Array.fold_left max 0 classes in
-    let bs = max 1 config.Config.batch_size in
-    for cls = 0 to max_class do
-      let idxs = ref [] in
-      Array.iteri (fun i c -> if c = cls then idxs := i :: !idxs) classes;
-      let idxs = Array.of_list (List.rev !idxs) in
-      let n = Array.length idxs in
-      for b = 0 to ((n + bs - 1) / bs) - 1 do
-        let lo = b * bs in
-        acc := (cls, Array.sub idxs lo (min n (lo + bs) - lo)) :: !acc
-      done
-    done;
-    Array.of_list (List.rev !acc)
-  in
+  let batches = size_batches ~batch_size:config.Config.batch_size classes in
   let solve_batch (cls, batch) =
     (* per-domain workspaces, fetched once per batch on the worker domain *)
     let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
@@ -273,7 +282,7 @@ let solve_leaves_parallel config eng asg ?check leaves =
         Array.map
           (fun i ->
             (* cancellation stays cooperative between cells of a batch *)
-            (match check with Some f -> f () | None -> ());
+            poll_check check;
             let leaf, f = formulations.(i) in
             Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () ->
                 solve_one ~sdp_ws ~ilp_ws f))
@@ -304,7 +313,409 @@ let solve_leaves_parallel config eng asg ?check leaves =
       | None -> invalid_arg "Driver.solve_leaves_parallel: unsolved cell")
     formulations
 
-let optimize_released ?(config = Config.default) ?engine ?check asg ~released =
+(* ---- incremental sweeps ---------------------------------------------------
+
+   The dirty-partition scheduler.  The partition structure is a pure
+   function of the released segments' midpoints, which never move (2-D
+   routes are fixed; only layers change), so the quadtree is built once per
+   run and leaves keep stable indices.  A leaf's subproblem inputs are
+
+     - its nets' path coefficients (per-net Elmore state: a function of
+       that net's own layers),
+     - free capacity on the grid edges its segments cover, and via
+       pressure at the tiles those edges touch (changed only by segments
+       covering the same edges/tiles — 2-D coverage is fixed, so the
+       edge/tile footprint of every leaf is static), and
+     - the layers of same-net tree-adjacent segments outside the leaf
+       (boundary coupling).
+
+   Hence after a sweep commits, the only leaves whose next solve could
+   differ from their previous one are: leaves sharing a net with a changed
+   net, plus leaves sharing a grid tile (which subsumes sharing an edge)
+   with a leaf whose own segments changed.  Everything else is skipped and
+   keeps its layers verbatim — with warm starts off, the committed layers
+   are identical to the from-scratch sweep's, partition by partition.
+
+   Warm starts keep each leaf's previous Burer–Monteiro factor (leaf-keyed
+   and read/written only between solves on the orchestrating side, so
+   results are independent of worker count) and seed the next SDP solve
+   from it; a stalled warm solve retries cold inside Sdp_method.
+
+   The optional solve cache is looked up before every coupled SDP solve
+   and fed with cold-start solves only (a warm-started result depends on
+   solve history and would make cache contents order-dependent).  A hit
+   returns exactly what a cold solve of the canonically identical problem
+   would, so with warm starts off the cache is invisible to results. *)
+module Incr = struct
+  type sol = Frac of float array array | Lay of int array option
+
+  type memo = {
+    mutable mf : Formulation.t option;
+    mutable msol : sol option;
+    mutable factor : float array option;
+  }
+
+  type t = {
+    config : Config.t;
+    eng : Incremental.t;
+    asg : Assignment.t;
+    released : int array;
+    leaves : Partition.leaf array;
+    leaf_of : (int * int, int) Hashtbl.t;  (* (net, seg) → leaf index *)
+    net_leaves : (int, int list) Hashtbl.t;
+    adj : int array array;  (* leaves sharing a grid tile, self excluded *)
+    dirty : bool array;
+    memo : memo array;
+    cache : Solve_cache.t option;
+  }
+
+  let leaf_count t = Array.length t.leaves
+  let dirty_count t = Array.fold_left (fun a d -> if d then a + 1 else a) 0 t.dirty
+
+  let create ?solve_cache ~config ~engine asg ~released =
+    let graph = Assignment.graph asg in
+    let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
+    let items =
+      Array.to_list released
+      |> List.concat_map (fun net ->
+             Array.to_list
+               (Array.mapi
+                  (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
+                  (Assignment.segments asg net)))
+    in
+    let leaves =
+      Array.of_list
+        (Cpla_obs.Span.with_ ~name:"driver/partition"
+           ~args:[ ("items", Cpla_obs.Event.Int (List.length items)) ]
+           (fun () ->
+             Partition.build ~width ~height ~k:config.Config.k_div
+               ~max_segments:config.Config.max_segments_per_partition items))
+    in
+    let n = Array.length leaves in
+    let leaf_of = Hashtbl.create (max 16 (4 * n)) in
+    let net_leaves = Hashtbl.create 64 in
+    Array.iteri
+      (fun li (leaf : Partition.leaf) ->
+        List.iter
+          (fun it ->
+            Hashtbl.replace leaf_of (it.Partition.net, it.Partition.seg) li;
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt net_leaves it.Partition.net)
+            in
+            if not (List.mem li prev) then
+              Hashtbl.replace net_leaves it.Partition.net (li :: prev))
+          leaf.Partition.items)
+      leaves;
+    (* Static tile footprint per leaf: the endpoints of every grid edge its
+       segments cover.  Leaves cohabiting a tile are capacity/via
+       neighbours (sharing an edge implies sharing its endpoint tiles, so
+       tile cohabitation subsumes edge sharing). *)
+    let tile_leaves = Hashtbl.create 256 in
+    Array.iteri
+      (fun li (leaf : Partition.leaf) ->
+        List.iter
+          (fun it ->
+            let s = (Assignment.segments asg it.Partition.net).(it.Partition.seg) in
+            Array.iter
+              (fun (e : Cpla_grid.Graph.edge2d) ->
+                let add tile =
+                  (* leaves are visited in ascending order, so a bucket
+                     headed by [li] already records this leaf *)
+                  match Hashtbl.find_opt tile_leaves tile with
+                  | Some (l :: _) when l = li -> ()
+                  | prev ->
+                      Hashtbl.replace tile_leaves tile
+                        (li :: Option.value ~default:[] prev)
+                in
+                add (e.Cpla_grid.Graph.x, e.Cpla_grid.Graph.y);
+                add
+                  (match e.Cpla_grid.Graph.dir with
+                  | Cpla_grid.Tech.Horizontal ->
+                      (e.Cpla_grid.Graph.x + 1, e.Cpla_grid.Graph.y)
+                  | Cpla_grid.Tech.Vertical -> (e.Cpla_grid.Graph.x, e.Cpla_grid.Graph.y + 1)))
+              s.Segment.edges)
+          leaf.Partition.items)
+      leaves;
+    let adj_sets = Array.make n [] in
+    Hashtbl.iter
+      (fun _ ls ->
+        List.iter
+          (fun a -> List.iter (fun b -> if a <> b then adj_sets.(a) <- b :: adj_sets.(a)) ls)
+          ls)
+      tile_leaves;
+    let adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) adj_sets in
+    {
+      config;
+      eng = engine;
+      asg;
+      released;
+      leaves;
+      leaf_of;
+      net_leaves;
+      adj;
+      dirty = Array.make n true;
+      memo = Array.init n (fun _ -> { mf = None; msol = None; factor = None });
+      cache = solve_cache;
+    }
+
+  let mark_changes t ~changed_leaves ~changed_nets =
+    List.iter
+      (fun net ->
+        List.iter
+          (fun li -> t.dirty.(li) <- true)
+          (Option.value ~default:[] (Hashtbl.find_opt t.net_leaves net)))
+      changed_nets;
+    List.iter
+      (fun li -> Array.iter (fun k -> t.dirty.(k) <- true) t.adj.(li))
+      changed_leaves
+
+  let mark_net_dirty t net =
+    match Hashtbl.find_opt t.net_leaves net with
+    | None -> ()
+    | Some ls ->
+        List.iter
+          (fun li ->
+            t.dirty.(li) <- true;
+            Array.iter (fun k -> t.dirty.(k) <- true) t.adj.(li))
+          ls
+
+  (* Solve one coupled-or-not formulation: cache lookup first, then a
+     (possibly warm-started) solve.  Returns the solution, the fresh warm
+     factor if one was produced, and the cache entry to store if the solve
+     was cold. *)
+  let solve_formulation config cache ?check ~sdp_ws ~ilp_ws ~v0 (f : Formulation.t) =
+    if uncoupled f then begin
+      poll_check check;
+      (Lay (Some (argmin_layers f)), None, None)
+    end
+    else
+      match config.Config.method_ with
+      | Config.Sdp -> (
+          let options = config.Config.sdp_options in
+          let key =
+            match cache with
+            | Some _ -> Some (Solve_cache.key ~options (Formulation.digest f))
+            | None -> None
+          in
+          let hit =
+            match (cache, key) with
+            | Some c, Some k -> Solve_cache.find c k
+            | _ -> None
+          in
+          match hit with
+          | Some frac -> (Frac frac, None, None)
+          | None ->
+              let sol = Sdp_method.solve_fractional ~options ~ws:sdp_ws ?v0 ?check f in
+              let store =
+                match (key, v0) with
+                | Some k, None -> Some (k, sol.Sdp_method.frac)
+                | _ -> None
+              in
+              (Frac sol.Sdp_method.frac, Some sol.Sdp_method.factor, store))
+      | Config.Ilp ->
+          ( Lay
+              (Ilp_method.solve ~options:config.Config.ilp_options ~alpha:config.Config.alpha
+                 ~ws:ilp_ws ?check f),
+            None,
+            None )
+
+  let commit config asg (f : Formulation.t) = function
+    | Frac frac ->
+        Post_map.run asg ~vars:f.Formulation.vars ~x:(fun vi ci -> frac.(vi).(ci));
+        if config.Config.local_refinement then local_refine asg f
+    | Lay (Some layers) ->
+        Array.iteri
+          (fun vi layer ->
+            let v = f.Formulation.vars.(vi) in
+            Assignment.set_layer asg ~net:v.Formulation.net ~seg:v.Formulation.seg ~layer)
+          layers
+    | Lay None -> Post_map.run asg ~vars:f.Formulation.vars ~x:(fun _ _ -> 0.5)
+
+  (* Memo updates and cache stores happen on the orchestrating side only:
+     leaf-keyed warm factors keep results independent of the worker count,
+     and deferring stores keeps the cache frozen while a parallel sweep's
+     workers look it up. *)
+  let record_dirty_solve t li f sol factor store =
+    let m = t.memo.(li) in
+    m.mf <- Some f;
+    m.msol <- Some sol;
+    (match factor with Some v -> m.factor <- Some v | None -> ());
+    match (store, t.cache) with
+    | Some (k, frac), Some c -> Solve_cache.store c k frac
+    | _ -> ()
+
+  (* Sequential sweep: dirty leaves are released/re-solved one at a time
+     against the live grid, exactly like the from-scratch sequential sweep
+     — clean leaves are not touched at all.  A leaf whose commit changed
+     layers immediately re-dirties its net and tile neighbours, so leaves
+     later in the order are re-solved within this very sweep (matching the
+     from-scratch within-sweep propagation); earlier ones wait for the
+     next sweep (from-scratch would not see the change until then
+     either). *)
+  let sweep_sequential ?check t =
+    let config = t.config in
+    let solved = ref 0 in
+    Array.iteri
+      (fun li (leaf : Partition.leaf) ->
+        if t.dirty.(li) then begin
+          poll_check check;
+          let pre =
+            List.map
+              (fun it -> Assignment.layer t.asg ~net:it.Partition.net ~seg:it.Partition.seg)
+              leaf.Partition.items
+          in
+          Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args leaf) (fun () ->
+              let infos = Hashtbl.create 16 in
+              List.sort_uniq compare
+                (List.map (fun it -> it.Partition.net) leaf.Partition.items)
+              |> List.iter (fun net ->
+                     Hashtbl.replace infos net (Incremental.path_info t.eng net));
+              List.iter
+                (fun { Partition.net; seg; _ } -> Assignment.unassign t.asg ~net ~seg)
+                leaf.Partition.items;
+              let f =
+                Formulation.build ~boundary_coupling:config.Config.boundary_coupling t.asg
+                  ~infos:(Hashtbl.find infos) ~items:leaf.Partition.items
+              in
+              let v0 = if config.Config.warm_start then t.memo.(li).factor else None in
+              let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
+              let sol, factor, store =
+                solve_formulation config t.cache ?check ~sdp_ws ~ilp_ws ~v0 f
+              in
+              commit config t.asg f sol;
+              record_dirty_solve t li f sol factor store);
+          incr solved;
+          t.dirty.(li) <- false;
+          let changed_nets =
+            List.map2
+              (fun it pre_layer ->
+                if Assignment.layer t.asg ~net:it.Partition.net ~seg:it.Partition.seg
+                   <> pre_layer
+                then Some it.Partition.net
+                else None)
+              leaf.Partition.items pre
+            |> List.filter_map Fun.id |> List.sort_uniq compare
+          in
+          if changed_nets <> [] then mark_changes t ~changed_leaves:[ li ] ~changed_nets
+        end)
+      t.leaves;
+    !solved
+
+  (* Parallel sweep: reproduce the from-scratch parallel scheme exactly —
+     freeze coefficients for the dirty nets, release *every* leaf (so
+     builds and commits see the same others-only capacity view), but build
+     and solve only the dirty leaves; clean leaves recommit their memoized
+     (formulation, solution) through the same deterministic mapping.  The
+     build-time capacity view in this scheme is the non-released usage
+     only, which never changes across sweeps, so a clean leaf's memoized
+     formulation is bitwise the one a rebuild would produce. *)
+  let sweep_parallel ?check t =
+    let config = t.config in
+    let n = Array.length t.leaves in
+    let dirty_idx = ref [] in
+    for li = n - 1 downto 0 do
+      if t.dirty.(li) then dirty_idx := li :: !dirty_idx
+    done;
+    let dirty_idx = Array.of_list !dirty_idx in
+    let pre = snapshot t.asg t.released in
+    let infos = Hashtbl.create 64 in
+    Array.iter
+      (fun li ->
+        List.iter
+          (fun { Partition.net; _ } ->
+            if not (Hashtbl.mem infos net) then
+              Hashtbl.replace infos net (Incremental.path_info t.eng net))
+          t.leaves.(li).Partition.items)
+      dirty_idx;
+    Array.iter
+      (fun (leaf : Partition.leaf) ->
+        List.iter
+          (fun { Partition.net; seg; _ } -> Assignment.unassign t.asg ~net ~seg)
+          leaf.Partition.items)
+      t.leaves;
+    let formulations =
+      Array.map
+        (fun li ->
+          ( li,
+            Formulation.build ~boundary_coupling:config.Config.boundary_coupling t.asg
+              ~infos:(Hashtbl.find infos) ~items:t.leaves.(li).Partition.items ))
+        dirty_idx
+    in
+    let classes = Array.map (fun (_, f) -> size_class f) formulations in
+    let batches = size_batches ~batch_size:config.Config.batch_size classes in
+    let solve_batch (cls, batch) =
+      let sdp_ws, ilp_ws = Cpla_util.Pool.Slot.get solver_slot in
+      Cpla_obs.Metrics.observe ~lo:0.0 ~hi:64.0 ~bins:16 "driver/batch-size"
+        (float_of_int (Array.length batch));
+      Cpla_obs.Span.with_ ~name:"driver/batch"
+        ~args:
+          [
+            ("bucket", Cpla_obs.Event.Int cls);
+            ("partitions", Cpla_obs.Event.Int (Array.length batch));
+          ]
+        (fun () ->
+          Array.map
+            (fun i ->
+              poll_check check;
+              let li, f = formulations.(i) in
+              let v0 = if config.Config.warm_start then t.memo.(li).factor else None in
+              Cpla_obs.Span.with_ ~name:"driver/cell" ~args:(cell_args t.leaves.(li))
+                (fun () -> solve_formulation config t.cache ?check ~sdp_ws ~ilp_ws ~v0 f))
+            batch)
+    in
+    let per_batch =
+      (* the ILP method's branch-and-bound budget is a wall-clock read by
+         design (Config.ilp_options.time_limit_s); SDP batches stay pure *)
+      (Cpla_util.Pool.parallel_map ~workers:config.Config.workers solve_batch batches
+       [@cpla.allow "impure-kernel"])
+    in
+    Array.iteri
+      (fun bi (_, batch) ->
+        Array.iteri
+          (fun k i ->
+            let li, f = formulations.(i) in
+            let sol, factor, store = per_batch.(bi).(k) in
+            record_dirty_solve t li f sol factor store)
+          batch)
+      batches;
+    (* commit every leaf in input order from its (fresh or memoized)
+       solution — identical inputs and order to the from-scratch commit *)
+    Array.iteri
+      (fun li (_ : Partition.leaf) ->
+        match t.memo.(li) with
+        | { mf = Some f; msol = Some sol; _ } -> commit config t.asg f sol
+        | _ -> invalid_arg "Driver.Incr: clean leaf without a memoized solve")
+      t.leaves;
+    Array.fill t.dirty 0 n false;
+    (* diff committed layers against the sweep-entry snapshot; changes can
+       surface in clean leaves too (their mapping reads live capacity) *)
+    let changed_nets = ref [] and changed_leaves = ref [] in
+    Array.iter
+      (fun (net, layers) ->
+        let net_changed = ref false in
+        Array.iteri
+          (fun seg l0 ->
+            if Assignment.layer t.asg ~net ~seg <> l0 then begin
+              net_changed := true;
+              match Hashtbl.find_opt t.leaf_of (net, seg) with
+              | Some li -> changed_leaves := li :: !changed_leaves
+              | None -> ()
+            end)
+          layers;
+        if !net_changed then changed_nets := net :: !changed_nets)
+      pre;
+    mark_changes t
+      ~changed_leaves:(List.sort_uniq compare !changed_leaves)
+      ~changed_nets:!changed_nets;
+    Array.length dirty_idx
+
+  let sweep ?check t =
+    if dirty_count t = 0 then 0
+    else if t.config.Config.workers > 1 then sweep_parallel ?check t
+    else sweep_sequential ?check t
+end
+
+let optimize_released ?(config = Config.default) ?engine ?solve_cache ?check asg ~released =
   let poll = match check with Some f -> f | None -> fun () -> () in
   if not (Assignment.fully_assigned asg) then
     invalid_arg "Driver.optimize: initial assignment incomplete";
@@ -322,66 +733,89 @@ let optimize_released ?(config = Config.default) ?engine ?check asg ~released =
     in
     let graph = Assignment.graph asg in
     let width = Cpla_grid.Graph.width graph and height = Cpla_grid.Graph.height graph in
+    let incr_state =
+      if config.Config.incremental then
+        Some (Incr.create ?solve_cache ~config ~engine:eng asg ~released)
+      else None
+    in
     let iterations = ref 0 and partitions = ref 0 in
     let best_score = ref (score eng released) in
     let stop = ref false in
     while (not !stop) && !iterations < config.Config.max_outer_iters do
       poll ();
-      Cpla_obs.Span.with_ ~name:"driver/iteration"
-        ~args:[ ("iter", Cpla_obs.Event.Int !iterations) ]
-        (fun () ->
-          let snap = snapshot asg released in
-          (* Cancellation (or any solver failure) mid-iteration can leave
-             released segments between unassign and re-assign; restoring the
-             iteration-entry snapshot before re-raising hands the caller a
-             consistent state it can still measure (partial metrics). *)
-          (try
-             let items =
-               Array.to_list released
-               |> List.concat_map (fun net ->
-                      Array.to_list
-                        (Array.mapi
-                           (fun seg s -> { Partition.net; seg; mid = Segment.midpoint s })
-                           (Assignment.segments asg net)))
-             in
-             let leaves =
-               Cpla_obs.Span.with_ ~name:"driver/partition"
-                 ~args:[ ("items", Cpla_obs.Event.Int (List.length items)) ]
-                 (fun () ->
-                   Partition.build ~width ~height ~k:config.Config.k_div
-                     ~max_segments:config.Config.max_segments_per_partition items)
-             in
-             Cpla_obs.Metrics.incr ~by:(List.length leaves) "driver/cells";
-             if config.Config.workers > 1 then begin
-               solve_leaves_parallel config eng asg ?check leaves;
-               partitions := !partitions + List.length leaves
-             end
-             else
-               List.iter
-                 (fun leaf ->
-                   poll ();
-                   solve_leaf config eng asg ?check leaf;
-                   incr partitions)
-                 leaves
-           with e ->
-             restore asg snap;
-             raise e);
-          incr iterations;
-          Cpla_obs.Metrics.incr "driver/iterations";
-          (* only nets the leaves actually moved are re-analysed here *)
-          let s = score eng released in
-          Cpla_obs.Metrics.set "driver/score" s;
-          if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
-          else begin
-            if s > !best_score then restore asg snap;
-            stop := true
-          end)
+      (* an empty dirty set means the next sweep would commit every layer
+         verbatim: converged *)
+      (match incr_state with
+      | Some st when Incr.dirty_count st = 0 -> stop := true
+      | _ -> ());
+      if not !stop then
+        Cpla_obs.Span.with_ ~name:"driver/iteration"
+          ~args:[ ("iter", Cpla_obs.Event.Int !iterations) ]
+          (fun () ->
+            let snap = snapshot asg released in
+            (* Cancellation (or any solver failure) mid-iteration can leave
+               released segments between unassign and re-assign; restoring
+               the iteration-entry snapshot before re-raising hands the
+               caller a consistent state it can still measure. *)
+            let solved =
+              try
+                match incr_state with
+                | Some st -> Incr.sweep ?check st
+                | None ->
+                    let items =
+                      Array.to_list released
+                      |> List.concat_map (fun net ->
+                             Array.to_list
+                               (Array.mapi
+                                  (fun seg s ->
+                                    { Partition.net; seg; mid = Segment.midpoint s })
+                                  (Assignment.segments asg net)))
+                    in
+                    let leaves =
+                      Cpla_obs.Span.with_ ~name:"driver/partition"
+                        ~args:[ ("items", Cpla_obs.Event.Int (List.length items)) ]
+                        (fun () ->
+                          Partition.build ~width ~height ~k:config.Config.k_div
+                            ~max_segments:config.Config.max_segments_per_partition items)
+                    in
+                    if config.Config.workers > 1 then
+                      solve_leaves_parallel config eng asg ?check leaves
+                    else
+                      List.iter
+                        (fun leaf ->
+                          poll ();
+                          solve_leaf config eng asg ?check leaf)
+                        leaves;
+                    List.length leaves
+              with e ->
+                restore asg snap;
+                raise e
+            in
+            incr iterations;
+            Cpla_obs.Metrics.incr "driver/iterations";
+            (* only nets the leaves actually moved are re-analysed here *)
+            let s = score eng released in
+            Cpla_obs.Metrics.set "driver/score" s;
+            (* A non-finite score is a regression, not a tie: NaN fails
+               both orderings, and without this clause the loop would stop
+               *keeping* a NaN-scored assignment. *)
+            if (not (Float.is_finite s)) || s > !best_score then begin
+              restore asg snap;
+              stop := true
+            end
+            else begin
+              (* the sweep is kept — only committed sweeps count as work *)
+              partitions := !partitions + solved;
+              Cpla_obs.Metrics.incr ~by:solved "driver/cells";
+              if s < !best_score -. (1e-6 *. Float.abs !best_score) then best_score := s
+              else stop := true
+            end)
     done;
     let avg_tcp, max_tcp = Incremental.avg_max_tcp eng released in
     { released; iterations = !iterations; partitions_solved = !partitions; avg_tcp; max_tcp }
   end
 
-let optimize ?(config = Config.default) ?check asg =
+let optimize ?(config = Config.default) ?solve_cache ?check asg =
   let engine = Incremental.create asg in
   let released = Incremental.select engine ~ratio:config.Config.critical_ratio in
-  optimize_released ~config ~engine ?check asg ~released
+  optimize_released ~config ~engine ?solve_cache ?check asg ~released

@@ -2,27 +2,43 @@
 
     Each iteration freezes downstream capacitances and worst paths at the
     current assignment, partitions the released segments (Section 3.2),
-    solves every partition with the configured method (ILP or SDP+mapping)
+    solves partitions with the configured method (ILP or SDP+mapping)
     against live capacity state, and re-evaluates.  Iterations repeat until
     the released nets' timing stops improving (with a revert of the last
-    iteration if it hurt), or the iteration cap is hit. *)
+    iteration if it hurt), or the iteration cap is hit.
+
+    With {!Config.t.incremental} (the default) sweeps after the first are
+    *dirty-partition* sweeps: only quadtree leaves whose inputs could have
+    changed — leaves sharing a net with a net that moved, or a grid
+    tile/edge with a leaf whose segments moved — are re-solved; clean
+    leaves keep their layers verbatim.  With [warm_start = false] the
+    committed layers are identical to the from-scratch loop's; warm starts
+    and the solve cache trade that bitwise identity for speed while
+    preserving validity (equivalence within score tolerance). *)
 
 type report = {
   released : int array;      (** net ids that were optimised *)
   iterations : int;          (** outer iterations performed *)
-  partitions_solved : int;   (** total leaves across iterations *)
+  partitions_solved : int;
+      (** partition subproblems solved in *committed* sweeps (a final sweep
+          that is reverted for scoring worse does not count) *)
   avg_tcp : float;           (** Avg(Tcp) over released nets, final *)
   max_tcp : float;           (** Max(Tcp) over released nets, final *)
 }
 
 val optimize :
-  ?config:Config.t -> ?check:(unit -> unit) -> Cpla_route.Assignment.t -> report
+  ?config:Config.t ->
+  ?solve_cache:Solve_cache.t ->
+  ?check:(unit -> unit) ->
+  Cpla_route.Assignment.t ->
+  report
 (** Requires a fully assigned state (run {!Cpla_route.Init_assign} first).
     @raise Invalid_argument otherwise. *)
 
 val optimize_released :
   ?config:Config.t ->
   ?engine:Cpla_timing.Incremental.t ->
+  ?solve_cache:Solve_cache.t ->
   ?check:(unit -> unit) ->
   Cpla_route.Assignment.t ->
   released:int array ->
@@ -35,12 +51,58 @@ val optimize_released :
     @raise Invalid_argument when the engine is bound to another assignment.
     An empty [released] returns immediately with zero metrics.
 
+    [solve_cache] (SDP method, incremental mode) is a content-addressed
+    cache of fractional partition solves, shareable across calls and
+    domains: coupled subproblems whose canonical formulation was already
+    solved cold skip the solver entirely (see {!Solve_cache}).
+
     [check] is a cooperative-cancellation hook: it is polled at every
-    partition-solve boundary (iteration start, before each leaf solve, and
-    inside the parallel sweep's per-partition solver closures) and cancels
-    the run by raising.  The exception propagates to the caller — wrapped
-    in {!Cpla_util.Pool.Worker_failure} when it fired on a pooled domain —
+    partition-solve boundary (iteration start, before each leaf solve —
+    including the uncoupled fast path — and inside the parallel sweep's
+    per-partition solver closures) and cancels the run by raising.  The
+    exception propagates to the caller — wrapped in
+    {!Cpla_util.Pool.Worker_failure} when it fired on a pooled domain —
     after the in-progress iteration's mutations are rolled back to the
     iteration-entry snapshot, so the assignment is always left fully
     assigned and internally consistent.  {!Cpla_serve.Token.check} is the
     intended hook; any closure works. *)
+
+(** The dirty-partition scheduler behind incremental sweeps, exposed for
+    benchmarks and equivalence tests.  Holds the (once-built) quadtree,
+    per-leaf dirty flags, leaf-keyed warm-start factors, and memoized
+    formulations/solutions.  The partition structure is a pure function of
+    the released segments' fixed 2-D midpoints, so leaves keep stable
+    indices for the lifetime of the state. *)
+module Incr : sig
+  type t
+
+  val create :
+    ?solve_cache:Solve_cache.t ->
+    config:Config.t ->
+    engine:Cpla_timing.Incremental.t ->
+    Cpla_route.Assignment.t ->
+    released:int array ->
+    t
+  (** Build the quadtree, the net→leaves map, and the tile-cohabitation
+      adjacency (the capacity-row fallback: leaves sharing a grid tile are
+      neighbours).  All leaves start dirty, so the first {!sweep} is a
+      full cold sweep. *)
+
+  val leaf_count : t -> int
+
+  val dirty_count : t -> int
+  (** Leaves the next {!sweep} would re-solve; 0 means the loop has
+      converged and a sweep would be a no-op. *)
+
+  val mark_net_dirty : t -> int -> unit
+  (** Flag a net as externally changed: its leaves and their tile
+      neighbours are re-solved on the next sweep.  Unknown nets are
+      ignored. *)
+
+  val sweep : ?check:(unit -> unit) -> t -> int
+  (** Run one sweep over the dirty leaves (sequential for
+      [config.workers = 1], released-all batched-parallel otherwise),
+      commit the results, and re-flag leaves affected by what changed.
+      Returns the number of subproblems solved.  Requires the assignment
+      to be fully assigned on entry. *)
+end

@@ -44,6 +44,90 @@ let var_count t = Array.length t.vars
 
 let candidate_total t = Array.fold_left (fun acc v -> acc + Array.length v.cands) 0 t.vars
 
+(* Content-addressed canonical key.  Only the fields the solve methods
+   actually consume are serialised — the vars' candidate and frozen-timing
+   tables, the pairs' via/penalty tables, and the capacity rows' members
+   and limits.  Net and segment ids are replaced by first-appearance
+   symbols and floats are rounded through %.9g, so two formulations that
+   pose the same optimisation problem — possibly for renumbered nets or a
+   translated grid position — share a key.  Rows are sorted on their
+   canonical text so hashtable iteration order during the build cannot
+   leak into the digest. *)
+let digest t =
+  let bi b i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ','
+  in
+  let bf b x =
+    Buffer.add_string b (Printf.sprintf "%.9g" x);
+    Buffer.add_char b ','
+  in
+  let net_sym = Hashtbl.create 16 and seg_sym = Hashtbl.create 64 in
+  let sym table key =
+    match Hashtbl.find_opt table key with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.length table in
+        Hashtbl.add table key s;
+        s
+  in
+  let buf = Buffer.create 4096 in
+  Array.iter
+    (fun v ->
+      Buffer.add_char buf 'v';
+      bi buf (sym net_sym v.net);
+      bi buf (sym seg_sym (v.net, v.seg));
+      Buffer.add_char buf (match v.dir with Tech.Horizontal -> 'H' | Tech.Vertical -> 'V');
+      Array.iter (bi buf) v.cands;
+      Buffer.add_char buf ':';
+      Array.iter (bf buf) v.ts;
+      Buffer.add_char buf '\n')
+    t.vars;
+  let sorted prefix lines =
+    List.iter
+      (fun l ->
+        Buffer.add_char buf prefix;
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n')
+      (List.sort compare lines)
+  in
+  sorted 'p'
+    (Array.to_list t.pairs
+    |> List.map (fun p ->
+           let b = Buffer.create 64 in
+           bi b p.a;
+           bi b p.b;
+           Array.iter (Array.iter (bf b)) p.tv;
+           Buffer.add_char b ':';
+           Array.iter (Array.iter (bf b)) p.lambda;
+           Buffer.contents b));
+  sorted 'c'
+    (Array.to_list t.cap_rows
+    |> List.map (fun r ->
+           let b = Buffer.create 64 in
+           bi b r.layer;
+           bi b r.limit;
+           List.iter
+             (fun (vi, ci) ->
+               bi b vi;
+               bi b ci)
+             (List.sort compare r.members);
+           Buffer.contents b));
+  sorted 'w'
+    (Array.to_list t.via_rows
+    |> List.map (fun r ->
+           let b = Buffer.create 64 in
+           bi b r.crossing;
+           bi b r.limit;
+           List.iter
+             (fun (pi, ca, cb) ->
+               bi b pi;
+               bi b ca;
+               bi b cb)
+             (List.sort compare r.members);
+           Buffer.contents b));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let build ?(boundary_coupling = true) asg ~infos ~items =
   let tech = Assignment.tech asg in
   let graph = Assignment.graph asg in

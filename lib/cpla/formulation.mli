@@ -77,3 +77,13 @@ val var_count : t -> int
 
 val candidate_total : t -> int
 (** Σ over vars of their candidate count — the x-dimension of the models. *)
+
+val digest : t -> string
+(** Canonical content digest (hex).  Serialises exactly the fields the
+    solve methods consume — candidate/timing tables, via pair tables,
+    capacity-row members and limits — with net/seg ids replaced by
+    first-appearance symbols, coefficients rounded through [%.9g], and
+    rows sorted canonically.  Two formulations posing the same
+    optimisation problem (possibly for renumbered nets or translated grid
+    coordinates) share a digest, which is what makes it usable as a
+    content-addressed solve-cache key. *)

@@ -82,8 +82,25 @@ let build_problem (f : Formulation.t) =
     f.Formulation.cap_rows;
   (Problem.create ~dim ~cost:!cost ~constraints:!constraints, index)
 
-let solve ~options ?ws ?(check = fun () -> ()) (f : Formulation.t) =
-  if Array.length f.Formulation.vars = 0 then fun _ _ -> 0.0
+type solution = { frac : float array array; factor : float array }
+
+let fractional_table (f : Formulation.t) index (result : Solver.result) =
+  Array.mapi
+    (fun vi (v : Formulation.var) ->
+      Array.mapi
+        (fun ci _ ->
+          let x = result.Solver.x_diag.(index vi ci) in
+          Float.max 0.0 (Float.min 1.0 x))
+        v.Formulation.cands)
+    f.Formulation.vars
+
+let flat_factor (result : Solver.result) =
+  let open Cpla_numeric in
+  let rows = result.Solver.v.Mat.rows and cols = result.Solver.v.Mat.cols in
+  Array.init (rows * cols) (fun k -> Mat.get result.Solver.v (k / cols) (k mod cols))
+
+let solve_fractional ~options ?ws ?v0 ?(check = fun () -> ()) (f : Formulation.t) =
+  if Array.length f.Formulation.vars = 0 then { frac = [||]; factor = [||] }
   else
     Cpla_obs.Span.with_ ~name:"sdp/solve"
       ~args:[ ("vars", Cpla_obs.Event.Int (Array.length f.Formulation.vars)) ]
@@ -92,7 +109,25 @@ let solve ~options ?ws ?(check = fun () -> ()) (f : Formulation.t) =
         check ();
         let problem, index = build_problem f in
         check ();
-        let result = Solver.solve ~options ?ws problem in
-        fun vi ci ->
-          let v = result.Solver.x_diag.(index vi ci) in
-          Float.max 0.0 (Float.min 1.0 v))
+        let result = Solver.solve ~options ?ws ?v0 problem in
+        (* A warm seed far from this formulation's basin can leave the
+           augmented Lagrangian stalled at an infeasible point; treat a
+           badly violated (or non-finite) final residual as a stall and
+           retry from the deterministic cold start. *)
+        let stalled (r : Solver.result) =
+          (not (Float.is_finite r.Solver.max_violation))
+          || r.Solver.max_violation > 100.0 *. options.Solver.feas_tol
+        in
+        let result =
+          match v0 with
+          | Some _ when stalled result ->
+              Cpla_obs.Metrics.incr "sdp/warm-retries";
+              check ();
+              Solver.solve ~options ?ws problem
+          | _ -> result
+        in
+        { frac = fractional_table f index result; factor = flat_factor result })
+
+let solve ~options ?ws ?check (f : Formulation.t) =
+  let { frac; _ } = solve_fractional ~options ?ws ?check f in
+  if Array.length frac = 0 then fun _ _ -> 0.0 else fun vi ci -> frac.(vi).(ci)

@@ -12,6 +12,33 @@ val build_problem : Formulation.t -> Cpla_sdp.Problem.t * (int -> int -> int)
 (** [(problem, index)] where [index vi ci] is the matrix row/column of var
     [vi]'s candidate [ci].  Slack entries occupy the trailing rows. *)
 
+type solution = {
+  frac : float array array;
+      (** [frac.(vi).(ci) ∈ [0,1]]: fractional value of var [vi]'s
+          candidate [ci] — the diagonal x_ij clamped to the unit
+          interval. *)
+  factor : float array;
+      (** flat row-major Burer–Monteiro factor V of the final iterate;
+          feed it back as [?v0] to warm-start a later solve of a
+          similarly-shaped formulation. *)
+}
+
+val solve_fractional :
+  options:Cpla_sdp.Solver.options ->
+  ?ws:Cpla_sdp.Solver.ws ->
+  ?v0:float array ->
+  ?check:(unit -> unit) ->
+  Formulation.t ->
+  solution
+(** Solve the relaxation and materialise the fractional table plus the
+    final factor.  [?v0] warm-starts the factor iterate; if the warm solve
+    stalls (non-finite or badly violated final residual), the solve is
+    retried from the deterministic cold start (counted under the
+    [sdp/warm-retries] metric), so a bad seed costs time but never
+    quality.  With no [?v0] the result is bitwise-identical to {!solve}.
+    [check] is the cooperative-cancellation hook, polled at the solve
+    boundaries. *)
+
 val solve :
   options:Cpla_sdp.Solver.options ->
   ?ws:Cpla_sdp.Solver.ws ->

@@ -17,6 +17,8 @@ type stats = {
   settled : int;
   shed : int;
   draining : bool;
+  cache_hits : int;
+  cache_misses : int;
 }
 
 type resp =
@@ -125,6 +127,8 @@ let response_to_json = function
                 ("settled", Json.Num (float_of_int s.settled));
                 ("shed", Json.Num (float_of_int s.shed));
                 ("draining", Json.Bool s.draining);
+                ("cache_hits", Json.Num (float_of_int s.cache_hits));
+                ("cache_misses", Json.Num (float_of_int s.cache_misses));
               ]
         | Pong -> Json.Obj []
       in
@@ -181,6 +185,15 @@ let response_of_json v =
                                       (Option.bind (Json.member "draining" result)
                                          Json.as_bool)
                                   in
+                                  (* cache counters are absent from pre-1.8
+                                     servers; default to 0 *)
+                                  let opt_int name =
+                                    match int_field name result with
+                                    | Ok n -> n
+                                    | Error _ -> 0
+                                  in
+                                  let cache_hits = opt_int "cache_hits" in
+                                  let cache_misses = opt_int "cache_misses" in
                                   Ok
                                     (Result
                                        {
@@ -188,7 +201,15 @@ let response_of_json v =
                                          trace;
                                          resp =
                                            Stats_r
-                                             { pending; running; settled; shed; draining };
+                                             {
+                                               pending;
+                                               running;
+                                               settled;
+                                               shed;
+                                               draining;
+                                               cache_hits;
+                                               cache_misses;
+                                             };
                                        })))))
               | None -> (
                   match Json.member "job" result with

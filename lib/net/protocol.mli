@@ -48,6 +48,11 @@ type stats = {
   settled : int;  (** terminal since the server started *)
   shed : int;  (** submissions refused since the server started *)
   draining : bool;
+  cache_hits : int;
+      (** solve-cache hits since the server started; 0 when the server
+          runs without [--solve-cache] (decoded as 0 from older servers
+          that omit the field) *)
+  cache_misses : int;  (** solve-cache misses; 0 without a cache *)
 }
 
 type resp =

@@ -17,6 +17,7 @@ type config = {
   default_deadline_s : float option;
   max_frame : int;
   drain_grace_s : float;
+  solve_cache : bool;
   log : string -> unit;
 }
 
@@ -32,6 +33,7 @@ let default_config =
     default_deadline_s = None;
     max_frame = Frame.max_frame_default;
     drain_grace_s = 5.0;
+    solve_cache = false;
     log = ignore;
   }
 
@@ -97,7 +99,7 @@ let create ?(config = default_config) () =
     bound_port;
     wake_r;
     wake_w;
-    session = Session.create ~workers:config.workers ();
+    session = Session.create ~workers:config.workers ~solve_cache:config.solve_cache ();
     clock = Timer.wall ();
     evq = Queue.create ();
     evq_m = Mutex.create ();
@@ -167,12 +169,17 @@ let shed t ~id reason message =
   Protocol.Error { id = Some id; code = Protocol.Shed reason; message }
 
 let stats t =
+  let cache_hits, cache_misses =
+    match Session.cache_stats t.session with None -> (0, 0) | Some hm -> hm
+  in
   {
     Protocol.pending = Session.pending t.session;
     running = Session.running t.session;
     settled = t.settled_n;
     shed = t.shed_n;
     draining = t.draining;
+    cache_hits;
+    cache_misses;
   }
 
 let bad_request ~id message = Protocol.Error { id; code = Protocol.Bad_request; message }

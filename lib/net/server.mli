@@ -32,13 +32,17 @@ type config = {
   default_deadline_s : float option;  (** applied to specs without one *)
   max_frame : int;  (** request frames above this shed as [bad-request] *)
   drain_grace_s : float;  (** max seconds to settle in-flight on drain *)
+  solve_cache : bool;
+      (** share a content-addressed {!Cpla.Solve_cache} across every job's
+          driver, so repeated submissions skip already-performed partition
+          solves; hit/miss totals surface in [stats] responses *)
   log : string -> unit;  (** lifecycle lines (accepts, drain); may print *)
 }
 
 val default_config : config
 (** 127.0.0.1:7171, recommended workers, queue bound 64, no cost bound,
     quota 20/s burst 40, no default deadline, default frame limit,
-    5 s drain grace, silent log. *)
+    5 s drain grace, solve cache off, silent log. *)
 
 type t
 

@@ -174,13 +174,20 @@ type options = {
    Scalars (objective, max violation, outer rounds) land in the ws fields;
    the factor V stays readable in [ws.v] until the next solve.  Beyond the
    one evaluator closure and the workspace growth on first use, the solve
-   does not allocate. *)
-let solve_into ws (c : compiled) ~(options : options) ~x_diag =
+   does not allocate.  [?v0] seeds the factor iterate from a previous
+   solve's flat V instead of the deterministic gaussian draw; it is used
+   only when its length matches the flattened dimension exactly, so a
+   stale warm factor from a differently-shaped leaf silently falls back
+   to the cold start. *)
+let solve_into ?v0 ws (c : compiled) ~(options : options) ~x_diag =
   if Array.length x_diag < c.dim then invalid_arg "Kernel.solve_into: x_diag too short";
   reserve ws ~n:c.n ~m:c.m;
-  (* one small RNG record per solve, for the deterministic warm start *)
-  let rng = (Rng.create options.seed [@cpla.allow "alloc-in-kernel"]) in
-  Rng.fill_gaussian rng ws.v ~n:c.n ~scale:0.3;
+  (match v0 with
+  | Some v0 when Array.length v0 = c.n -> Array.blit v0 0 ws.v 0 c.n
+  | _ ->
+      (* one small RNG record per solve, for the deterministic cold start *)
+      let rng = (Rng.create options.seed [@cpla.allow "alloc-in-kernel"]) in
+      Rng.fill_gaussian rng ws.v ~n:c.n ~scale:0.3);
   Vec.fill_n c.m ws.y 0.0;
   let sigma = ref options.sigma0 in
   let fx_out = Lbfgs.Ws.fx_out ws.lbfgs in

@@ -44,11 +44,15 @@ type options = {
 }
 (** [Solver.options] minus the rank (resolved at compile time). *)
 
-val solve_into : ws -> compiled -> options:options -> x_diag:float array -> unit
+val solve_into :
+  ?v0:float array -> ws -> compiled -> options:options -> x_diag:float array -> unit
 (** Solve into the workspace, writing diag(VVᵀ) into [x_diag] (length >=
     dim).  Scalar results land in the accessors below; the factor V stays
     readable via [v] until the next solve on this workspace.  Allocates
-    only on workspace growth (plus one evaluator closure per call). *)
+    only on workspace growth (plus one evaluator closure per call).
+    [?v0] warm-starts the factor iterate from a previous solve's flat V;
+    it is honoured only when [Array.length v0 = dim * rank], otherwise the
+    deterministic gaussian cold start is used. *)
 
 val v : ws -> float array
 (** Flat row-major factor of the last solve: V_{i,c} at [(i*r)+c].  Valid

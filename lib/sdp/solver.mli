@@ -35,9 +35,12 @@ type ws = Kernel.ws
 
 val ws_create : unit -> ws
 
-val solve : ?options:options -> ?ws:ws -> Problem.t -> result
+val solve : ?options:options -> ?ws:ws -> ?v0:float array -> Problem.t -> result
 (** [?ws] reuses a workspace across solves (one per domain); omitting it
-    allocates a fresh one.  Results are independent of workspace reuse. *)
+    allocates a fresh one.  Results are independent of workspace reuse.
+    [?v0] warm-starts the Burer–Monteiro factor from a previous solve's
+    flat row-major V (see {!Kernel.solve_into}); a length mismatch falls
+    back to the deterministic cold start. *)
 
 val x_entry : result -> int -> int -> float
   [@@cpla.allow "unused-export"]

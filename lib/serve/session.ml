@@ -82,7 +82,7 @@ let structural_violations (report : Verify.report) =
           true)
     report.Verify.violations
 
-let run_job (spec : Job.spec) token ?(on_poll = fun () -> ()) () =
+let run_job (spec : Job.spec) token ?solve_cache ?(on_poll = fun () -> ()) () =
   let watch = Cpla_util.Timer.wall () in
   (* Once the design reaches a measurable state, [partial] can audit it even
      after a cancellation or failure (the driver rolls a broken iteration
@@ -120,7 +120,9 @@ let run_job (spec : Job.spec) token ?(on_poll = fun () -> ()) () =
        fun () ->
          if Assignment.fully_assigned asg then Some (snd (measure asg engine released))
          else None);
-    ignore (Cpla.Driver.optimize_released ~config:spec.Job.config ~engine ~check asg ~released);
+    ignore
+      (Cpla.Driver.optimize_released ~config:spec.Job.config ~engine ?solve_cache ~check asg
+         ~released);
     let report, metrics = measure asg engine released in
     (match structural_violations report with
     | [] -> Job.Done metrics
@@ -171,6 +173,9 @@ type t = {
   q : entry Queue.t;  (* policy order; may hold already-settled entries *)
   jobs : (int, entry) Hashtbl.t;  (* every id this session ever accepted *)
   pool : Pool.Persistent.t;
+  solve_cache : Cpla.Solve_cache.t option;
+      (* shared by every job this session runs: repeated or near-identical
+         submissions hit each other's cold partition solves *)
   mutable draining : bool;
   mutable pending_n : int;  (* queued, not yet claimed, not revoked *)
   mutable pending_c : float;  (* summed expected_cost of those *)
@@ -179,7 +184,7 @@ type t = {
 
 type handle = { session : t; entry : entry }
 
-let create ?(workers = Pool.recommended_workers ()) () =
+let create ?(workers = Pool.recommended_workers ()) ?(solve_cache = false) () =
   if workers < 1 then invalid_arg "Session.create: workers must be >= 1";
   {
     m = Mutex.create ();
@@ -188,11 +193,17 @@ let create ?(workers = Pool.recommended_workers ()) () =
     q = Queue.create ();
     jobs = Hashtbl.create 64;
     pool = Pool.Persistent.create ~workers;
+    solve_cache = (if solve_cache then Some (Cpla.Solve_cache.create ()) else None);
     draining = false;
     pending_n = 0;
     pending_c = 0.0;
     running_n = 0;
   }
+
+let cache_stats t =
+  match t.solve_cache with
+  | None -> None
+  | Some c -> Some (Cpla.Solve_cache.hits c, Cpla.Solve_cache.misses c)
 
 let locked t f =
   (* queue-state lock: every critical section is a few field updates *)
@@ -240,7 +251,7 @@ let run_next t () =
       let terminal =
         Cpla_obs.Span.with_ ~name:"serve/job"
           ~args:[ ("job", Cpla_obs.Event.Int spec.Job.id) ]
-          (fun () -> run_job spec entry.token ~on_poll ())
+          (fun () -> run_job spec entry.token ?solve_cache:t.solve_cache ~on_poll ())
       in
       observe_terminal spec terminal;
       locked t (fun () ->

@@ -28,9 +28,19 @@ type t
 type handle
 (** One submitted job (await its terminal state with {!await}). *)
 
-val create : ?workers:int -> unit -> t
+val create : ?workers:int -> ?solve_cache:bool -> unit -> t
 (** Spawn the worker pool (default {!Cpla_util.Pool.recommended_workers}).
+    [solve_cache] (default false) equips the session with a shared
+    {!Cpla.Solve_cache}: every job's driver looks partition subproblems up
+    by canonical content, so repeated or near-identical submissions skip
+    already-performed solves.  Results stay valid either way; with warm
+    starts enabled they may differ within score tolerance from a
+    cache-free run (a hit replays the cold-start solution).
     @raise Invalid_argument when [workers < 1]. *)
+
+val cache_stats : t -> (int * int) option
+(** [(hits, misses)] of the session's solve cache; [None] when the session
+    was created without one. *)
 
 val submit : t -> ?on_event:(event -> unit) -> Job.spec -> handle
 (** Accept a job now: its deadline stopwatch starts here.  [on_event]
@@ -65,10 +75,18 @@ val drain : t -> unit
 (** Stop accepting, run every queued job to a terminal state, then shut
     the pool down.  Blocks until the last job settles.  Idempotent. *)
 
-val run_job : Job.spec -> Token.t -> ?on_poll:(unit -> unit) -> unit -> Job.terminal
+val run_job :
+  Job.spec ->
+  Token.t ->
+  ?solve_cache:Cpla.Solve_cache.t ->
+  ?on_poll:(unit -> unit) ->
+  unit ->
+  Job.terminal
 (** Execute one job in the calling domain under the given token
     ([on_poll] fires at each cancellation poll) — the sequential
-    reference path ({!Scheduler.run_one}) and the worker body. *)
+    reference path ({!Scheduler.run_one}) and the worker body.
+    [solve_cache] threads a shared content-addressed solve cache into the
+    driver. *)
 
 val expected_cost : Job.spec -> float
 (** Pre-routing proxy for a job's size (net count for specs and suite

@@ -16,7 +16,9 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
-    order statistics.  Raises [Invalid_argument] on the empty array. *)
+    order statistics.  0 on the empty array (matching {!min}/{!max}, so a
+    report over zero samples prints zeros instead of aborting the run).
+    Raises [Invalid_argument] when [p] is out of range. *)
 
 val sum : float array -> float
 (** Compensated (Kahan) summation. *)

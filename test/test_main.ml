@@ -19,6 +19,7 @@ let () =
       ("tila", Test_tila.suite);
       ("batch", Test_batch.suite);
       ("cpla", Test_cpla.suite);
+      ("driver-incremental", Test_driver_incremental.suite);
       ("integration", Test_integration.suite);
       ("extensions", Test_extensions.suite);
       ("verify", Test_verify.suite);

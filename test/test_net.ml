@@ -180,8 +180,42 @@ let test_protocol_responses () =
        {
          id = 3;
          trace = None;
-         resp = Protocol.Stats_r { pending = 4; running = 2; settled = 9; shed = 1; draining = true };
+         resp =
+           Protocol.Stats_r
+             {
+               pending = 4;
+               running = 2;
+               settled = 9;
+               shed = 1;
+               draining = true;
+               cache_hits = 7;
+               cache_misses = 12;
+             };
        });
+  (* stats from a pre-cache server omit the counter fields; they must
+     decode as 0, not fail *)
+  (match
+     Protocol.response_of_json
+       (Json.Obj
+          [
+            ("id", Json.Num 7.0);
+            ( "result",
+              Json.Obj
+                [
+                  ("pending", Json.Num 1.0);
+                  ("running", Json.Num 0.0);
+                  ("settled", Json.Num 2.0);
+                  ("shed", Json.Num 0.0);
+                  ("draining", Json.Bool false);
+                ] );
+          ])
+   with
+  | Ok
+      (Protocol.Result
+         { resp = Protocol.Stats_r { cache_hits = 0; cache_misses = 0; _ }; _ }) ->
+      ()
+  | Ok _ -> Alcotest.fail "stats without cache fields decoded wrong"
+  | Error e -> Alcotest.failf "stats without cache fields failed to decode: %s" e);
   roundtrip (Protocol.Result { id = 4; trace = None; resp = Protocol.Pong });
   List.iter
     (fun reason ->

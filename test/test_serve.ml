@@ -147,6 +147,59 @@ let test_driver_check_restores () =
   in
   Alcotest.(check int) "no structural damage after rollback" 0 (List.length structural)
 
+(* Uncoupled partitions (no shared capacity rows, no intra-partition via
+   pairs) take an argmin fast path that skips the solver — it must still
+   poll [check], or a run over a sparse design becomes uncancellable for a
+   whole sweep.  2-pin nets, ample capacity and single-segment partitions
+   force every leaf onto that path; the hook must fire more often than the
+   once-per-iteration poll the outer loop provides. *)
+let test_driver_check_polls_uncoupled_fast_path () =
+  let run_with ~workers =
+    let spec =
+      {
+        Cpla_route.Synth.default_spec with
+        Cpla_route.Synth.name = "uncoupled";
+        width = 16;
+        height = 16;
+        num_layers = 4;
+        num_nets = 150;
+        capacity = 32;
+        seed = 7;
+        mean_extra_pins = 0.0;
+        blockage_fraction = 0.0;
+      }
+    in
+    let graph, nets = Cpla_route.Synth.generate spec in
+    let routed = Cpla_route.Router.route_all ~graph nets in
+    let asg =
+      Cpla_route.Assignment.create ~graph ~nets ~trees:routed.Cpla_route.Router.trees
+    in
+    Cpla_route.Init_assign.run asg;
+    let engine = Cpla_timing.Incremental.create asg in
+    let released = Cpla_timing.Incremental.select engine ~ratio:0.1 in
+    let config =
+      {
+        Cpla.Config.default with
+        Cpla.Config.workers;
+        max_segments_per_partition = 1;
+        max_outer_iters = 1;
+      }
+    in
+    let polls = Atomic.make 0 in
+    let check () =
+      if Atomic.fetch_and_add polls 1 >= 2 then raise (Token.Cancelled Token.User)
+    in
+    (match Cpla.Driver.optimize_released ~config ~engine ~check asg ~released with
+    | _ -> Alcotest.failf "workers=%d: expected cancellation to escape" workers
+    | exception Token.Cancelled Token.User -> ()
+    | exception Cpla_util.Pool.Worker_failure (Token.Cancelled Token.User) -> ());
+    Alcotest.(check bool) "uncoupled solves polled the hook" true (Atomic.get polls >= 3);
+    Alcotest.(check bool) "state fully assigned after rollback" true
+      (Cpla_route.Assignment.fully_assigned asg)
+  in
+  run_with ~workers:1;
+  run_with ~workers:2
+
 (* ---- scheduler properties ------------------------------------------------- *)
 
 let terminal_events results_len specs ~workers =
@@ -375,6 +428,8 @@ let suite =
     Alcotest.test_case "queue: scheduling policy order" `Quick test_queue_policy;
     Alcotest.test_case "driver: cancellation restores a consistent state" `Quick
       test_driver_check_restores;
+    Alcotest.test_case "driver: uncoupled fast path polls check" `Quick
+      test_driver_check_polls_uncoupled_fast_path;
     Alcotest.test_case "scheduler: every job settles exactly once" `Quick
       test_every_job_settles_once;
     Alcotest.test_case "scheduler: priority order among ready jobs" `Quick test_priority_order;

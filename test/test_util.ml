@@ -43,7 +43,14 @@ let test_stats_percentile () =
   check_float "median" 3.0 (Stats.percentile xs 50.0);
   check_float "p0" 1.0 (Stats.percentile xs 0.0);
   check_float "p100" 5.0 (Stats.percentile xs 100.0);
-  check_float "p25" 2.0 (Stats.percentile xs 25.0)
+  check_float "p25" 2.0 (Stats.percentile xs 25.0);
+  (* empty samples report 0, matching min/max — a latency report over an
+     empty bucket must not abort the bench run *)
+  check_float "empty p50" 0.0 (Stats.percentile [||] 50.0);
+  check_float "empty p99" 0.0 (Stats.percentile [||] 99.0);
+  Alcotest.check_raises "p out of range still raises"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [||] 101.0))
 
 let test_stats_stddev () =
   check_float "constant" 0.0 (Stats.stddev [| 3.0; 3.0; 3.0 |]);
